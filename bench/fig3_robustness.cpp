@@ -1,0 +1,95 @@
+// Figure 3: robustness of the momentum operator.
+//  (a,b) The non-convex double well with curvatures {1, 1000} (GCN 1000):
+//        tuning by Eq. 9 gives empirical linear convergence at rate
+//        sqrt(mu*) ~ 0.9387, robust to the starting well and to the
+//        learning rate within the robust region.
+//  (c,d) Char-LSTM analogue of the per-variable convergence envelopes: as
+//        the prescribed momentum rises from 0.9 to 0.99, the fraction of
+//        model variables whose empirical convergence follows the sqrt(mu)
+//        envelope increases.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "sim/robust_region.hpp"
+#include "sim/toy_objectives.hpp"
+
+namespace sim = yf::sim;
+namespace train = yf::train;
+
+namespace {
+
+void part_ab() {
+  std::printf("Figure 3(a,b): double well, curvatures {1, 1000}, GCN = 1000\n");
+  const auto obj = sim::double_well_objective(1.0, 1000.0, 1.0);
+  const auto tuning = sim::tune_noiseless(1.0, 1000.0);
+  std::printf("  Eq. 9 tuning: mu* = %.4f, alpha = %.6f, predicted rate sqrt(mu) = %.4f\n",
+              tuning.mu, tuning.alpha, std::sqrt(tuning.mu));
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> cols;
+  for (double x0 : {-15.0, 15.0, 1.05}) {
+    const auto dist = sim::run_momentum_gd(obj, x0, tuning.alpha, tuning.mu, 500);
+    std::printf("  x0 = %6.2f: final distance %.3e, empirical rate %.4f\n", x0, dist.back(),
+                sim::empirical_rate(dist));
+    names.push_back("dist_x0=" + train::fmt(x0, 3));
+    cols.push_back(dist);
+  }
+
+  std::printf("  lr-misspecification sweep at mu = 0.95 (inside robust region):\n");
+  const double mu = 0.95;
+  const double lo = std::pow(1.0 - std::sqrt(mu), 2) / 1.0;
+  const double hi = std::pow(1.0 + std::sqrt(mu), 2) / 1000.0;
+  for (double f : {0.05, 0.5, 0.95}) {
+    const double alpha = lo + f * (hi - lo);
+    const auto dist = sim::run_momentum_gd(obj, -15.0, alpha, mu, 700);
+    std::printf("    alpha = %.6f (%.0f%% of region): rate %.4f (sqrt(mu) = %.4f)\n", alpha,
+                f * 100, sim::empirical_rate(dist), std::sqrt(mu));
+  }
+  train::write_csv("fig3ab_convergence.csv", names, cols);
+}
+
+void part_cd() {
+  std::printf("\nFigure 3(c,d): char-LSTM per-variable convergence envelopes\n");
+  // Train the char LM with prescribed momentum 0.9 vs 0.99 and measure, for
+  // each parameter tensor, whether its distance-to-final-value decays no
+  // slower than the sqrt(mu)^t envelope (checked at half horizon).
+  for (double mu : {0.9, 0.99}) {
+    auto task = yfb::make_char_lm_task(1);
+    // Snapshot trajectory of parameter values.
+    const std::int64_t total = yfb::iters(400, 3000);
+    yf::optim::MomentumSGD opt(task.params, 0.05, mu);
+    std::vector<yf::tensor::Tensor> snaps;
+    for (std::int64_t it = 0; it < total; ++it) {
+      opt.zero_grad();
+      task.grad_fn();
+      opt.step();
+      if (it % 10 == 0) snaps.push_back(yf::nn::flatten_values(task.params));
+    }
+    const auto& final_x = snaps.back();
+    // Per-variable: distance from final value at 1/4 vs 3/4 horizon.
+    const std::size_t q1 = snaps.size() / 4, q3 = 3 * snaps.size() / 4;
+    std::int64_t follow = 0, active = 0;
+    const double steps_between = static_cast<double>((q3 - q1) * 10);
+    const double envelope = std::pow(std::sqrt(mu), steps_between);
+    for (std::int64_t j = 0; j < final_x.size(); ++j) {
+      const double d1 = std::abs(snaps[q1][j] - final_x[j]);
+      const double d3 = std::abs(snaps[q3][j] - final_x[j]);
+      if (d1 < 1e-9) continue;
+      ++active;
+      if (d3 / d1 <= std::max(envelope, 1e-12) * 50.0) ++follow;  // 50x slack on the envelope
+    }
+    std::printf("  mu = %.2f: %lld / %lld variables (%.1f%%) within the sqrt(mu)^t envelope\n",
+                mu, static_cast<long long>(follow), static_cast<long long>(active),
+                100.0 * static_cast<double>(follow) / static_cast<double>(active));
+  }
+  std::printf("Shape check (paper): the fraction should increase with momentum.\n");
+}
+
+}  // namespace
+
+int main() {
+  part_ab();
+  part_cd();
+  return 0;
+}

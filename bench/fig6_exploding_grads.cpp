@@ -1,0 +1,97 @@
+// Figure 6: an LSTM variant that exhibits exploding gradients. Training
+// with YellowFin, adaptive clipping (threshold sqrt(h_max)) keeps the
+// gradient norm bounded and the loss free of catastrophic spikes; without
+// clipping, gradient-norm spikes of many orders of magnitude appear.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "nn/module.hpp"
+
+namespace train = yf::train;
+
+namespace {
+
+struct Curves {
+  std::vector<double> grad_norm;
+  std::vector<double> loss;
+  std::vector<double> clip_threshold;
+};
+
+Curves run(bool adaptive_clipping, std::int64_t iterations) {
+  // Exploding-gradient LSTM (substitute for the Zhu et al. [41] variant of
+  // the paper's Fig. 6). At our scale the LSTM's gates saturate before the
+  // recurrent Jacobian can blow up, so the landscape's "occasional but very
+  // steep slopes" (Sec. 3.3) are injected as rare steep-region batches
+  // whose loss -- and hence gradient -- is scaled by 300x.
+  auto dataset = std::make_shared<yf::data::MarkovText>([] {
+    yf::data::MarkovTextConfig cfg;
+    cfg.vocab = 20;
+    cfg.seed = 3;
+    return cfg;
+  }());
+  yf::nn::LanguageModelConfig lc;
+  lc.vocab = 20;
+  lc.embed_dim = 10;
+  lc.hidden = 12;
+  lc.layers = 1;
+  lc.init_scale = 4.0;
+  yf::tensor::Rng model_rng(5);
+  auto model = std::make_shared<yf::nn::LSTMLanguageModel>(lc, model_rng);
+  auto rng = std::make_shared<yf::tensor::Rng>(77);
+
+  yf::tuner::YellowFinOptions opts;
+  opts.adaptive_clipping = adaptive_clipping;
+  yf::tuner::YellowFin opt(model->parameters(), opts);
+
+  Curves c;
+  for (std::int64_t it = 0; it < iterations; ++it) {
+    opt.zero_grad();
+    const auto tokens = dataset->sample_batch(5, 25, *rng);
+    auto loss = model->loss(tokens, 5, 25);
+    if (rng->bernoulli(0.03)) loss = yf::autograd::mul_scalar(loss, 300.0);
+    loss.backward();
+    const double pre_norm = std::sqrt(yf::nn::grad_sq_norm(opt.params()));
+    opt.step();
+    c.grad_norm.push_back(pre_norm);
+    c.loss.push_back(std::min(loss.value().item(), 1e6));
+    c.clip_threshold.push_back(adaptive_clipping ? opt.last_clip_threshold() : 0.0);
+    if (!std::isfinite(c.loss.back())) break;
+  }
+  return c;
+}
+
+double max_of(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t iterations = yfb::iters(400, 3000);
+  std::printf("Figure 6: exploding-gradient LSTM, YellowFin with/without adaptive clipping\n");
+
+  const auto with = run(true, iterations);
+  const auto without = run(false, iterations);
+
+  train::print_series("grad norm WITH adaptive clip", with.grad_norm, 10);
+  train::print_series("clip threshold sqrt(h_max)", with.clip_threshold, 10);
+  train::print_series("grad norm WITHOUT clip", without.grad_norm, 10);
+  train::print_series("loss WITH clip", with.loss, 10);
+  train::print_series("loss WITHOUT clip", without.loss, 10);
+  train::write_csv("fig6_exploding.csv",
+                   {"grad_with", "thresh_with", "grad_without", "loss_with", "loss_without"},
+                   {with.grad_norm, with.clip_threshold, without.grad_norm, with.loss,
+                    without.loss});
+
+  std::printf("\n  peak gradient norm: with clip %.3e | without clip %.3e\n",
+              max_of(with.grad_norm), max_of(without.grad_norm));
+  std::printf("  peak loss:          with clip %.3e | without clip %.3e\n", max_of(with.loss),
+              max_of(without.loss));
+  std::printf("\nShape check (paper): without clipping the gradient norm spikes orders of\n"
+              "magnitude higher and the loss shows catastrophic spikes; with adaptive\n"
+              "clipping both stay bounded.\n");
+  return 0;
+}

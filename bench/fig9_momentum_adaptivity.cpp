@@ -1,0 +1,56 @@
+// Figure 9: the importance of momentum adaptivity. YellowFin tunes the
+// learning rate in all runs; the ablations force the applied momentum to
+// a prescribed constant (0.0 or 0.9) instead of the tuned value.
+//
+// Expected shape: adaptively-tuned momentum converges at least as fast as
+// both prescribed values on the char-LM ("TS") and CNN ("CIFAR100") tasks.
+#include <cstdio>
+#include <optional>
+
+#include "common.hpp"
+
+namespace train = yf::train;
+
+namespace {
+
+std::vector<double> run(const std::function<yfb::ModelTask(std::uint64_t)>& make,
+                        std::optional<double> forced_mu, std::int64_t iterations) {
+  auto task = make(1);
+  yf::tuner::YellowFinOptions opts;
+  opts.force_momentum = forced_mu;
+  yf::tuner::YellowFin opt(task.params, opts);
+  train::TrainOptions topts;
+  topts.iterations = iterations;
+  return train::train(opt, task.grad_fn, topts).losses;
+}
+
+void panel(const char* name, const std::function<yfb::ModelTask(std::uint64_t)>& make,
+           std::int64_t iterations, std::int64_t window) {
+  const auto adaptive = train::smooth_uniform(run(make, std::nullopt, iterations), window);
+  const auto mu0 = train::smooth_uniform(run(make, 0.0, iterations), window);
+  const auto mu9 = train::smooth_uniform(run(make, 0.9, iterations), window);
+  train::print_series(std::string(name) + " YF adaptive momentum", adaptive, 10);
+  train::print_series(std::string(name) + " YF momentum=0.0", mu0, 10);
+  train::print_series(std::string(name) + " YF momentum=0.9", mu9, 10);
+  std::printf("  %s final smoothed loss: adaptive %.4f | mu=0.0 %.4f | mu=0.9 %.4f\n", name,
+              adaptive.back(), mu0.back(), mu9.back());
+  const auto s0 = train::speedup_over(mu0, adaptive);
+  const auto s9 = train::speedup_over(mu9, adaptive);
+  std::printf("  %s adaptive speedup: vs mu=0.0 %s | vs mu=0.9 %s\n", name,
+              train::fmt_speedup(s0.ratio).c_str(), train::fmt_speedup(s9.ratio).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t iterations = yfb::iters(400, 5000);
+  const std::int64_t window = yfb::iters(30, 300);
+  std::printf("Figure 9: YF adaptive momentum vs prescribed momentum 0.0 / 0.9\n");
+  panel("TS-sub char-LSTM", [](std::uint64_t s) { return yfb::make_char_lm_task(s); },
+        iterations, window);
+  panel("CIFAR100-sub CNN", [](std::uint64_t s) { return yfb::make_cifar_task(10, s); },
+        iterations, window);
+  std::printf("\nShape check (paper): adaptive momentum converges observably faster than\n"
+              "both fixed values on at least the char-LM task (speedups >= 1x).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks (google-benchmark): per-step cost of the YellowFin
+// measurement pipeline vs plain optimizers, across model sizes. The paper
+// claims tuning overhead linear in model dimensionality -- the per-element
+// time should be flat across sizes.
+#include <benchmark/benchmark.h>
+
+#include "optim/adam.hpp"
+#include "optim/momentum_sgd.hpp"
+#include "tensor/random.hpp"
+#include "tuner/curvature_range.hpp"
+#include "tuner/single_step.hpp"
+#include "tuner/yellowfin.hpp"
+
+namespace {
+
+yf::autograd::Variable make_param(std::int64_t dim) {
+  yf::tensor::Rng rng(1);
+  return yf::autograd::Variable(rng.normal_tensor({dim}), true);
+}
+
+void fill_grad(yf::autograd::Variable& p, yf::tensor::Rng& rng) {
+  auto& g = p.node()->ensure_grad();
+  for (std::int64_t i = 0; i < g.size(); ++i) g[i] = rng.normal();
+}
+
+void BM_MomentumSgdStep(benchmark::State& state) {
+  auto p = make_param(state.range(0));
+  yf::optim::MomentumSGD opt({p}, 0.01, 0.9);
+  yf::tensor::Rng rng(2);
+  for (auto _ : state) {
+    fill_grad(p, rng);
+    opt.step();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MomentumSgdStep)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AdamStep(benchmark::State& state) {
+  auto p = make_param(state.range(0));
+  yf::optim::Adam opt({p}, 0.001);
+  yf::tensor::Rng rng(3);
+  for (auto _ : state) {
+    fill_grad(p, rng);
+    opt.step();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AdamStep)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_YellowFinStep(benchmark::State& state) {
+  auto p = make_param(state.range(0));
+  yf::tuner::YellowFin opt({p});
+  yf::tensor::Rng rng(4);
+  for (auto _ : state) {
+    fill_grad(p, rng);
+    opt.step();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_YellowFinStep)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SingleStepClosedForm(benchmark::State& state) {
+  double d = 1.5, c = 0.3;
+  for (auto _ : state) {
+    auto r = yf::tuner::single_step(10.0, 1.0, c, d);
+    benchmark::DoNotOptimize(r);
+    d *= 1.0000001;  // defeat constant folding
+  }
+}
+BENCHMARK(BM_SingleStepClosedForm);
+
+void BM_CurvatureRangeUpdate(benchmark::State& state) {
+  yf::tuner::CurvatureRange cr;
+  double h = 1.0;
+  for (auto _ : state) {
+    cr.update(h);
+    h = h * 1.001 + 1e-6;
+    if (h > 1e6) h = 1.0;
+  }
+}
+BENCHMARK(BM_CurvatureRangeUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Table 2 + Figures 5 and 8: the paper's main synchronous evaluation.
+//
+// Five workloads (CIFAR10-sub, CIFAR100-sub, PTB-sub, TS-sub, WSJ-sub),
+// each trained with grid-tuned Adam, grid-tuned momentum SGD (momentum
+// 0.9), and untuned YellowFin (plus vanilla SGD and AdaGrad on WSJ-sub, as
+// in Fig. 5 right). Prints the Table 2 speedup matrix vs Adam and the
+// Fig. 5/8 loss + validation series.
+//
+// Expected shape: momentum SGD and YellowFin >= 1x vs Adam on the CNN,
+// char-LM and parsing tasks; YF ~ tuned momentum SGD everywhere; the
+// word-LM ("PTB") may favor Adam (paper: 0.77x).
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+
+namespace train = yf::train;
+
+namespace {
+
+struct Workload {
+  std::string name;
+  std::function<yfb::ModelTask(std::uint64_t)> make;
+  std::vector<double> adam_grid;
+  std::vector<double> sgd_grid;
+  std::string paper_sgd;  ///< paper's Table 2 entries, for side-by-side
+  std::string paper_yf;
+  double iter_scale = 1.0;  ///< paper gives CIFAR100 a 3x longer budget
+};
+
+}  // namespace
+
+int main() {
+  const std::int64_t iterations = yfb::iters(600, 6000);
+  const std::int64_t window = yfb::iters(50, 400);
+  std::printf("Table 2 / Fig. 5 / Fig. 8: synchronous speedups (%lld iters/run, %s mode)\n",
+              static_cast<long long>(iterations), yfb::full_mode() ? "FULL" : "quick");
+
+  std::vector<Workload> workloads = {
+      {"CIFAR10-sub", [](std::uint64_t s) { return yfb::make_cifar_task(10, s); },
+       {0.003, 0.01, 0.03, 0.1}, {0.03, 0.1, 0.3, 1.0}, "1.71x", "1.93x"},
+      {"CIFAR100-sub", [](std::uint64_t s) { return yfb::make_cifar_task(20, s); },
+       {0.003, 0.01, 0.03, 0.1}, {0.03, 0.1, 0.3, 1.0}, "1.87x", "1.38x", 2.0},
+      {"PTB-sub", [](std::uint64_t s) { return yfb::make_word_lm_task(s); },
+       {0.003, 0.01, 0.03, 0.1}, {0.03, 0.1, 0.3, 1.0}, "0.88x", "0.77x"},
+      {"TS-sub", [](std::uint64_t s) { return yfb::make_char_lm_task(s); },
+       {0.003, 0.01, 0.03, 0.1}, {0.1, 0.3, 1.0, 3.0}, "2.49x", "3.28x"},
+      {"WSJ-sub", [](std::uint64_t s) { return yfb::make_parse_task(s); },
+       {0.003, 0.01, 0.03, 0.1}, {0.03, 0.1, 0.3, 1.0}, "1.33x", "2.33x"},
+  };
+
+  std::vector<std::vector<std::string>> table = {
+      {"Workload", "Adam", "mom.SGD", "YF", "paper SGD", "paper YF"}};
+  std::vector<std::string> csv_names;
+  std::vector<std::vector<double>> csv_cols;
+
+  for (const auto& w : workloads) {
+    const auto wl_iterations = static_cast<std::int64_t>(iterations * w.iter_scale);
+    std::printf("\n-- %s (%lld iters) --\n", w.name.c_str(),
+                static_cast<long long>(wl_iterations));
+    const auto adam = yfb::tune(w.make, "adam", w.adam_grid, wl_iterations, window);
+    std::printf("  Adam best lr: %g (min smoothed loss %.4f)\n", adam.best_hyper,
+                adam.best_loss);
+    const auto msgd = yfb::tune(w.make, "momentum_sgd", w.sgd_grid, wl_iterations, window);
+    std::printf("  momentum SGD best lr: %g (min smoothed loss %.4f)\n", msgd.best_hyper,
+                msgd.best_loss);
+    // YellowFin: no grid, factor 1.
+    std::vector<std::vector<double>> yf_curves;
+    for (auto seed : yfb::seeds()) {
+      yf_curves.push_back(yfb::run_one(w.make, "yellowfin", 1.0, wl_iterations, seed));
+    }
+    const auto yf_curve = train::smooth_uniform(train::average_curves(yf_curves), window);
+
+    const auto s_sgd = train::speedup_over(adam.best_curve, msgd.best_curve);
+    const auto s_yf = train::speedup_over(adam.best_curve, yf_curve);
+    std::printf("  common loss vs Adam: SGD %.4f @ %lld vs %lld iters | YF %.4f @ %lld vs %lld\n",
+                s_sgd.common_loss, static_cast<long long>(s_sgd.baseline_iters),
+                static_cast<long long>(s_sgd.other_iters), s_yf.common_loss,
+                static_cast<long long>(s_yf.baseline_iters),
+                static_cast<long long>(s_yf.other_iters));
+    table.push_back({w.name, "1x", train::fmt_speedup(s_sgd.ratio), train::fmt_speedup(s_yf.ratio),
+                     w.paper_sgd, w.paper_yf});
+
+    train::print_series("Fig5/8 " + w.name + " adam loss", adam.best_curve, 10);
+    train::print_series("Fig5/8 " + w.name + " mom_sgd loss", msgd.best_curve, 10);
+    train::print_series("Fig5/8 " + w.name + " yellowfin loss", yf_curve, 10);
+    csv_names.push_back(w.name + "_adam");
+    csv_cols.push_back(adam.best_curve);
+    csv_names.push_back(w.name + "_momsgd");
+    csv_cols.push_back(msgd.best_curve);
+    csv_names.push_back(w.name + "_yf");
+    csv_cols.push_back(yf_curve);
+
+    // Fig. 5 right also compares vanilla SGD and AdaGrad on the parsing task.
+    if (w.name == "WSJ-sub") {
+      const auto vsgd = yfb::tune(w.make, "sgd", w.sgd_grid, iterations, window);
+      const auto adagrad = yfb::tune(w.make, "adagrad", w.sgd_grid, iterations, window);
+      const auto s_v = train::speedup_over(vsgd.best_curve, msgd.best_curve);
+      std::printf("  WSJ extras: vanilla SGD best lr %g, AdaGrad best lr %g; "
+                  "momentum SGD speedup over vanilla SGD: %s (paper: 2.73x)\n",
+                  vsgd.best_hyper, adagrad.best_hyper, train::fmt_speedup(s_v.ratio).c_str());
+    }
+  }
+
+  train::print_table("Table 2: speedup over tuned Adam (iterations-to-common-loss)", table);
+  train::write_csv("fig5_fig8_losses.csv", csv_names, csv_cols);
+  std::printf("\nWrote fig5_fig8_losses.csv\n");
+  return 0;
+}

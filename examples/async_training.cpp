@@ -1,0 +1,83 @@
+// Asynchronous training example: closed-loop YellowFin (Algorithm 5) on a
+// simulated 16-worker parameter server, showing the negative feedback loop
+// driving measured total momentum to the tuner's target while open-loop
+// YellowFin overshoots.
+#include <cstdio>
+#include <memory>
+
+#include "async/async_simulator.hpp"
+#include "autograd/ops.hpp"
+#include "data/synth_cifar.hpp"
+#include "nn/resnet.hpp"
+#include "tuner/yellowfin.hpp"
+
+namespace ag = yf::autograd;
+namespace t = yf::tensor;
+
+namespace {
+
+void run(bool closed_loop) {
+  yf::data::SynthCifarConfig dcfg;
+  dcfg.classes = 4;
+  dcfg.height = 8;
+  dcfg.width = 8;
+  dcfg.seed = 21;
+  auto dataset = std::make_shared<yf::data::SynthCifar>(dcfg);
+
+  yf::nn::MiniResNetConfig mcfg;
+  mcfg.base_channels = 4;
+  mcfg.blocks_per_stage = 1;
+  mcfg.num_classes = 4;
+  t::Rng model_rng(1);
+  auto model = std::make_shared<yf::nn::MiniResNet>(mcfg, model_rng);
+  auto rng = std::make_shared<t::Rng>(2);
+
+  auto opt = std::make_shared<yf::tuner::YellowFin>(model->parameters());
+  yf::async::AsyncTrainerOptions aopts;
+  aopts.staleness = 15;  // 16 round-robin workers
+  aopts.closed_loop = closed_loop;
+  yf::async::AsyncTrainer trainer(
+      opt,
+      [dataset, model, rng] {
+        const auto b = dataset->sample(8, *rng);
+        auto loss = ag::softmax_cross_entropy(model->forward(ag::Variable(b.images)), b.labels);
+        loss.backward();
+        return loss.value().item();
+      },
+      aopts);
+
+  std::printf("%s YellowFin, 16 async workers (staleness 15):\n",
+              closed_loop ? "Closed-loop" : "Open-loop");
+  double smoothed_total = 0.0, smoothed_loss = 0.0;
+  bool init = false;
+  for (int it = 0; it < 600; ++it) {
+    const auto stats = trainer.step();
+    if (!init) {
+      smoothed_loss = stats.loss;
+      init = true;
+    }
+    smoothed_loss = 0.98 * smoothed_loss + 0.02 * stats.loss;
+    if (stats.mu_hat_total) {
+      smoothed_total = 0.95 * smoothed_total + 0.05 * (*stats.mu_hat_total);
+    }
+    if (it % 100 == 0 || it == 599) {
+      std::printf("  iter %4d loss %.4f | target mu %.3f measured total mu %.3f "
+                  "algorithmic mu %+.3f\n",
+                  it, smoothed_loss, stats.target_momentum, smoothed_total,
+                  stats.applied_momentum);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Asynchrony begets momentum -- and closed-loop YellowFin compensates.\n\n");
+  run(/*closed_loop=*/false);
+  run(/*closed_loop=*/true);
+  std::printf("Expected: open loop shows measured total momentum above the target;\n"
+              "closed loop pushes algorithmic momentum down (even negative) until the\n"
+              "measured total momentum tracks the target.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Quickstart: drop YellowFin in where you would use any other optimizer.
+//
+// Builds a tiny MLP on a synthetic two-moons-style classification problem,
+// trains it with YellowFin (zero hyperparameters), and prints the loss and
+// the tuner's internal state as it adapts.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "autograd/ops.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
+#include "tuner/yellowfin.hpp"
+
+namespace ag = yf::autograd;
+namespace nn = yf::nn;
+namespace t = yf::tensor;
+
+namespace {
+
+/// Two interleaved half-circles ("two moons").
+void sample_moons(std::int64_t n, t::Rng& rng, t::Tensor& x, std::vector<std::int64_t>& y) {
+  x = t::Tensor({n, 2});
+  y.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool upper = rng.bernoulli(0.5);
+    const double theta = rng.uniform(0.0, 3.14159265);
+    const double noise = 0.1;
+    if (upper) {
+      x[i * 2] = std::cos(theta) + noise * rng.normal();
+      x[i * 2 + 1] = std::sin(theta) + noise * rng.normal();
+    } else {
+      x[i * 2] = 1.0 - std::cos(theta) + noise * rng.normal();
+      x[i * 2 + 1] = 0.5 - std::sin(theta) + noise * rng.normal();
+    }
+    y[static_cast<std::size_t>(i)] = upper ? 1 : 0;
+  }
+}
+
+class Mlp : public nn::Module {
+ public:
+  explicit Mlp(t::Rng& rng) {
+    l1_ = std::make_shared<nn::Linear>(2, 16, rng);
+    l2_ = std::make_shared<nn::Linear>(16, 2, rng);
+    register_module("l1", l1_);
+    register_module("l2", l2_);
+  }
+  ag::Variable forward(const ag::Variable& x) const {
+    return l2_->forward(ag::tanh(l1_->forward(x)));
+  }
+
+ private:
+  std::shared_ptr<nn::Linear> l1_, l2_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("yellowfin-cpp quickstart: two-moons MLP, zero hand-tuned hyperparameters\n\n");
+  t::Rng rng(0);
+  Mlp model(rng);
+
+  // The only construction step: hand YellowFin your parameters.
+  yf::tuner::YellowFin optimizer(model.parameters());
+
+  t::Rng data_rng(1);
+  for (int it = 0; it < 600; ++it) {
+    t::Tensor x;
+    std::vector<std::int64_t> y;
+    sample_moons(32, data_rng, x, y);
+
+    optimizer.zero_grad();
+    auto loss = ag::softmax_cross_entropy(model.forward(ag::Variable(x)), y);
+    loss.backward();
+    optimizer.step();
+
+    if (it % 100 == 0 || it == 599) {
+      std::printf("iter %4d  loss %.4f  | tuned lr %.5f  momentum %.3f  "
+                  "(h_min %.2e, h_max %.2e)\n",
+                  it, loss.value().item(), optimizer.lr(), optimizer.momentum(),
+                  optimizer.h_min(), optimizer.h_max());
+    }
+  }
+
+  // Held-out accuracy.
+  t::Tensor x;
+  std::vector<std::int64_t> y;
+  t::Rng val_rng(99);
+  sample_moons(512, val_rng, x, y);
+  const auto logits = model.forward(ag::Variable(x));
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < 512; ++i) {
+    const std::int64_t pred = logits.value()[i * 2 + 1] > logits.value()[i * 2] ? 1 : 0;
+    if (pred == y[static_cast<std::size_t>(i)]) ++correct;
+  }
+  std::printf("\nheld-out accuracy: %.1f%% (untuned!)\n", 100.0 * correct / 512.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "async/async_simulator.hpp"
+
+#include <stdexcept>
+
+#include "nn/module.hpp"
+
+namespace yf::async {
+
+AsyncTrainer::AsyncTrainer(std::shared_ptr<optim::Optimizer> optimizer, GradFn grad_fn,
+                           const AsyncTrainerOptions& opts)
+    : optimizer_(std::move(optimizer)),
+      yellowfin_(dynamic_cast<tuner::YellowFin*>(optimizer_.get())),
+      grad_fn_(std::move(grad_fn)),
+      opts_(opts),
+      queue_(opts.staleness),
+      estimator_(opts.staleness),
+      controller_(opts.gamma) {
+  if (!optimizer_) throw std::invalid_argument("AsyncTrainer: null optimizer");
+  if (opts_.closed_loop && !yellowfin_) {
+    throw std::invalid_argument("AsyncTrainer: closed loop requires a YellowFin optimizer");
+  }
+}
+
+AsyncStepStats AsyncTrainer::step() {
+  AsyncStepStats stats;
+  auto& params = const_cast<std::vector<autograd::Variable>&>(optimizer_->params());
+
+  // Worker view: gradient at the current iterate.
+  optimizer_->zero_grad();
+  stats.loss = grad_fn_();
+  tensor::Tensor flat_grad = nn::flatten_grads(params);
+  tensor::Tensor iterate = nn::flatten_values(params);
+  estimator_.record(iterate, flat_grad, optimizer_->lr());
+
+  // Server view: apply the gradient that is `staleness` steps old.
+  auto delayed = queue_.push(std::move(flat_grad));
+  if (delayed) {
+    std::int64_t off = 0;
+    for (auto& p : params) {
+      auto& g = p.node()->ensure_grad();
+      for (std::int64_t i = 0; i < g.size(); ++i) g[i] = (*delayed)[off + i];
+      off += g.size();
+    }
+    // Closed-loop momentum control (Algorithm 5): adjust applied momentum
+    // before the update so mu_hat_T tracks the tuner's target.
+    stats.mu_hat_total = estimator_.estimate();
+    if (opts_.closed_loop && stats.mu_hat_total) {
+      const double mu = controller_.update(yellowfin_->momentum(), *stats.mu_hat_total);
+      yellowfin_->set_applied_momentum(mu);
+    }
+    optimizer_->step();
+    stats.applied_update = true;
+  }
+
+  if (yellowfin_) {
+    stats.target_momentum = yellowfin_->momentum();
+    stats.applied_momentum =
+        opts_.closed_loop ? controller_.applied_momentum() : yellowfin_->momentum();
+  }
+  return stats;
+}
+
+}  // namespace yf::async

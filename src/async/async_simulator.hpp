@@ -1,0 +1,66 @@
+// Deterministic asynchronous-training simulator (Section 5.2 protocol).
+//
+// Reproduces "16 asynchronous workers updating the model in round-robin
+// fashion, i.e. the gradient is delayed for 15 iterations": each step
+// computes a gradient at the *current* iterate, enqueues it, and applies
+// the gradient that is now `staleness` steps old. Single-threaded, so runs
+// are exactly reproducible per seed; a real multi-threaded engine lives in
+// async/threaded_trainer for integration testing.
+//
+// Optionally closes the momentum loop (Algorithm 5) when driving a
+// YellowFin optimizer: measured total momentum feeds the negative
+// feedback controller, which overrides the applied algorithmic momentum.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "async/staleness_queue.hpp"
+#include "async/total_momentum.hpp"
+#include "optim/optimizer.hpp"
+#include "tuner/closed_loop.hpp"
+#include "tuner/yellowfin.hpp"
+
+namespace yf::async {
+
+/// Computes the minibatch loss at the current parameter values and leaves
+/// gradients on the parameters; returns the loss.
+using GradFn = std::function<double()>;
+
+struct AsyncTrainerOptions {
+  std::int64_t staleness = 15;  ///< tau = workers - 1
+  bool closed_loop = false;     ///< Algorithm 5 (requires YellowFin optimizer)
+  double gamma = 0.01;          ///< feedback gain
+};
+
+struct AsyncStepStats {
+  double loss = 0.0;                     ///< loss at the gradient-computation point
+  bool applied_update = false;           ///< false while the pipeline fills
+  std::optional<double> mu_hat_total;    ///< latest mu_hat_T estimate
+  double applied_momentum = 0.0;         ///< algorithmic momentum used this step
+  double target_momentum = 0.0;          ///< tuner's target (YellowFin only)
+};
+
+class AsyncTrainer {
+ public:
+  AsyncTrainer(std::shared_ptr<optim::Optimizer> optimizer, GradFn grad_fn,
+               const AsyncTrainerOptions& opts);
+
+  /// One simulated server step.
+  AsyncStepStats step();
+
+  const TotalMomentumEstimator& estimator() const { return estimator_; }
+  const tuner::ClosedLoopController& controller() const { return controller_; }
+
+ private:
+  std::shared_ptr<optim::Optimizer> optimizer_;
+  tuner::YellowFin* yellowfin_;  ///< non-null when optimizer_ is a YellowFin
+  GradFn grad_fn_;
+  AsyncTrainerOptions opts_;
+  StalenessQueue<tensor::Tensor> queue_;
+  TotalMomentumEstimator estimator_;
+  tuner::ClosedLoopController controller_;
+};
+
+}  // namespace yf::async

@@ -1,0 +1,3 @@
+#include "async/staleness_queue.hpp"
+
+// Header-only template; TU anchors the target in the build graph.

@@ -1,0 +1,84 @@
+#include "async/threaded_trainer.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "async/total_momentum.hpp"
+
+namespace yf::async {
+
+ThreadedTrainerResult run_threaded_training(const tensor::Tensor& x0, const GradOracle& oracle,
+                                            const ThreadedTrainerOptions& opts) {
+  ThreadedTrainerResult result;
+  tensor::Tensor x = x0.clone();
+  tensor::Tensor v = tensor::Tensor::zeros(x.shape());
+  std::mutex mu;
+
+  // Iterate history: iterates[k] is the model after k updates. Each worker
+  // gradient is evaluated at the exact iterate it snapshotted, so gradient
+  // records carry that index -- the pairing Eq. 37 needs.
+  std::vector<tensor::Tensor> iterates;
+  iterates.push_back(x.clone());
+  struct GradRecord {
+    std::size_t read_index;
+    tensor::Tensor g;
+    double alpha;
+  };
+  std::vector<GradRecord> records;
+
+  auto worker_fn = [&](std::uint64_t seed) {
+    tensor::Rng rng(seed);
+    for (std::int64_t s = 0; s < opts.steps_per_worker; ++s) {
+      tensor::Tensor snapshot;
+      std::size_t read_index;
+      {
+        std::scoped_lock lock(mu);
+        snapshot = x.clone();
+        read_index = iterates.size() - 1;
+      }
+      tensor::Tensor g = oracle(snapshot, rng);  // slow part: outside the lock
+      if (opts.compute_delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(opts.compute_delay_us));
+      }
+      {
+        std::scoped_lock lock(mu);
+        records.push_back({read_index, g.clone(), opts.lr});
+        v.mul_(opts.momentum);
+        v.add_(g, -opts.lr);
+        x.add_(v);
+        iterates.push_back(x.clone());
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opts.workers));
+  for (std::int64_t w = 0; w < opts.workers; ++w) {
+    threads.emplace_back(worker_fn, opts.seed + static_cast<std::uint64_t>(w) * 7919 + 1);
+  }
+  for (auto& t : threads) t.join();
+
+  // Post-hoc Eq. 37 measurement: for each gradient evaluated at iterate j,
+  // mu_hat_T = median_k ( (x_{j+1} - x_j + alpha g_j)_k / (x_j - x_{j-1})_k ).
+  for (const auto& rec : records) {
+    const std::size_t j = rec.read_index;
+    if (j == 0 || j + 1 >= iterates.size()) continue;
+    std::vector<double> ratios;
+    ratios.reserve(static_cast<std::size_t>(rec.g.size()));
+    for (std::int64_t k = 0; k < rec.g.size(); ++k) {
+      const double den = iterates[j][k] - iterates[j - 1][k];
+      if (std::abs(den) < 1e-10) continue;
+      const double num = iterates[j + 1][k] - iterates[j][k] + rec.alpha * rec.g[k];
+      ratios.push_back(num / den);
+    }
+    if (!ratios.empty()) result.total_momentum_estimates.push_back(median(std::move(ratios)));
+  }
+
+  result.final_x = std::move(x);
+  result.total_updates = static_cast<std::int64_t>(iterates.size()) - 1;
+  return result;
+}
+
+}  // namespace yf::async

@@ -1,0 +1,48 @@
+// Real multi-threaded hogwild-style trainer over a flat parameter vector.
+//
+// Complements the deterministic AsyncTrainer: here genuine OS threads race
+// on a mutex-guarded parameter server, so staleness is emergent rather
+// than scripted. Used by the integration tests to confirm the
+// "asynchrony begets momentum" effect (total momentum above algorithmic
+// momentum) on a real concurrent system, not just the round-robin model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace yf::async {
+
+/// Stochastic gradient oracle: gradient of a minibatch loss at `x`.
+using GradOracle = std::function<tensor::Tensor(const tensor::Tensor& x, tensor::Rng& rng)>;
+
+struct ThreadedTrainerOptions {
+  std::int64_t workers = 4;
+  std::int64_t steps_per_worker = 100;
+  double lr = 0.01;
+  double momentum = 0.0;  ///< algorithmic momentum at the server
+  std::uint64_t seed = 0;
+  /// Microseconds of simulated gradient-computation latency between a
+  /// worker's read and write. On toy problems the oracle is so fast that
+  /// updates serialize and no staleness arises; a small delay restores the
+  /// read-compute-write overlap of a real training system.
+  std::int64_t compute_delay_us = 0;
+};
+
+struct ThreadedTrainerResult {
+  tensor::Tensor final_x;
+  /// Per-update mu_hat_T estimates (skipping warm-up); empty if dim too
+  /// small for reliable medians.
+  std::vector<double> total_momentum_estimates;
+  std::int64_t total_updates = 0;
+};
+
+/// Run hogwild momentum SGD from `x0`; returns final iterate and the
+/// total-momentum measurements taken at the server.
+ThreadedTrainerResult run_threaded_training(const tensor::Tensor& x0, const GradOracle& oracle,
+                                            const ThreadedTrainerOptions& opts);
+
+}  // namespace yf::async

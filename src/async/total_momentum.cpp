@@ -1,0 +1,69 @@
+#include "async/total_momentum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::async {
+
+double median(std::vector<double> values) {
+  if (values.empty()) throw std::invalid_argument("median: empty input");
+  const auto mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    const auto lower =
+        *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+    m = 0.5 * (m + lower);
+  }
+  return m;
+}
+
+TotalMomentumEstimator::TotalMomentumEstimator(std::int64_t staleness, double denom_eps)
+    : staleness_(staleness), denom_eps_(denom_eps) {
+  if (staleness < 0) throw std::invalid_argument("TotalMomentumEstimator: staleness >= 0");
+}
+
+void TotalMomentumEstimator::record(const tensor::Tensor& iterate,
+                                    const tensor::Tensor& grad_at_iterate, double alpha) {
+  history_.push_back({iterate.clone(), grad_at_iterate.clone(), alpha});
+  // Need records at indices i-1, i, i+1 with i = newest - 1 - tau.
+  const std::size_t needed = static_cast<std::size_t>(staleness_) + 3;
+  while (history_.size() > needed) history_.pop_front();
+}
+
+std::optional<double> TotalMomentumEstimator::estimate() const {
+  const std::size_t needed = static_cast<std::size_t>(staleness_) + 3;
+  if (history_.size() < needed) return std::nullopt;
+  // history_ holds x_{i-1} .. x_{t} with i-1 at the front. The estimation
+  // index i is the second record; x_{i+1} the third.
+  const Record& prev = history_[0];   // x_{i-1}
+  const Record& cur = history_[1];    // x_i, g_i, alpha_i
+  const Record& next = history_[2];   // x_{i+1}
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<std::size_t>(cur.x.size()));
+  for (std::int64_t j = 0; j < cur.x.size(); ++j) {
+    const double den = cur.x[j] - prev.x[j];
+    if (std::abs(den) < denom_eps_) continue;
+    const double num = next.x[j] - cur.x[j] + cur.alpha * cur.g[j];
+    ratios.push_back(num / den);
+  }
+  if (ratios.empty()) return std::nullopt;
+  return median(std::move(ratios));
+}
+
+double TotalMomentumEstimator::smoothed(double beta) {
+  const auto est = estimate();
+  if (est) {
+    if (!smoothed_init_) {
+      smoothed_value_ = *est;
+      smoothed_init_ = true;
+    } else {
+      smoothed_value_ = beta * smoothed_value_ + (1.0 - beta) * (*est);
+    }
+  }
+  return smoothed_value_;
+}
+
+}  // namespace yf::async

@@ -1,0 +1,61 @@
+// Total-momentum estimator mu_hat_T (Eq. 37).
+//
+// Models the running system as E[x_{t+1} - x_t] = mu_T E[x_t - x_{t-1}]
+// - alpha E grad f(x_t) (Eq. 16) and solves for mu_T elementwise at the
+// most recent index whose own-iterate gradient is causally available
+// (tau steps back under staleness tau):
+//
+//   mu_hat_T = median_j ( (x_{i+1} - x_i + alpha_i * g_i)_j
+//                         / (x_i - x_{i-1})_j ),   i = t - tau - 1,
+//
+// where g_i is the stochastic gradient evaluated AT iterate x_i. The
+// elementwise median makes the estimate robust to coordinates with tiny
+// iterate movement; coordinates with |denominator| < eps are skipped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "tensor/tensor.hpp"
+
+namespace yf::async {
+
+class TotalMomentumEstimator {
+ public:
+  /// `staleness` = tau (0 for synchronous training).
+  explicit TotalMomentumEstimator(std::int64_t staleness, double denom_eps = 1e-10);
+
+  /// Record one server step: the iterate BEFORE the update, the stochastic
+  /// gradient evaluated at that same iterate, and the learning rate in
+  /// effect. Call exactly once per optimization step, before the update.
+  void record(const tensor::Tensor& iterate, const tensor::Tensor& grad_at_iterate,
+              double alpha);
+
+  /// Latest mu_hat_T; nullopt until enough history exists (tau + 3 records)
+  /// or when every coordinate's denominator underflows.
+  std::optional<double> estimate() const;
+
+  /// Running average of estimates (the solid red line in Fig. 4).
+  double smoothed(double beta = 0.9);
+
+  std::int64_t staleness() const { return staleness_; }
+
+ private:
+  struct Record {
+    tensor::Tensor x;
+    tensor::Tensor g;
+    double alpha;
+  };
+  std::int64_t staleness_;
+  double denom_eps_;
+  std::deque<Record> history_;
+  double smoothed_value_ = 0.0;
+  bool smoothed_init_ = false;
+};
+
+/// Median of a (non-empty) vector; averages the two middle elements for
+/// even sizes. Utility shared with tests.
+double median(std::vector<double> values);
+
+}  // namespace yf::async

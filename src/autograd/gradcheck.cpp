@@ -1,0 +1,48 @@
+#include "autograd/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace yf::autograd {
+
+GradcheckResult gradcheck(const std::function<Variable(const std::vector<Variable>&)>& fn,
+                          std::vector<Variable> inputs, double eps, double atol, double rtol) {
+  GradcheckResult result;
+
+  // Analytic gradients.
+  for (auto& in : inputs) in.zero_grad();
+  Variable out = fn(inputs);
+  out.backward();
+  std::vector<tensor::Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (const auto& in : inputs) analytic.push_back(in.grad().clone());
+
+  // Numeric gradients, coordinate by coordinate.
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    auto& data = inputs[k].value();
+    for (std::int64_t i = 0; i < data.size(); ++i) {
+      const double orig = data[i];
+      data[i] = orig + eps;
+      const double fp = fn(inputs).value().item();
+      data[i] = orig - eps;
+      const double fm = fn(inputs).value().item();
+      data[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      const double a = analytic[k][i];
+      const double abs_err = std::abs(a - numeric);
+      const double rel_err = abs_err / std::max(1e-12, std::max(std::abs(a), std::abs(numeric)));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (abs_err > atol && rel_err > rtol && result.ok) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "input " << k << " flat index " << i << ": analytic " << a << " vs numeric "
+           << numeric << " (abs " << abs_err << ", rel " << rel_err << ")";
+        result.detail = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace yf::autograd

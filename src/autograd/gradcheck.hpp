@@ -1,0 +1,27 @@
+// Finite-difference gradient checking, used throughout the test suite to
+// validate every differentiable op and every nn layer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace yf::autograd {
+
+struct GradcheckResult {
+  bool ok = true;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::string detail;  ///< first failing coordinate, for diagnostics
+};
+
+/// Check d(fn(inputs))/d(inputs) against central finite differences.
+///
+/// `fn` must build a fresh graph from the given leaf variables and return a
+/// scalar output. Each input is perturbed coordinate-wise with step `eps`.
+GradcheckResult gradcheck(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, double eps = 1e-5, double atol = 1e-6, double rtol = 1e-4);
+
+}  // namespace yf::autograd

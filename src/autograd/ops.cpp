@@ -1,0 +1,631 @@
+#include "autograd/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace yf::autograd {
+
+namespace t = yf::tensor;
+
+Variable add(const Variable& a, const Variable& b) {
+  t::check_same_shape(a.value(), b.value(), "autograd::add");
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(
+      t::add(a.value(), b.value()), {an, bn},
+      [an, bn](Node& n) {
+        an->accumulate_grad(n.grad);
+        bn->accumulate_grad(n.grad);
+      },
+      "add");
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  t::check_same_shape(a.value(), b.value(), "autograd::sub");
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(
+      t::sub(a.value(), b.value()), {an, bn},
+      [an, bn](Node& n) {
+        an->accumulate_grad(n.grad);
+        if (bn->requires_grad) bn->ensure_grad().add_(n.grad, -1.0);
+      },
+      "sub");
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  t::check_same_shape(a.value(), b.value(), "autograd::mul");
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(
+      t::mul(a.value(), b.value()), {an, bn},
+      [an, bn](Node& n) {
+        if (an->requires_grad) an->ensure_grad().add_(t::mul(n.grad, bn->value));
+        if (bn->requires_grad) bn->ensure_grad().add_(t::mul(n.grad, an->value));
+      },
+      "mul");
+}
+
+Variable neg(const Variable& a) { return mul_scalar(a, -1.0); }
+
+Variable add_scalar(const Variable& a, double s) {
+  auto an = a.node();
+  return make_op(
+      t::add_scalar(a.value(), s), {an},
+      [an](Node& n) { an->accumulate_grad(n.grad); }, "add_scalar");
+}
+
+Variable mul_scalar(const Variable& a, double s) {
+  auto an = a.node();
+  return make_op(
+      t::mul_scalar(a.value(), s), {an},
+      [an, s](Node& n) {
+        if (an->requires_grad) an->ensure_grad().add_(n.grad, s);
+      },
+      "mul_scalar");
+}
+
+namespace {
+
+/// Helper for unary elementwise ops whose local derivative is a function of
+/// the *output* value (tanh, sigmoid, exp) or the *input* value.
+template <typename DFn>
+Variable unary_op(const Variable& a, t::Tensor value, DFn&& dfn, const char* name) {
+  auto an = a.node();
+  auto out_value = value;  // captured copy shares storage with node value
+  return make_op(
+      std::move(value), {an},
+      [an, dfn](Node& n) {
+        if (!an->requires_grad) return;
+        auto& g = an->ensure_grad();
+        auto gd = g.data();
+        auto og = n.grad.data();
+        auto ov = n.value.data();
+        auto iv = an->value.data();
+        for (std::size_t i = 0; i < gd.size(); ++i) gd[i] += og[i] * dfn(iv[i], ov[i]);
+      },
+      name);
+}
+
+}  // namespace
+
+Variable relu(const Variable& a) {
+  return unary_op(
+      a, t::relu(a.value()), [](double x, double) { return x > 0.0 ? 1.0 : 0.0; }, "relu");
+}
+
+Variable tanh(const Variable& a) {
+  return unary_op(
+      a, t::tanh(a.value()), [](double, double y) { return 1.0 - y * y; }, "tanh");
+}
+
+Variable sigmoid(const Variable& a) {
+  return unary_op(
+      a, t::sigmoid(a.value()), [](double, double y) { return y * (1.0 - y); }, "sigmoid");
+}
+
+Variable exp(const Variable& a) {
+  return unary_op(
+      a, t::exp(a.value()), [](double, double y) { return y; }, "exp");
+}
+
+Variable log(const Variable& a) {
+  return unary_op(
+      a, t::log(a.value()), [](double x, double) { return 1.0 / x; }, "log");
+}
+
+Variable square(const Variable& a) {
+  return unary_op(
+      a, t::square(a.value()), [](double x, double) { return 2.0 * x; }, "square");
+}
+
+Variable sum(const Variable& a) {
+  auto an = a.node();
+  return make_op(
+      t::Tensor::scalar(t::sum(a.value())), {an},
+      [an](Node& n) {
+        if (!an->requires_grad) return;
+        an->ensure_grad().add_(t::Tensor::full(an->value.shape(), n.grad[0]));
+      },
+      "sum");
+}
+
+Variable mean(const Variable& a) {
+  auto an = a.node();
+  const double inv = 1.0 / static_cast<double>(a.value().size());
+  return make_op(
+      t::Tensor::scalar(t::mean(a.value())), {an},
+      [an, inv](Node& n) {
+        if (!an->requires_grad) return;
+        an->ensure_grad().add_(t::Tensor::full(an->value.shape(), n.grad[0] * inv));
+      },
+      "mean");
+}
+
+Variable reshape(const Variable& a, t::Shape new_shape) {
+  auto an = a.node();
+  // clone() so the node's value does not alias the parent's storage; the
+  // pullback just reshapes the incoming grad back.
+  return make_op(
+      a.value().clone().reshape(std::move(new_shape)), {an},
+      [an](Node& n) {
+        if (an->requires_grad) an->ensure_grad().add_(n.grad.reshape(an->value.shape()));
+      },
+      "reshape");
+}
+
+Variable slice_cols(const Variable& a, std::int64_t col_begin, std::int64_t col_end) {
+  const auto& v = a.value();
+  if (v.ndim() != 2) throw std::invalid_argument("slice_cols: expected 2-D input");
+  const auto m = v.dim(0), ncols = v.dim(1);
+  if (col_begin < 0 || col_end > ncols || col_begin >= col_end) {
+    throw std::invalid_argument("slice_cols: bad range [" + std::to_string(col_begin) + ", " +
+                                std::to_string(col_end) + ") for " + t::to_string(v.shape()));
+  }
+  const auto w = col_end - col_begin;
+  t::Tensor out(t::Shape{m, w});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < w; ++j) out[i * w + j] = v[i * ncols + col_begin + j];
+  auto an = a.node();
+  return make_op(
+      std::move(out), {an},
+      [an, col_begin, w, ncols, m](Node& n) {
+        if (!an->requires_grad) return;
+        auto& g = an->ensure_grad();
+        for (std::int64_t i = 0; i < m; ++i)
+          for (std::int64_t j = 0; j < w; ++j)
+            g[i * ncols + col_begin + j] += n.grad[i * w + j];
+      },
+      "slice_cols");
+}
+
+Variable concat_cols(const std::vector<Variable>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_cols: no inputs");
+  const auto m = parts[0].value().dim(0);
+  std::int64_t total = 0;
+  for (const auto& p : parts) {
+    if (p.value().ndim() != 2 || p.value().dim(0) != m) {
+      throw std::invalid_argument("concat_cols: inputs must be 2-D with equal row counts");
+    }
+    total += p.value().dim(1);
+  }
+  t::Tensor out(t::Shape{m, total});
+  std::int64_t off = 0;
+  for (const auto& p : parts) {
+    const auto w = p.value().dim(1);
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < w; ++j) out[i * total + off + j] = p.value()[i * w + j];
+    off += w;
+  }
+  std::vector<NodePtr> parents;
+  std::vector<std::int64_t> widths;
+  for (const auto& p : parts) {
+    parents.push_back(p.node());
+    widths.push_back(p.value().dim(1));
+  }
+  return make_op(
+      std::move(out), parents,
+      [parents, widths, m, total](Node& n) {
+        std::int64_t off = 0;
+        for (std::size_t k = 0; k < parents.size(); ++k) {
+          const auto w = widths[k];
+          if (parents[k]->requires_grad) {
+            auto& g = parents[k]->ensure_grad();
+            for (std::int64_t i = 0; i < m; ++i)
+              for (std::int64_t j = 0; j < w; ++j) g[i * w + j] += n.grad[i * total + off + j];
+          }
+          off += w;
+        }
+      },
+      "concat_cols");
+}
+
+Variable matmul(const Variable& a, const Variable& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return make_op(
+      t::matmul(a.value(), b.value()), {an, bn},
+      [an, bn](Node& n) {
+        // dA = dC @ B^T ; dB = A^T @ dC
+        if (an->requires_grad)
+          an->ensure_grad().add_(t::matmul(n.grad, t::transpose(bn->value)));
+        if (bn->requires_grad)
+          bn->ensure_grad().add_(t::matmul(t::transpose(an->value), n.grad));
+      },
+      "matmul");
+}
+
+Variable transpose(const Variable& a) {
+  auto an = a.node();
+  return make_op(
+      t::transpose(a.value()), {an},
+      [an](Node& n) {
+        if (an->requires_grad) an->ensure_grad().add_(t::transpose(n.grad));
+      },
+      "transpose");
+}
+
+Variable add_row_broadcast(const Variable& a, const Variable& bias) {
+  auto an = a.node();
+  auto bn = bias.node();
+  return make_op(
+      t::add_row_broadcast(a.value(), bias.value()), {an, bn},
+      [an, bn](Node& n) {
+        an->accumulate_grad(n.grad);
+        if (bn->requires_grad) bn->ensure_grad().add_(t::sum_rows(n.grad));
+      },
+      "add_row_broadcast");
+}
+
+Variable softmax(const Variable& logits) {
+  const auto& v = logits.value();
+  if (v.ndim() != 2) throw std::invalid_argument("softmax: expected 2-D logits");
+  const auto m = v.dim(0), c = v.dim(1);
+  t::Tensor probs(v.shape());
+  for (std::int64_t i = 0; i < m; ++i) {
+    double mx = -1e300;
+    for (std::int64_t j = 0; j < c; ++j) mx = std::max(mx, v[i * c + j]);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) z += std::exp(v[i * c + j] - mx);
+    for (std::int64_t j = 0; j < c; ++j) probs[i * c + j] = std::exp(v[i * c + j] - mx) / z;
+  }
+  auto an = logits.node();
+  return make_op(
+      std::move(probs), {an},
+      [an, m, c](Node& n) {
+        if (!an->requires_grad) return;
+        // dL/dx_j = p_j * (g_j - sum_k g_k p_k) per row.
+        auto& g = an->ensure_grad();
+        for (std::int64_t i = 0; i < m; ++i) {
+          double dotgp = 0.0;
+          for (std::int64_t k = 0; k < c; ++k) dotgp += n.grad[i * c + k] * n.value[i * c + k];
+          for (std::int64_t j = 0; j < c; ++j)
+            g[i * c + j] += n.value[i * c + j] * (n.grad[i * c + j] - dotgp);
+        }
+      },
+      "softmax");
+}
+
+Variable softmax_cross_entropy(const Variable& logits, const std::vector<std::int64_t>& labels) {
+  const auto& v = logits.value();
+  if (v.ndim() != 2) throw std::invalid_argument("softmax_cross_entropy: expected 2-D logits");
+  const auto m = v.dim(0), c = v.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != m) {
+    throw std::invalid_argument("softmax_cross_entropy: batch " + std::to_string(m) + " vs " +
+                                std::to_string(labels.size()) + " labels");
+  }
+  // Forward: mean_i [ logsumexp(x_i) - x_i[y_i] ]. Cache probabilities for
+  // the pullback: d/dx = (softmax(x) - onehot(y)) / m.
+  t::Tensor probs(v.shape());
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const auto y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= c) throw std::out_of_range("softmax_cross_entropy: label out of range");
+    double mx = -1e300;
+    for (std::int64_t j = 0; j < c; ++j) mx = std::max(mx, v[i * c + j]);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) z += std::exp(v[i * c + j] - mx);
+    const double logz = std::log(z) + mx;
+    loss += logz - v[i * c + y];
+    for (std::int64_t j = 0; j < c; ++j) probs[i * c + j] = std::exp(v[i * c + j] - logz);
+  }
+  loss /= static_cast<double>(m);
+  auto an = logits.node();
+  auto labels_copy = labels;
+  return make_op(
+      t::Tensor::scalar(loss), {an},
+      [an, probs, labels_copy, m, c](Node& n) {
+        if (!an->requires_grad) return;
+        auto& g = an->ensure_grad();
+        const double scale = n.grad[0] / static_cast<double>(m);
+        for (std::int64_t i = 0; i < m; ++i) {
+          const auto y = labels_copy[static_cast<std::size_t>(i)];
+          for (std::int64_t j = 0; j < c; ++j) {
+            g[i * c + j] += scale * (probs[i * c + j] - (j == y ? 1.0 : 0.0));
+          }
+        }
+      },
+      "softmax_cross_entropy");
+}
+
+Variable embedding(const Variable& weight, const std::vector<std::int64_t>& indices) {
+  const auto& w = weight.value();
+  if (w.ndim() != 2) throw std::invalid_argument("embedding: weight must be 2-D [V, E]");
+  const auto vsize = w.dim(0), e = w.dim(1);
+  const auto b = static_cast<std::int64_t>(indices.size());
+  t::Tensor out(t::Shape{b, e});
+  for (std::int64_t i = 0; i < b; ++i) {
+    const auto idx = indices[static_cast<std::size_t>(i)];
+    if (idx < 0 || idx >= vsize) throw std::out_of_range("embedding: index out of range");
+    for (std::int64_t j = 0; j < e; ++j) out[i * e + j] = w[idx * e + j];
+  }
+  auto wn = weight.node();
+  auto idx_copy = indices;
+  return make_op(
+      std::move(out), {wn},
+      [wn, idx_copy, e](Node& n) {
+        if (!wn->requires_grad) return;
+        auto& g = wn->ensure_grad();
+        const auto b = static_cast<std::int64_t>(idx_copy.size());
+        for (std::int64_t i = 0; i < b; ++i) {
+          const auto idx = idx_copy[static_cast<std::size_t>(i)];
+          for (std::int64_t j = 0; j < e; ++j) g[idx * e + j] += n.grad[i * e + j];
+        }
+      },
+      "embedding");
+}
+
+namespace {
+
+struct ConvDims {
+  std::int64_t n, c, h, w;       // input
+  std::int64_t f, kh, kw;        // filters
+  std::int64_t oh, ow;           // output spatial
+  std::int64_t stride, pad;
+};
+
+/// im2col: input [N,C,H,W] -> col [N*OH*OW, C*KH*KW].
+t::Tensor im2col(const t::Tensor& input, const ConvDims& d) {
+  t::Tensor col(t::Shape{d.n * d.oh * d.ow, d.c * d.kh * d.kw});
+  const auto* in = input.data().data();
+  auto* pc = col.data().data();
+  const auto row_len = d.c * d.kh * d.kw;
+  for (std::int64_t n = 0; n < d.n; ++n) {
+    for (std::int64_t oy = 0; oy < d.oh; ++oy) {
+      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+        const auto row = (n * d.oh + oy) * d.ow + ox;
+        double* dst = pc + row * row_len;
+        for (std::int64_t c = 0; c < d.c; ++c) {
+          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+            const auto iy = oy * d.stride + ky - d.pad;
+            for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+              const auto ix = ox * d.stride + kx - d.pad;
+              const auto dst_i = (c * d.kh + ky) * d.kw + kx;
+              if (iy >= 0 && iy < d.h && ix >= 0 && ix < d.w) {
+                dst[dst_i] = in[((n * d.c + c) * d.h + iy) * d.w + ix];
+              } else {
+                dst[dst_i] = 0.0;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return col;
+}
+
+/// col2im: scatter-add of col gradient back to input layout.
+void col2im_add(const t::Tensor& dcol, const ConvDims& d, t::Tensor& dinput) {
+  const auto* pc = dcol.data().data();
+  auto* din = dinput.data().data();
+  const auto row_len = d.c * d.kh * d.kw;
+  for (std::int64_t n = 0; n < d.n; ++n) {
+    for (std::int64_t oy = 0; oy < d.oh; ++oy) {
+      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+        const auto row = (n * d.oh + oy) * d.ow + ox;
+        const double* src = pc + row * row_len;
+        for (std::int64_t c = 0; c < d.c; ++c) {
+          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+            const auto iy = oy * d.stride + ky - d.pad;
+            if (iy < 0 || iy >= d.h) continue;
+            for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+              const auto ix = ox * d.stride + kx - d.pad;
+              if (ix < 0 || ix >= d.w) continue;
+              din[((n * d.c + c) * d.h + iy) * d.w + ix] += src[(c * d.kh + ky) * d.kw + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Variable conv2d(const Variable& input, const Variable& weight, const Variable& bias,
+                std::int64_t stride, std::int64_t pad) {
+  const auto& x = input.value();
+  const auto& w = weight.value();
+  const auto& b = bias.value();
+  if (x.ndim() != 4 || w.ndim() != 4 || b.ndim() != 1) {
+    throw std::invalid_argument("conv2d: expected input [N,C,H,W], weight [F,C,KH,KW], bias [F]");
+  }
+  ConvDims d;
+  d.n = x.dim(0);
+  d.c = x.dim(1);
+  d.h = x.dim(2);
+  d.w = x.dim(3);
+  d.f = w.dim(0);
+  d.kh = w.dim(2);
+  d.kw = w.dim(3);
+  d.stride = stride;
+  d.pad = pad;
+  if (w.dim(1) != d.c) throw std::invalid_argument("conv2d: channel mismatch");
+  if (b.dim(0) != d.f) throw std::invalid_argument("conv2d: bias size mismatch");
+  if (stride < 1) throw std::invalid_argument("conv2d: stride must be >= 1");
+  d.oh = (d.h + 2 * pad - d.kh) / stride + 1;
+  d.ow = (d.w + 2 * pad - d.kw) / stride + 1;
+  if (d.oh < 1 || d.ow < 1) throw std::invalid_argument("conv2d: kernel larger than padded input");
+
+  t::Tensor col = im2col(x, d);                                     // [N*OH*OW, CKK]
+  t::Tensor wmat = w.clone().reshape({d.f, d.c * d.kh * d.kw});     // [F, CKK]
+  t::Tensor outmat = t::matmul(col, t::transpose(wmat));            // [N*OH*OW, F]
+  // Add bias and transpose to NCHW.
+  t::Tensor out(t::Shape{d.n, d.f, d.oh, d.ow});
+  for (std::int64_t n = 0; n < d.n; ++n)
+    for (std::int64_t oy = 0; oy < d.oh; ++oy)
+      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+        const auto row = (n * d.oh + oy) * d.ow + ox;
+        for (std::int64_t f = 0; f < d.f; ++f)
+          out[((n * d.f + f) * d.oh + oy) * d.ow + ox] = outmat[row * d.f + f] + b[f];
+      }
+
+  auto xn = input.node();
+  auto wn = weight.node();
+  auto bn = bias.node();
+  return make_op(
+      std::move(out), {xn, wn, bn},
+      [xn, wn, bn, d, col](Node& n) {
+        // Reassemble dOut into matrix form [N*OH*OW, F].
+        t::Tensor doutmat(t::Shape{d.n * d.oh * d.ow, d.f});
+        for (std::int64_t nn = 0; nn < d.n; ++nn)
+          for (std::int64_t oy = 0; oy < d.oh; ++oy)
+            for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+              const auto row = (nn * d.oh + oy) * d.ow + ox;
+              for (std::int64_t f = 0; f < d.f; ++f)
+                doutmat[row * d.f + f] = n.grad[((nn * d.f + f) * d.oh + oy) * d.ow + ox];
+            }
+        if (bn->requires_grad) bn->ensure_grad().add_(t::sum_rows(doutmat));
+        if (wn->requires_grad) {
+          t::Tensor dw = t::matmul(t::transpose(doutmat), col);  // [F, CKK]
+          wn->ensure_grad().add_(dw.reshape(wn->value.shape()));
+        }
+        if (xn->requires_grad) {
+          t::Tensor wmat = wn->value.clone().reshape({d.f, d.c * d.kh * d.kw});
+          t::Tensor dcol = t::matmul(doutmat, wmat);  // [N*OH*OW, CKK]
+          col2im_add(dcol, d, xn->ensure_grad());
+        }
+      },
+      "conv2d");
+}
+
+Variable batch_norm2d(const Variable& input, const Variable& gamma, const Variable& beta,
+                      double eps) {
+  const auto& x = input.value();
+  if (x.ndim() != 4) throw std::invalid_argument("batch_norm2d: expected [N,C,H,W]");
+  const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (gamma.value().ndim() != 1 || gamma.value().dim(0) != c || beta.value().ndim() != 1 ||
+      beta.value().dim(0) != c) {
+    throw std::invalid_argument("batch_norm2d: gamma/beta must be rank-1 of size C");
+  }
+  const auto m = n * h * w;  // elements per channel
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  // Channel statistics and normalized activations (cached for backward).
+  t::Tensor mean(t::Shape{c}), inv_std(t::Shape{c});
+  t::Tensor xhat(x.shape());
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t k = 0; k < h * w; ++k) s += x[(i * c + ch) * h * w + k];
+    const double mu = s * inv_m;
+    double var = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t k = 0; k < h * w; ++k) {
+        const double d = x[(i * c + ch) * h * w + k] - mu;
+        var += d * d;
+      }
+    var *= inv_m;
+    mean[ch] = mu;
+    inv_std[ch] = 1.0 / std::sqrt(var + eps);
+  }
+  t::Tensor out(x.shape());
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const double g = gamma.value()[ch], b = beta.value()[ch];
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t k = 0; k < h * w; ++k) {
+        const auto idx = (i * c + ch) * h * w + k;
+        xhat[idx] = (x[idx] - mean[ch]) * inv_std[ch];
+        out[idx] = g * xhat[idx] + b;
+      }
+  }
+
+  auto xn = input.node();
+  auto gn = gamma.node();
+  auto bn = beta.node();
+  return make_op(
+      std::move(out), {xn, gn, bn},
+      [xn, gn, bn, xhat, inv_std, n, c, h, w, inv_m](Node& node) {
+        // Standard BN backward; per channel:
+        //   dgamma = sum dy*xhat,  dbeta = sum dy,
+        //   dx = gamma*inv_std/m * (m*dy - dbeta - xhat*dgamma).
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          double dgamma = 0.0, dbeta = 0.0;
+          for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t k = 0; k < h * w; ++k) {
+              const auto idx = (i * c + ch) * h * w + k;
+              dgamma += node.grad[idx] * xhat[idx];
+              dbeta += node.grad[idx];
+            }
+          if (gn->requires_grad) gn->ensure_grad()[ch] += dgamma;
+          if (bn->requires_grad) bn->ensure_grad()[ch] += dbeta;
+          if (xn->requires_grad) {
+            auto& gx = xn->ensure_grad();
+            const double scale = gn->value[ch] * inv_std[ch] * inv_m;
+            const double mtotal = 1.0 / inv_m;
+            for (std::int64_t i = 0; i < n; ++i)
+              for (std::int64_t k = 0; k < h * w; ++k) {
+                const auto idx = (i * c + ch) * h * w + k;
+                gx[idx] += scale * (mtotal * node.grad[idx] - dbeta - xhat[idx] * dgamma);
+              }
+          }
+        }
+      },
+      "batch_norm2d");
+}
+
+Variable global_avg_pool(const Variable& input) {
+  const auto& x = input.value();
+  if (x.ndim() != 4) throw std::invalid_argument("global_avg_pool: expected [N,C,H,W]");
+  const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const double inv = 1.0 / static_cast<double>(h * w);
+  t::Tensor out(t::Shape{n, c});
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < c; ++j) {
+      double s = 0.0;
+      for (std::int64_t k = 0; k < h * w; ++k) s += x[(i * c + j) * h * w + k];
+      out[i * c + j] = s * inv;
+    }
+  auto xn = input.node();
+  return make_op(
+      std::move(out), {xn},
+      [xn, n, c, h, w, inv](Node& nn) {
+        if (!xn->requires_grad) return;
+        auto& g = xn->ensure_grad();
+        for (std::int64_t i = 0; i < n; ++i)
+          for (std::int64_t j = 0; j < c; ++j) {
+            const double gv = nn.grad[i * c + j] * inv;
+            for (std::int64_t k = 0; k < h * w; ++k) g[(i * c + j) * h * w + k] += gv;
+          }
+      },
+      "global_avg_pool");
+}
+
+Variable avg_pool2x2(const Variable& input) {
+  const auto& x = input.value();
+  if (x.ndim() != 4) throw std::invalid_argument("avg_pool2x2: expected [N,C,H,W]");
+  const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (h % 2 != 0 || w % 2 != 0) throw std::invalid_argument("avg_pool2x2: H and W must be even");
+  const auto oh = h / 2, ow = w / 2;
+  t::Tensor out(t::Shape{n, c, oh, ow});
+  for (std::int64_t i = 0; i < n * c; ++i)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        double s = 0.0;
+        for (std::int64_t dy = 0; dy < 2; ++dy)
+          for (std::int64_t dx = 0; dx < 2; ++dx)
+            s += x[(i * h + 2 * oy + dy) * w + 2 * ox + dx];
+        out[(i * oh + oy) * ow + ox] = s * 0.25;
+      }
+  auto xn = input.node();
+  return make_op(
+      std::move(out), {xn},
+      [xn, n, c, h, w, oh, ow](Node& nn) {
+        if (!xn->requires_grad) return;
+        auto& g = xn->ensure_grad();
+        for (std::int64_t i = 0; i < n * c; ++i)
+          for (std::int64_t oy = 0; oy < oh; ++oy)
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const double gv = nn.grad[(i * oh + oy) * ow + ox] * 0.25;
+              for (std::int64_t dy = 0; dy < 2; ++dy)
+                for (std::int64_t dx = 0; dx < 2; ++dx)
+                  g[(i * h + 2 * oy + dy) * w + 2 * ox + dx] += gv;
+            }
+      },
+      "avg_pool2x2");
+}
+
+}  // namespace yf::autograd

@@ -1,0 +1,78 @@
+// Differentiable operations over yf::autograd::Variable.
+//
+// Each op computes its value eagerly with yf::tensor and records a pullback
+// closure that scatters the output gradient into the parents. Ops taking
+// integer index arguments (embedding, cross-entropy labels) treat those as
+// non-differentiable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace yf::autograd {
+
+// -- Elementwise / scalar ops. -----------------------------------------------
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);  ///< elementwise
+Variable neg(const Variable& a);
+Variable add_scalar(const Variable& a, double s);
+Variable mul_scalar(const Variable& a, double s);
+Variable relu(const Variable& a);
+Variable tanh(const Variable& a);
+Variable sigmoid(const Variable& a);
+Variable exp(const Variable& a);
+Variable log(const Variable& a);   ///< natural log; caller guarantees positivity
+Variable square(const Variable& a);
+
+// -- Reductions. ----------------------------------------------------------------
+Variable sum(const Variable& a);   ///< scalar (1-element) output
+Variable mean(const Variable& a);  ///< scalar output
+
+// -- Shape ops. --------------------------------------------------------------
+Variable reshape(const Variable& a, tensor::Shape new_shape);
+/// Columns [col_begin, col_end) of a 2-D tensor.
+Variable slice_cols(const Variable& a, std::int64_t col_begin, std::int64_t col_end);
+/// Concatenate 2-D tensors along columns (all with equal row counts).
+Variable concat_cols(const std::vector<Variable>& parts);
+/// Stack rank-1 tensors (or 2-D [1,n] rows) into a 2-D tensor -- not needed;
+/// use concat_cols/reshape instead.
+
+// -- Linear algebra. -----------------------------------------------------------
+Variable matmul(const Variable& a, const Variable& b);
+/// Transpose of a 2-D variable.
+Variable transpose(const Variable& a);
+/// y[m,n] = a[m,n] + bias[n].
+Variable add_row_broadcast(const Variable& a, const Variable& bias);
+
+// -- Neural-net specific. ------------------------------------------------------
+/// Mean cross-entropy of logits [B, C] against integer labels (size B).
+/// Numerically stable log-sum-exp formulation.
+Variable softmax_cross_entropy(const Variable& logits, const std::vector<std::int64_t>& labels);
+
+/// Row-wise softmax probabilities (forward only helper; differentiable).
+Variable softmax(const Variable& logits);
+
+/// Embedding lookup: weight [V, E], indices (size B) -> output [B, E].
+Variable embedding(const Variable& weight, const std::vector<std::int64_t>& indices);
+
+/// 2-D convolution, NCHW. input [N, C, H, W], weight [F, C, KH, KW],
+/// bias [F]. Zero padding `pad` on all sides, square stride.
+Variable conv2d(const Variable& input, const Variable& weight, const Variable& bias,
+                std::int64_t stride, std::int64_t pad);
+
+/// Batch normalization over NCHW input using *batch* statistics (training
+/// mode): per channel c, y = gamma[c] * (x - mean_c)/sqrt(var_c + eps) +
+/// beta[c], where mean/var pool over N, H, W.
+Variable batch_norm2d(const Variable& input, const Variable& gamma, const Variable& beta,
+                      double eps = 1e-5);
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+Variable global_avg_pool(const Variable& input);
+
+/// 2x2 average pooling with stride 2 (H, W must be even): [N,C,H,W] -> [N,C,H/2,W/2].
+Variable avg_pool2x2(const Variable& input);
+
+}  // namespace yf::autograd

@@ -1,0 +1,87 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A `Variable` is a cheap handle onto a shared graph `Node`. Each forward
+// op allocates a fresh node whose `backward_fn` scatters the node's
+// gradient into its parents. Calling `Variable::backward()` on a scalar
+// output runs the tape in reverse topological order.
+//
+// Parameters are *leaf* variables (`requires_grad == true`, no parents);
+// their `.grad()` accumulates across backward calls until `zero_grad()`.
+// Intermediate nodes are freed automatically once the last Variable handle
+// referencing the forward graph goes out of scope, so per-step memory is
+// bounded by a single forward pass.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace yf::autograd {
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// A node in the dynamically-built computation graph.
+struct Node {
+  tensor::Tensor value;
+  tensor::Tensor grad;      ///< same shape as `value`; allocated lazily
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  std::vector<NodePtr> parents;
+  /// Propagates `this->grad` into `parents` (invoked once, in topo order).
+  std::function<void(Node&)> backward_fn;
+  std::string op_name = "leaf";
+
+  /// Ensure `grad` is allocated (zero-filled) and return it.
+  tensor::Tensor& ensure_grad();
+  /// Accumulate `g` into this node's gradient if it requires one.
+  void accumulate_grad(const tensor::Tensor& g);
+};
+
+/// Handle onto a graph node. Copying a Variable copies the handle, not the
+/// data.
+class Variable {
+ public:
+  /// Uninitialized (null) variable; most APIs reject it.
+  Variable() = default;
+
+  /// Leaf variable wrapping `value`.
+  explicit Variable(tensor::Tensor value, bool requires_grad = false);
+
+  /// Internal: wrap an existing node (used by ops).
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+
+  const tensor::Tensor& value() const;
+  tensor::Tensor& value();
+
+  /// Gradient of the last backward pass; zero tensor if none reached it.
+  const tensor::Tensor& grad() const;
+
+  bool requires_grad() const;
+
+  /// Reset accumulated gradient to zero (leaf parameters between steps).
+  void zero_grad();
+
+  /// Run reverse-mode AD from this (scalar) variable: seeds d(out)/d(out)=1.
+  void backward();
+
+  /// Run reverse-mode AD seeding with an explicit output gradient.
+  void backward(const tensor::Tensor& seed);
+
+  NodePtr node() const { return node_; }
+
+ private:
+  NodePtr node_;
+};
+
+/// Build a non-leaf variable from a computed value, parents, and pullback.
+/// The node requires grad iff any parent does.
+Variable make_op(tensor::Tensor value, std::vector<NodePtr> parents,
+                 std::function<void(Node&)> backward_fn, std::string op_name);
+
+}  // namespace yf::autograd

@@ -1,0 +1,38 @@
+#include "data/batching.hpp"
+
+#include <stdexcept>
+
+namespace yf::data {
+
+std::vector<std::int64_t> argmax_rows(const std::vector<double>& scores, std::int64_t rows,
+                                      std::int64_t cols) {
+  if (static_cast<std::int64_t>(scores.size()) != rows * cols) {
+    throw std::invalid_argument("argmax_rows: size mismatch");
+  }
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (scores[static_cast<std::size_t>(r * cols + c)] >
+          scores[static_cast<std::size_t>(r * cols + best)]) {
+        best = c;
+      }
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+double token_accuracy(const std::vector<std::int64_t>& predictions,
+                      const std::vector<std::int64_t>& targets) {
+  if (predictions.size() != targets.size() || targets.empty()) {
+    throw std::invalid_argument("token_accuracy: size mismatch or empty");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (predictions[i] == targets[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(targets.size());
+}
+
+}  // namespace yf::data

@@ -1,0 +1,17 @@
+// Small helpers shared by the token-stream datasets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace yf::data {
+
+/// Argmax of each row of a flat [rows, cols] score matrix.
+std::vector<std::int64_t> argmax_rows(const std::vector<double>& scores, std::int64_t rows,
+                                      std::int64_t cols);
+
+/// Token prediction accuracy between two equally-sized id arrays.
+double token_accuracy(const std::vector<std::int64_t>& predictions,
+                      const std::vector<std::int64_t>& targets);
+
+}  // namespace yf::data

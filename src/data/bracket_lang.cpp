@@ -1,0 +1,73 @@
+#include "data/bracket_lang.hpp"
+
+#include <stdexcept>
+
+namespace yf::data {
+
+BracketLang::BracketLang(const BracketLangConfig& cfg) : cfg_(cfg) {
+  if (cfg.labels < 1 || cfg.terminals < 1) {
+    throw std::invalid_argument("BracketLang: labels and terminals must be >= 1");
+  }
+}
+
+void BracketLang::expand(std::vector<std::int64_t>& out, std::int64_t depth,
+                         tensor::Rng& rng) const {
+  out.push_back(kOpen);
+  out.push_back(2 + rng.index(cfg_.labels));  // label
+  const std::int64_t children = 1 + rng.index(2);  // 1-2 children
+  for (std::int64_t c = 0; c < children; ++c) {
+    if (depth < cfg_.max_depth && rng.bernoulli(cfg_.branch_prob)) {
+      expand(out, depth + 1, rng);
+    } else {
+      out.push_back(2 + cfg_.labels + rng.index(cfg_.terminals));  // terminal leaf
+    }
+  }
+  out.push_back(kClose);
+}
+
+std::vector<std::int64_t> BracketLang::sample_tree(tensor::Rng& rng) const {
+  std::vector<std::int64_t> out;
+  expand(out, 0, rng);
+  return out;
+}
+
+std::vector<std::int64_t> BracketLang::sample_batch(std::int64_t batch,
+                                                    std::int64_t seq_len_plus1,
+                                                    tensor::Rng& rng) const {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(batch * seq_len_plus1));
+  std::vector<std::int64_t> stream;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    while (static_cast<std::int64_t>(stream.size()) < seq_len_plus1) {
+      const auto tree = sample_tree(rng);
+      stream.insert(stream.end(), tree.begin(), tree.end());
+    }
+    out.insert(out.end(), stream.begin(), stream.begin() + seq_len_plus1);
+    stream.erase(stream.begin(), stream.begin() + seq_len_plus1);
+  }
+  return out;
+}
+
+double BracketLang::bracket_f1(const std::vector<std::int64_t>& predictions,
+                               const std::vector<std::int64_t>& targets) {
+  if (predictions.size() != targets.size() || targets.empty()) {
+    throw std::invalid_argument("bracket_f1: size mismatch or empty");
+  }
+  // Micro-averaged F1 over the structural classes {OPEN, CLOSE}.
+  std::int64_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const bool pred_structural = predictions[i] == kOpen || predictions[i] == kClose;
+    const bool tgt_structural = targets[i] == kOpen || targets[i] == kClose;
+    if (pred_structural && tgt_structural && predictions[i] == targets[i]) {
+      ++tp;
+    } else if (pred_structural) {
+      ++fp;
+    } else if (tgt_structural) {
+      ++fn;
+    }
+  }
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  return denom > 0.0 ? 2.0 * static_cast<double>(tp) / denom : 0.0;
+}
+
+}  // namespace yf::data

@@ -1,0 +1,56 @@
+// BracketLang: synthetic "parsing as language modeling" corpus (WSJ sub).
+//
+// Random labelled trees are generated and linearized as token sequences
+//   OPEN label ... CLOSE
+// following Choe & Charniak's reduction of constituency parsing to
+// language modeling. The bracket-F1 substitute metric measures the LM's
+// next-token predictions restricted to structural (OPEN/CLOSE) positions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.hpp"
+
+namespace yf::data {
+
+struct BracketLangConfig {
+  std::int64_t labels = 8;      ///< nonterminal labels
+  std::int64_t terminals = 12;  ///< leaf tokens
+  std::int64_t max_depth = 4;
+  double branch_prob = 0.6;     ///< probability an expansion keeps branching
+  std::uint64_t seed = 0;
+};
+
+/// Token ids: 0 = OPEN, 1 = CLOSE, [2, 2+labels) = labels,
+/// [2+labels, 2+labels+terminals) = terminals.
+class BracketLang {
+ public:
+  explicit BracketLang(const BracketLangConfig& cfg);
+
+  std::int64_t vocab() const { return 2 + cfg_.labels + cfg_.terminals; }
+  static constexpr std::int64_t kOpen = 0;
+  static constexpr std::int64_t kClose = 1;
+
+  /// Sample one linearized tree (variable length).
+  std::vector<std::int64_t> sample_tree(tensor::Rng& rng) const;
+
+  /// Sample a fixed-size [batch, seq_len+1] block by concatenating trees
+  /// and chunking the stream, row-major.
+  std::vector<std::int64_t> sample_batch(std::int64_t batch, std::int64_t seq_len_plus1,
+                                         tensor::Rng& rng) const;
+
+  /// Bracket F1 substitute: micro-F1 of predicting the structural tokens
+  /// (OPEN/CLOSE) given predictions vs. targets over a flat token array.
+  static double bracket_f1(const std::vector<std::int64_t>& predictions,
+                           const std::vector<std::int64_t>& targets);
+
+  const BracketLangConfig& config() const { return cfg_; }
+
+ private:
+  void expand(std::vector<std::int64_t>& out, std::int64_t depth, tensor::Rng& rng) const;
+
+  BracketLangConfig cfg_;
+};
+
+}  // namespace yf::data

@@ -1,0 +1,37 @@
+#include "data/copy_translate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace yf::data {
+
+CopyTranslate::CopyTranslate(const CopyTranslateConfig& cfg) : cfg_(cfg) {
+  perm_.resize(static_cast<std::size_t>(cfg.vocab));
+  std::iota(perm_.begin(), perm_.end(), 0);
+  tensor::Rng rng(cfg.seed);
+  std::shuffle(perm_.begin(), perm_.end(), rng.engine());
+}
+
+TranslationBatch CopyTranslate::sample(std::int64_t batch, tensor::Rng& rng) const {
+  TranslationBatch b;
+  b.batch = batch;
+  b.src_len = cfg_.src_len;
+  b.tgt_len_plus1 = cfg_.src_len + 2;
+  b.src.resize(static_cast<std::size_t>(batch * b.src_len));
+  b.tgt.resize(static_cast<std::size_t>(batch * b.tgt_len_plus1));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    for (std::int64_t t = 0; t < b.src_len; ++t) {
+      b.src[static_cast<std::size_t>(i * b.src_len + t)] = rng.index(cfg_.vocab);
+    }
+    b.tgt[static_cast<std::size_t>(i * b.tgt_len_plus1)] = bos();
+    for (std::int64_t t = 0; t < b.src_len; ++t) {
+      const auto src_tok = b.src[static_cast<std::size_t>(i * b.src_len + (b.src_len - 1 - t))];
+      b.tgt[static_cast<std::size_t>(i * b.tgt_len_plus1 + 1 + t)] =
+          perm_[static_cast<std::size_t>(src_tok)];
+    }
+    b.tgt[static_cast<std::size_t>(i * b.tgt_len_plus1 + b.src_len + 1)] = eos();
+  }
+  return b;
+}
+
+}  // namespace yf::data

@@ -1,0 +1,49 @@
+// CopyTranslate: synthetic "translation" task for the seq2seq stability
+// experiments (Table 1 substitute).
+//
+// Source: random token sequence. Target: the source reversed and mapped
+// through a fixed random permutation of the vocabulary ("word-for-word
+// translation with reordering"), wrapped in BOS/EOS. Deterministic given
+// the source, so a seq2seq model can drive the loss toward zero -- and the
+// optimizer's stability (not the task ceiling) is what differentiates runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.hpp"
+
+namespace yf::data {
+
+struct CopyTranslateConfig {
+  std::int64_t vocab = 14;   ///< content tokens; BOS = vocab, EOS = vocab + 1
+  std::int64_t src_len = 8;
+  std::uint64_t seed = 0;    ///< fixes the permutation
+};
+
+struct TranslationBatch {
+  std::vector<std::int64_t> src;  ///< [B, src_len] row-major
+  std::vector<std::int64_t> tgt;  ///< [B, src_len + 2] row-major: BOS ... EOS
+  std::int64_t batch = 0;
+  std::int64_t src_len = 0;
+  std::int64_t tgt_len_plus1 = 0;  ///< src_len + 2 (BOS + tokens + EOS)
+};
+
+class CopyTranslate {
+ public:
+  explicit CopyTranslate(const CopyTranslateConfig& cfg);
+
+  TranslationBatch sample(std::int64_t batch, tensor::Rng& rng) const;
+
+  std::int64_t src_vocab() const { return cfg_.vocab; }
+  std::int64_t tgt_vocab() const { return cfg_.vocab + 2; }  ///< + BOS, EOS
+  std::int64_t bos() const { return cfg_.vocab; }
+  std::int64_t eos() const { return cfg_.vocab + 1; }
+  const std::vector<std::int64_t>& permutation() const { return perm_; }
+
+ private:
+  CopyTranslateConfig cfg_;
+  std::vector<std::int64_t> perm_;
+};
+
+}  // namespace yf::data

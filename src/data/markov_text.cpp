@@ -1,0 +1,49 @@
+#include "data/markov_text.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::data {
+
+MarkovText::MarkovText(const MarkovTextConfig& cfg) : cfg_(cfg) {
+  if (cfg.vocab < 2 || cfg.branching < 1) {
+    throw std::invalid_argument("MarkovText: vocab >= 2 and branching >= 1 required");
+  }
+  tensor::Rng rng(cfg.seed);
+  transitions_.assign(static_cast<std::size_t>(cfg.vocab),
+                      std::vector<double>(static_cast<std::size_t>(cfg.vocab), 0.0));
+  for (auto& row : transitions_) {
+    // `branching` heavy successors plus a small uniform floor.
+    for (std::int64_t b = 0; b < cfg.branching; ++b) {
+      const auto j = rng.index(cfg.vocab);
+      row[static_cast<std::size_t>(j)] += std::exp(rng.normal() / cfg.temperature);
+    }
+    double total = 0.0;
+    for (auto& w : row) {
+      w += 0.01;
+      total += w;
+    }
+    for (auto& w : row) w /= total;
+  }
+}
+
+std::vector<std::int64_t> MarkovText::sample_batch(std::int64_t batch,
+                                                   std::int64_t seq_len_plus1,
+                                                   tensor::Rng& rng) const {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(batch * seq_len_plus1));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::int64_t s = rng.index(cfg_.vocab);
+    for (std::int64_t t = 0; t < seq_len_plus1; ++t) {
+      out[static_cast<std::size_t>(b * seq_len_plus1 + t)] = s;
+      const auto& row = transitions_[static_cast<std::size_t>(s)];
+      s = rng.categorical({row.data(), row.size()});
+    }
+  }
+  return out;
+}
+
+const std::vector<double>& MarkovText::transition_row(std::int64_t symbol) const {
+  return transitions_.at(static_cast<std::size_t>(symbol));
+}
+
+}  // namespace yf::data

@@ -1,0 +1,55 @@
+#include "data/synth_cifar.hpp"
+
+#include <cmath>
+
+namespace yf::data {
+
+SynthCifar::SynthCifar(const SynthCifarConfig& cfg) : cfg_(cfg) {
+  tensor::Rng rng(cfg.seed);
+  prototypes_.reserve(static_cast<std::size_t>(cfg.classes));
+  for (std::int64_t k = 0; k < cfg.classes; ++k) {
+    tensor::Tensor proto(tensor::Shape{cfg.channels, cfg.height, cfg.width});
+    // Smooth prototypes: sum of a few random low-frequency sinusoids per
+    // channel, so classes differ across spatial frequencies.
+    for (std::int64_t c = 0; c < cfg.channels; ++c) {
+      const double fx = rng.uniform(0.5, 3.0), fy = rng.uniform(0.5, 3.0);
+      const double px = rng.uniform(0.0, 6.28), py = rng.uniform(0.0, 6.28);
+      const double amp = rng.uniform(0.5, 1.0);
+      for (std::int64_t y = 0; y < cfg.height; ++y) {
+        for (std::int64_t x = 0; x < cfg.width; ++x) {
+          const double u = static_cast<double>(x) / static_cast<double>(cfg.width);
+          const double v = static_cast<double>(y) / static_cast<double>(cfg.height);
+          proto.at({c, y, x}) =
+              amp * std::sin(2.0 * 3.14159265 * (fx * u) + px) *
+              std::cos(2.0 * 3.14159265 * (fy * v) + py);
+        }
+      }
+    }
+    prototypes_.push_back(std::move(proto));
+  }
+}
+
+ImageBatch SynthCifar::sample(std::int64_t batch, tensor::Rng& rng) const {
+  ImageBatch b;
+  b.images = tensor::Tensor(tensor::Shape{batch, cfg_.channels, cfg_.height, cfg_.width});
+  b.labels.resize(static_cast<std::size_t>(batch));
+  const auto pix = cfg_.channels * cfg_.height * cfg_.width;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const auto k = rng.index(cfg_.classes);
+    b.labels[static_cast<std::size_t>(i)] = k;
+    const auto& proto = prototypes_[static_cast<std::size_t>(k)];
+    const double gain = 1.0 + cfg_.jitter * rng.normal();
+    const double offset = cfg_.jitter * rng.normal();
+    for (std::int64_t j = 0; j < pix; ++j) {
+      b.images[i * pix + j] = gain * proto[j] + offset + cfg_.noise * rng.normal();
+    }
+  }
+  return b;
+}
+
+ImageBatch SynthCifar::validation_batch(std::int64_t batch, std::uint64_t seed) const {
+  tensor::Rng rng(seed);
+  return sample(batch, rng);
+}
+
+}  // namespace yf::data

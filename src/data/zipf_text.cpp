@@ -1,0 +1,48 @@
+#include "data/zipf_text.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::data {
+
+ZipfText::ZipfText(const ZipfTextConfig& cfg) : cfg_(cfg) {
+  if (cfg.vocab < 2) throw std::invalid_argument("ZipfText: vocab >= 2 required");
+  unigram_.resize(static_cast<std::size_t>(cfg.vocab));
+  double total = 0.0;
+  for (std::int64_t i = 0; i < cfg.vocab; ++i) {
+    unigram_[static_cast<std::size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), cfg.zipf_exponent);
+    total += unigram_[static_cast<std::size_t>(i)];
+  }
+  for (auto& p : unigram_) p /= total;
+
+  tensor::Rng rng(cfg.seed);
+  successors_.resize(static_cast<std::size_t>(cfg.vocab));
+  for (auto& list : successors_) {
+    list.resize(static_cast<std::size_t>(cfg.successors));
+    for (auto& s : list) s = rng.categorical({unigram_.data(), unigram_.size()});
+  }
+}
+
+std::int64_t ZipfText::next_token(std::int64_t prev, tensor::Rng& rng) const {
+  if (rng.bernoulli(cfg_.bigram_weight)) {
+    const auto& list = successors_[static_cast<std::size_t>(prev)];
+    return list[static_cast<std::size_t>(rng.index(static_cast<std::int64_t>(list.size())))];
+  }
+  return rng.categorical({unigram_.data(), unigram_.size()});
+}
+
+std::vector<std::int64_t> ZipfText::sample_batch(std::int64_t batch, std::int64_t seq_len_plus1,
+                                                 tensor::Rng& rng) const {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(batch * seq_len_plus1));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::int64_t s = rng.categorical({unigram_.data(), unigram_.size()});
+    for (std::int64_t t = 0; t < seq_len_plus1; ++t) {
+      out[static_cast<std::size_t>(b * seq_len_plus1 + t)] = s;
+      s = next_token(s, rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace yf::data

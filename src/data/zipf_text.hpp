@@ -1,0 +1,44 @@
+// ZipfText: word-level corpus substitute for Penn TreeBank.
+//
+// Mixture of a Zipfian unigram distribution and a deterministic-ish bigram
+// table: with probability `bigram_weight` the next word comes from the
+// previous word's (Zipf-weighted) successor list, otherwise from the global
+// Zipf marginal. Gives the heavy-tailed vocabulary statistics that make
+// word-level LM gradients bursty -- the optimizer-facing property of PTB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.hpp"
+
+namespace yf::data {
+
+struct ZipfTextConfig {
+  std::int64_t vocab = 200;
+  double zipf_exponent = 1.1;
+  double bigram_weight = 0.7;
+  std::int64_t successors = 4;  ///< successor list length per word
+  std::uint64_t seed = 0;
+};
+
+class ZipfText {
+ public:
+  explicit ZipfText(const ZipfTextConfig& cfg);
+
+  /// Sample a [batch, seq_len+1] token block, row-major.
+  std::vector<std::int64_t> sample_batch(std::int64_t batch, std::int64_t seq_len_plus1,
+                                         tensor::Rng& rng) const;
+
+  const std::vector<double>& unigram() const { return unigram_; }
+  const ZipfTextConfig& config() const { return cfg_; }
+
+ private:
+  std::int64_t next_token(std::int64_t prev, tensor::Rng& rng) const;
+
+  ZipfTextConfig cfg_;
+  std::vector<double> unigram_;                        ///< Zipf marginal
+  std::vector<std::vector<std::int64_t>> successors_;  ///< per-word successor list
+};
+
+}  // namespace yf::data

@@ -1,0 +1,4 @@
+#include "nn/activations.hpp"
+
+// Intentionally empty: activations are inline re-exports of autograd ops.
+// This TU exists so the build graph has a stable object for the header.

@@ -1,0 +1,14 @@
+// Stateless activation helpers re-exported at the nn level, so model code
+// reads uniformly (nn::relu(x), nn::tanh(x), ...).
+#pragma once
+
+#include "autograd/ops.hpp"
+
+namespace yf::nn {
+
+using autograd::relu;
+using autograd::sigmoid;
+using autograd::softmax;
+using autograd::tanh;
+
+}  // namespace yf::nn

@@ -1,0 +1,16 @@
+#include "nn/batchnorm.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace yf::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, double eps) : eps_(eps) {
+  gamma = register_parameter("gamma", tensor::Tensor::ones({channels}));
+  beta = register_parameter("beta", tensor::Tensor::zeros({channels}));
+}
+
+autograd::Variable BatchNorm2d::forward(const autograd::Variable& x) const {
+  return autograd::batch_norm2d(x, gamma, beta, eps_);
+}
+
+}  // namespace yf::nn

@@ -1,0 +1,21 @@
+#include "nn/conv.hpp"
+
+#include "autograd/ops.hpp"
+#include "nn/init.hpp"
+
+namespace yf::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, tensor::Rng& rng)
+    : stride_(stride), pad_(pad) {
+  const auto fan_in = in_channels * kernel * kernel;
+  weight = register_parameter(
+      "weight", init::he_normal({out_channels, in_channels, kernel, kernel}, fan_in, rng));
+  bias = register_parameter("bias", tensor::Tensor::zeros({out_channels}));
+}
+
+autograd::Variable Conv2d::forward(const autograd::Variable& x) const {
+  return autograd::conv2d(x, weight, bias, stride_, pad_);
+}
+
+}  // namespace yf::nn

@@ -1,0 +1,22 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace yf::nn::init {
+
+tensor::Tensor xavier_uniform(tensor::Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                              tensor::Rng& rng, double gain) {
+  const double a = gain * std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return rng.uniform_tensor(std::move(shape), -a, a);
+}
+
+tensor::Tensor he_normal(tensor::Shape shape, std::int64_t fan_in, tensor::Rng& rng, double gain) {
+  const double stddev = gain * std::sqrt(2.0 / static_cast<double>(fan_in));
+  return rng.normal_tensor(std::move(shape), 0.0, stddev);
+}
+
+tensor::Tensor normal(tensor::Shape shape, double stddev, tensor::Rng& rng) {
+  return rng.normal_tensor(std::move(shape), 0.0, stddev);
+}
+
+}  // namespace yf::nn::init

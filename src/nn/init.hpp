@@ -1,0 +1,20 @@
+// Weight initialization schemes (Glorot/Xavier, He) used by all layers.
+#pragma once
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace yf::nn::init {
+
+/// Xavier/Glorot uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+tensor::Tensor xavier_uniform(tensor::Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                              tensor::Rng& rng, double gain = 1.0);
+
+/// He normal: N(0, sqrt(2 / fan_in)); standard for ReLU networks.
+tensor::Tensor he_normal(tensor::Shape shape, std::int64_t fan_in, tensor::Rng& rng,
+                         double gain = 1.0);
+
+/// Plain scaled normal N(0, stddev).
+tensor::Tensor normal(tensor::Shape shape, double stddev, tensor::Rng& rng);
+
+}  // namespace yf::nn::init

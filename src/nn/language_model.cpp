@@ -1,0 +1,82 @@
+#include "nn/language_model.hpp"
+
+#include <stdexcept>
+
+#include "autograd/ops.hpp"
+
+namespace yf::nn {
+
+namespace ag = yf::autograd;
+
+LSTMLanguageModel::LSTMLanguageModel(const LanguageModelConfig& cfg, tensor::Rng& rng)
+    : cfg_(cfg) {
+  if (cfg.tie_weights && cfg.embed_dim != cfg.hidden) {
+    throw std::invalid_argument("LSTMLanguageModel: weight tying requires embed_dim == hidden");
+  }
+  embed_ = std::make_shared<Embedding>(cfg.vocab, cfg.embed_dim, rng);
+  lstm_ = std::make_shared<LSTM>(cfg.embed_dim, cfg.hidden, cfg.layers, rng, cfg.init_scale);
+  register_module("embed", embed_);
+  register_module("lstm", lstm_);
+  if (!cfg.tie_weights) {
+    out_ = std::make_shared<Linear>(cfg.hidden, cfg.vocab, rng);
+    register_module("out", out_);
+  }
+}
+
+autograd::Variable LSTMLanguageModel::logits(const std::vector<std::int64_t>& inputs,
+                                             std::int64_t batch, std::int64_t seq_len) const {
+  if (static_cast<std::int64_t>(inputs.size()) != batch * seq_len) {
+    throw std::invalid_argument("LSTMLanguageModel::logits: token count mismatch");
+  }
+  // Per-step embeddings: column t of the [B, T] token matrix.
+  std::vector<autograd::Variable> steps;
+  steps.reserve(static_cast<std::size_t>(seq_len));
+  for (std::int64_t t = 0; t < seq_len; ++t) {
+    std::vector<std::int64_t> col(static_cast<std::size_t>(batch));
+    for (std::int64_t b = 0; b < batch; ++b)
+      col[static_cast<std::size_t>(b)] = inputs[static_cast<std::size_t>(b * seq_len + t)];
+    steps.push_back(embed_->forward(col));
+  }
+  auto outputs = lstm_->forward(steps, nullptr);
+  // Concatenate step outputs along rows: [B*T, H] with row = b*T + t.
+  // concat via rows: build one [B*T, H] by stacking; use per-step projection
+  // then concat of logits keeps memory the same, so project per step.
+  std::vector<autograd::Variable> step_logits;
+  step_logits.reserve(outputs.size());
+  for (auto& h : outputs) {
+    if (out_) {
+      step_logits.push_back(out_->forward(h));
+    } else {
+      // Tied weights (Press & Wolf): logits = h @ E^T.
+      step_logits.push_back(ag::matmul(h, ag::transpose(embed_->weight)));
+    }
+  }
+  // Interleave rows so that row = b*T + t: concat columns of [B, V] steps
+  // then reshape [B, T*V] -> [B*T, V].
+  auto wide = ag::concat_cols(step_logits);  // [B, T*V]
+  return ag::reshape(wide, {batch * seq_len, cfg_.vocab});
+}
+
+autograd::Variable LSTMLanguageModel::loss(const std::vector<std::int64_t>& tokens,
+                                           std::int64_t batch,
+                                           std::int64_t seq_len_plus1) const {
+  const auto seq_len = seq_len_plus1 - 1;
+  if (seq_len < 1) throw std::invalid_argument("LSTMLanguageModel::loss: sequence too short");
+  if (static_cast<std::int64_t>(tokens.size()) != batch * seq_len_plus1) {
+    throw std::invalid_argument("LSTMLanguageModel::loss: token count mismatch");
+  }
+  std::vector<std::int64_t> inputs(static_cast<std::size_t>(batch * seq_len));
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(batch * seq_len));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t t = 0; t < seq_len; ++t) {
+      inputs[static_cast<std::size_t>(b * seq_len + t)] =
+          tokens[static_cast<std::size_t>(b * seq_len_plus1 + t)];
+      targets[static_cast<std::size_t>(b * seq_len + t)] =
+          tokens[static_cast<std::size_t>(b * seq_len_plus1 + t + 1)];
+    }
+  }
+  auto lg = logits(inputs, batch, seq_len);
+  return ag::softmax_cross_entropy(lg, targets);
+}
+
+}  // namespace yf::nn

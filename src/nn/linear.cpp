@@ -1,0 +1,24 @@
+#include "nn/linear.hpp"
+
+#include "autograd/ops.hpp"
+#include "nn/init.hpp"
+
+namespace yf::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, tensor::Rng& rng,
+               bool with_bias)
+    : in_(in_features), out_(out_features), with_bias_(with_bias) {
+  weight = register_parameter(
+      "weight", init::xavier_uniform({in_, out_}, in_, out_, rng));
+  if (with_bias_) {
+    bias = register_parameter("bias", tensor::Tensor::zeros({out_}));
+  }
+}
+
+autograd::Variable Linear::forward(const autograd::Variable& x) const {
+  auto y = autograd::matmul(x, weight);
+  if (with_bias_) y = autograd::add_row_broadcast(y, bias);
+  return y;
+}
+
+}  // namespace yf::nn

@@ -1,0 +1,27 @@
+// Fully-connected layer: y = x @ W + b, x: [B, in], W: [in, out], b: [out].
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
+
+namespace yf::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, tensor::Rng& rng,
+         bool with_bias = true);
+
+  autograd::Variable forward(const autograd::Variable& x) const;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+  autograd::Variable weight;  ///< [in, out]
+  autograd::Variable bias;    ///< [out]; undefined when constructed without bias
+
+ private:
+  std::int64_t in_, out_;
+  bool with_bias_;
+};
+
+}  // namespace yf::nn

@@ -1,0 +1,81 @@
+#include "nn/lstm.hpp"
+
+#include "autograd/ops.hpp"
+#include "nn/init.hpp"
+
+namespace yf::nn {
+
+namespace ag = yf::autograd;
+
+LSTMCell::LSTMCell(std::int64_t input_size, std::int64_t hidden_size, tensor::Rng& rng,
+                   double init_scale)
+    : input_(input_size), hidden_(hidden_size) {
+  w_x = register_parameter(
+      "w_x", init::xavier_uniform({input_, 4 * hidden_}, input_, hidden_, rng, init_scale));
+  w_h = register_parameter(
+      "w_h", init::xavier_uniform({hidden_, 4 * hidden_}, hidden_, hidden_, rng, init_scale));
+  tensor::Tensor bias = tensor::Tensor::zeros({4 * hidden_});
+  for (std::int64_t j = hidden_; j < 2 * hidden_; ++j) bias[j] = 1.0;  // forget gate
+  b = register_parameter("b", std::move(bias));
+}
+
+LSTMState LSTMCell::forward(const autograd::Variable& x, const LSTMState& prev) const {
+  // Fused pre-activation: z = x @ Wx + h @ Wh + b, split into 4 gates.
+  auto z = ag::add(ag::matmul(x, w_x), ag::matmul(prev.h, w_h));
+  z = ag::add_row_broadcast(z, b);
+  auto i = ag::sigmoid(ag::slice_cols(z, 0, hidden_));
+  auto f = ag::sigmoid(ag::slice_cols(z, hidden_, 2 * hidden_));
+  auto g = ag::tanh(ag::slice_cols(z, 2 * hidden_, 3 * hidden_));
+  auto o = ag::sigmoid(ag::slice_cols(z, 3 * hidden_, 4 * hidden_));
+  LSTMState next;
+  next.c = ag::add(ag::mul(f, prev.c), ag::mul(i, g));
+  next.h = ag::mul(o, ag::tanh(next.c));
+  return next;
+}
+
+LSTMState LSTMCell::zero_state(std::int64_t batch) const {
+  LSTMState s;
+  s.h = autograd::Variable(tensor::Tensor::zeros({batch, hidden_}));
+  s.c = autograd::Variable(tensor::Tensor::zeros({batch, hidden_}));
+  return s;
+}
+
+LSTM::LSTM(std::int64_t input_size, std::int64_t hidden_size, std::int64_t num_layers,
+           tensor::Rng& rng, double init_scale) {
+  for (std::int64_t l = 0; l < num_layers; ++l) {
+    auto cell = std::make_shared<LSTMCell>(l == 0 ? input_size : hidden_size, hidden_size, rng,
+                                           init_scale);
+    register_module("cell" + std::to_string(l), cell);
+    cells_.push_back(std::move(cell));
+  }
+}
+
+std::vector<autograd::Variable> LSTM::forward(const std::vector<autograd::Variable>& inputs,
+                                              std::vector<LSTMState>* states) const {
+  std::vector<LSTMState> local;
+  std::vector<LSTMState>& st = states ? *states : local;
+  if (st.empty()) {
+    const auto batch = inputs.empty() ? 1 : inputs.front().value().dim(0);
+    st = zero_states(batch);
+  }
+  std::vector<autograd::Variable> outputs;
+  outputs.reserve(inputs.size());
+  for (const auto& x : inputs) {
+    autograd::Variable layer_in = x;
+    for (std::size_t l = 0; l < cells_.size(); ++l) {
+      st[l] = cells_[l]->forward(layer_in, st[l]);
+      layer_in = st[l].h;
+    }
+    outputs.push_back(layer_in);
+  }
+  return outputs;
+}
+
+std::vector<LSTMState> LSTM::zero_states(std::int64_t batch) const {
+  std::vector<LSTMState> st;
+  st.reserve(cells_.size());
+  for (const auto& cell : cells_) st.push_back(cell->zero_state(batch));
+  return st;
+}
+
+}  // namespace yf::nn

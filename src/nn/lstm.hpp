@@ -1,0 +1,62 @@
+// LSTM cell and multi-layer unrolled LSTM (BPTT through autograd).
+//
+// Gate layout in the fused projection [B, 4H]: input | forget | cell | output
+// (i, f, g, o). Forget-gate bias is initialized to 1 per standard practice,
+// which the paper's LSTM experiments rely on for stable early training.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
+
+namespace yf::nn {
+
+struct LSTMState {
+  autograd::Variable h;  ///< [B, H]
+  autograd::Variable c;  ///< [B, H]
+};
+
+class LSTMCell : public Module {
+ public:
+  LSTMCell(std::int64_t input_size, std::int64_t hidden_size, tensor::Rng& rng,
+           double init_scale = 1.0);
+
+  /// One step: x [B, input] with previous state -> next state.
+  LSTMState forward(const autograd::Variable& x, const LSTMState& prev) const;
+
+  /// Zero state for batch size B (constant, non-differentiable).
+  LSTMState zero_state(std::int64_t batch) const;
+
+  std::int64_t hidden_size() const { return hidden_; }
+  std::int64_t input_size() const { return input_; }
+
+  autograd::Variable w_x;  ///< [input, 4H]
+  autograd::Variable w_h;  ///< [H, 4H]
+  autograd::Variable b;    ///< [4H]
+
+ private:
+  std::int64_t input_, hidden_;
+};
+
+/// Stack of LSTMCells applied over a token sequence.
+class LSTM : public Module {
+ public:
+  LSTM(std::int64_t input_size, std::int64_t hidden_size, std::int64_t num_layers,
+       tensor::Rng& rng, double init_scale = 1.0);
+
+  /// Run over a sequence of per-step inputs (each [B, input]); returns the
+  /// top-layer output at every step (each [B, H]) and the final states.
+  std::vector<autograd::Variable> forward(const std::vector<autograd::Variable>& inputs,
+                                          std::vector<LSTMState>* states) const;
+
+  std::vector<LSTMState> zero_states(std::int64_t batch) const;
+
+  std::int64_t num_layers() const { return static_cast<std::int64_t>(cells_.size()); }
+  const LSTMCell& cell(std::int64_t i) const { return *cells_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::vector<std::shared_ptr<LSTMCell>> cells_;
+};
+
+}  // namespace yf::nn

@@ -1,0 +1,84 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace yf::nn {
+
+std::vector<autograd::Variable> Module::parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, var] : named_parameters()) out.push_back(var);
+  return out;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  collect("", out);
+  return out;
+}
+
+std::int64_t Module::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p.value().size();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+autograd::Variable Module::register_parameter(std::string name, tensor::Tensor value) {
+  autograd::Variable v(std::move(value), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), v);
+  return v;
+}
+
+void Module::register_module(std::string name, std::shared_ptr<Module> child) {
+  if (!child) throw std::invalid_argument("register_module: null child '" + name + "'");
+  children_.emplace_back(std::move(name), std::move(child));
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, autograd::Variable>>& out) const {
+  for (const auto& [name, var] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+tensor::Tensor flatten_grads(const std::vector<autograd::Variable>& params) {
+  std::int64_t total = 0;
+  for (const auto& p : params) total += p.value().size();
+  tensor::Tensor flat(tensor::Shape{total});
+  std::int64_t off = 0;
+  for (const auto& p : params) {
+    const auto& g = p.grad();
+    for (std::int64_t i = 0; i < g.size(); ++i) flat[off + i] = g[i];
+    off += g.size();
+  }
+  return flat;
+}
+
+tensor::Tensor flatten_values(const std::vector<autograd::Variable>& params) {
+  std::int64_t total = 0;
+  for (const auto& p : params) total += p.value().size();
+  tensor::Tensor flat(tensor::Shape{total});
+  std::int64_t off = 0;
+  for (const auto& p : params) {
+    const auto& v = p.value();
+    for (std::int64_t i = 0; i < v.size(); ++i) flat[off + i] = v[i];
+    off += v.size();
+  }
+  return flat;
+}
+
+double grad_sq_norm(const std::vector<autograd::Variable>& params) {
+  double s = 0.0;
+  for (const auto& p : params) {
+    for (double g : p.grad().data()) s += g * g;
+  }
+  return s;
+}
+
+}  // namespace yf::nn

@@ -1,0 +1,61 @@
+// Module tree with a parameter registry, in the style of torch::nn.
+//
+// A Module owns named parameters (leaf autograd Variables) and named child
+// modules; `parameters()` flattens the subtree in registration order, which
+// gives optimizers and the YellowFin tuner a stable parameter ordering.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace yf::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;  // modules own parameters; no implicit copies
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its children, depth-first, in
+  /// registration order. Variable handles share storage with the module.
+  std::vector<autograd::Variable> parameters() const;
+
+  /// Same as parameters(), with dotted path names ("encoder.cell0.w_x").
+  std::vector<std::pair<std::string, autograd::Variable>> named_parameters() const;
+
+  /// Total scalar parameter count.
+  std::int64_t parameter_count() const;
+
+  /// Zero every parameter gradient (call between optimizer steps).
+  void zero_grad();
+
+ protected:
+  /// Register a leaf parameter; returns the Variable handle to keep.
+  autograd::Variable register_parameter(std::string name, tensor::Tensor value);
+
+  /// Register a child module (shared ownership).
+  void register_module(std::string name, std::shared_ptr<Module> child);
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, autograd::Variable>>& out) const;
+
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+};
+
+/// Flatten all parameter gradients into one rank-1 tensor (tuner input).
+tensor::Tensor flatten_grads(const std::vector<autograd::Variable>& params);
+
+/// Flatten all parameter values into one rank-1 tensor.
+tensor::Tensor flatten_values(const std::vector<autograd::Variable>& params);
+
+/// Squared L2 norm over all parameter gradients.
+double grad_sq_norm(const std::vector<autograd::Variable>& params);
+
+}  // namespace yf::nn

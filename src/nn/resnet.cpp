@@ -1,0 +1,71 @@
+#include "nn/resnet.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace yf::nn {
+
+namespace ag = yf::autograd;
+
+ResidualBlock::ResidualBlock(std::int64_t in_ch, std::int64_t out_ch, bool downsample,
+                             tensor::Rng& rng, double residual_scale, bool with_batchnorm)
+    : downsample_(downsample), residual_scale_(residual_scale) {
+  const std::int64_t stride = downsample ? 2 : 1;
+  conv1_ = std::make_shared<Conv2d>(in_ch, out_ch, 3, stride, 1, rng);
+  conv2_ = std::make_shared<Conv2d>(out_ch, out_ch, 3, 1, 1, rng);
+  register_module("conv1", conv1_);
+  register_module("conv2", conv2_);
+  if (with_batchnorm) {
+    bn1_ = std::make_shared<BatchNorm2d>(out_ch);
+    bn2_ = std::make_shared<BatchNorm2d>(out_ch);
+    register_module("bn1", bn1_);
+    register_module("bn2", bn2_);
+  }
+  if (downsample || in_ch != out_ch) {
+    proj_ = std::make_shared<Conv2d>(in_ch, out_ch, 1, stride, 0, rng);
+    register_module("proj", proj_);
+  }
+}
+
+autograd::Variable ResidualBlock::forward(const autograd::Variable& x) const {
+  auto branch = conv1_->forward(x);
+  if (bn1_) branch = bn1_->forward(branch);
+  branch = conv2_->forward(ag::relu(branch));
+  if (bn2_) branch = bn2_->forward(branch);
+  if (!bn1_) branch = ag::mul_scalar(branch, residual_scale_);
+  auto skip = proj_ ? proj_->forward(x) : x;
+  return ag::relu(ag::add(skip, branch));
+}
+
+MiniResNet::MiniResNet(const MiniResNetConfig& cfg, tensor::Rng& rng) {
+  stem_ = std::make_shared<Conv2d>(cfg.in_channels, cfg.base_channels, 3, 1, 1, rng);
+  register_module("stem", stem_);
+  if (cfg.with_batchnorm) {
+    stem_bn_ = std::make_shared<BatchNorm2d>(cfg.base_channels);
+    register_module("stem_bn", stem_bn_);
+  }
+  std::int64_t ch = cfg.base_channels;
+  std::int64_t idx = 0;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (std::int64_t b = 0; b < cfg.blocks_per_stage; ++b) {
+      const bool down = stage > 0 && b == 0;
+      const std::int64_t out_ch = down ? ch * 2 : ch;
+      auto block = std::make_shared<ResidualBlock>(ch, out_ch, down, rng, cfg.residual_scale,
+                                                   cfg.with_batchnorm);
+      register_module("block" + std::to_string(idx++), block);
+      blocks_.push_back(std::move(block));
+      ch = out_ch;
+    }
+  }
+  head_ = std::make_shared<Linear>(ch, cfg.num_classes, rng);
+  register_module("head", head_);
+}
+
+autograd::Variable MiniResNet::forward(const autograd::Variable& images) const {
+  auto x = stem_->forward(images);
+  if (stem_bn_) x = stem_bn_->forward(x);
+  x = ag::relu(x);
+  for (const auto& block : blocks_) x = block->forward(x);
+  return head_->forward(ag::global_avg_pool(x));
+}
+
+}  // namespace yf::nn

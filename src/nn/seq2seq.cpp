@@ -1,0 +1,94 @@
+#include "nn/seq2seq.hpp"
+
+#include <stdexcept>
+
+#include "autograd/ops.hpp"
+
+namespace yf::nn {
+
+namespace ag = yf::autograd;
+
+Seq2Seq::Seq2Seq(const Seq2SeqConfig& cfg, tensor::Rng& rng) : cfg_(cfg) {
+  src_embed_ = std::make_shared<Embedding>(cfg.src_vocab, cfg.embed_dim, rng);
+  tgt_embed_ = std::make_shared<Embedding>(cfg.tgt_vocab, cfg.embed_dim, rng);
+  encoder_ = std::make_shared<LSTM>(cfg.embed_dim, cfg.hidden, cfg.layers, rng, cfg.init_scale);
+  decoder_ = std::make_shared<LSTM>(cfg.embed_dim, cfg.hidden, cfg.layers, rng, cfg.init_scale);
+  out_ = std::make_shared<Linear>(cfg.hidden, cfg.tgt_vocab, rng);
+  register_module("src_embed", src_embed_);
+  register_module("tgt_embed", tgt_embed_);
+  register_module("encoder", encoder_);
+  register_module("decoder", decoder_);
+  register_module("out", out_);
+}
+
+autograd::Variable Seq2Seq::decode_logits(const std::vector<std::int64_t>& src,
+                                          std::int64_t src_len,
+                                          const std::vector<std::int64_t>& tgt,
+                                          std::int64_t tgt_len_plus1,
+                                          std::int64_t batch) const {
+  if (static_cast<std::int64_t>(src.size()) != batch * src_len ||
+      static_cast<std::int64_t>(tgt.size()) != batch * tgt_len_plus1) {
+    throw std::invalid_argument("Seq2Seq: token buffer size mismatch");
+  }
+  const auto tgt_len = tgt_len_plus1 - 1;
+  // Encode source; decoder starts from the encoder's final states.
+  std::vector<autograd::Variable> enc_steps;
+  enc_steps.reserve(static_cast<std::size_t>(src_len));
+  for (std::int64_t t = 0; t < src_len; ++t) {
+    std::vector<std::int64_t> col(static_cast<std::size_t>(batch));
+    for (std::int64_t b = 0; b < batch; ++b)
+      col[static_cast<std::size_t>(b)] = src[static_cast<std::size_t>(b * src_len + t)];
+    enc_steps.push_back(src_embed_->forward(col));
+  }
+  auto states = encoder_->zero_states(batch);
+  encoder_->forward(enc_steps, &states);
+
+  std::vector<autograd::Variable> dec_steps;
+  dec_steps.reserve(static_cast<std::size_t>(tgt_len));
+  for (std::int64_t t = 0; t < tgt_len; ++t) {
+    std::vector<std::int64_t> col(static_cast<std::size_t>(batch));
+    for (std::int64_t b = 0; b < batch; ++b)
+      col[static_cast<std::size_t>(b)] = tgt[static_cast<std::size_t>(b * tgt_len_plus1 + t)];
+    dec_steps.push_back(tgt_embed_->forward(col));
+  }
+  auto dec_out = decoder_->forward(dec_steps, &states);
+  std::vector<autograd::Variable> step_logits;
+  step_logits.reserve(dec_out.size());
+  for (auto& h : dec_out) step_logits.push_back(out_->forward(h));
+  auto wide = ag::concat_cols(step_logits);  // [B, T*V]
+  return ag::reshape(wide, {batch * tgt_len, cfg_.tgt_vocab});
+}
+
+autograd::Variable Seq2Seq::loss(const std::vector<std::int64_t>& src, std::int64_t src_len,
+                                 const std::vector<std::int64_t>& tgt,
+                                 std::int64_t tgt_len_plus1, std::int64_t batch) const {
+  const auto tgt_len = tgt_len_plus1 - 1;
+  auto lg = decode_logits(src, src_len, tgt, tgt_len_plus1, batch);
+  std::vector<std::int64_t> targets(static_cast<std::size_t>(batch * tgt_len));
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t t = 0; t < tgt_len; ++t)
+      targets[static_cast<std::size_t>(b * tgt_len + t)] =
+          tgt[static_cast<std::size_t>(b * tgt_len_plus1 + t + 1)];
+  return ag::softmax_cross_entropy(lg, targets);
+}
+
+double Seq2Seq::token_accuracy(const std::vector<std::int64_t>& src, std::int64_t src_len,
+                               const std::vector<std::int64_t>& tgt,
+                               std::int64_t tgt_len_plus1, std::int64_t batch) const {
+  const auto tgt_len = tgt_len_plus1 - 1;
+  auto lg = decode_logits(src, src_len, tgt, tgt_len_plus1, batch);
+  const auto& v = lg.value();
+  std::int64_t correct = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t t = 0; t < tgt_len; ++t) {
+      const auto row = b * tgt_len + t;
+      std::int64_t best = 0;
+      for (std::int64_t j = 1; j < cfg_.tgt_vocab; ++j)
+        if (v[row * cfg_.tgt_vocab + j] > v[row * cfg_.tgt_vocab + best]) best = j;
+      if (best == tgt[static_cast<std::size_t>(b * tgt_len_plus1 + t + 1)]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch * tgt_len);
+}
+
+}  // namespace yf::nn

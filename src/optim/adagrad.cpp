@@ -1,0 +1,26 @@
+#include "optim/adagrad.hpp"
+
+#include <cmath>
+
+namespace yf::optim {
+
+AdaGrad::AdaGrad(std::vector<autograd::Variable> params, double lr, double eps)
+    : Optimizer(std::move(params)), lr_(lr), eps_(eps) {
+  accum_.reserve(params_.size());
+  for (const auto& p : params_) accum_.push_back(tensor::Tensor::zeros(p.value().shape()));
+}
+
+void AdaGrad::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& a = accum_[i];
+    const auto& g = params_[i].grad();
+    auto& x = params_[i].value();
+    for (std::int64_t j = 0; j < g.size(); ++j) {
+      a[j] += g[j] * g[j];
+      x[j] -= lr_ * g[j] / (std::sqrt(a[j]) + eps_);
+    }
+  }
+  ++iteration_;
+}
+
+}  // namespace yf::optim

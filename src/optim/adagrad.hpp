@@ -1,0 +1,23 @@
+// AdaGrad (Duchi et al., 2011); WSJ baseline in Fig. 5.
+#pragma once
+
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace yf::optim {
+
+class AdaGrad : public Optimizer {
+ public:
+  AdaGrad(std::vector<autograd::Variable> params, double lr, double eps = 1e-10);
+
+  void step() override;
+  std::string name() const override { return "adagrad"; }
+  double lr() const override { return lr_; }
+  void set_lr(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_, eps_;
+  std::vector<tensor::Tensor> accum_;
+};
+
+}  // namespace yf::optim

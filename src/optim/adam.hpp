@@ -1,0 +1,30 @@
+// Adam (Kingma & Ba, 2014): the primary hand-tuned baseline of the paper.
+//
+// beta1 is deliberately allowed in (-1, 1): Fig. 10 sweeps Adam's momentum
+// beta1 over {-0.2, 0.0, 0.3, 0.5, 0.7, 0.9} under asynchrony.
+#pragma once
+
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace yf::optim {
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+
+  void step() override;
+  std::string name() const override { return "adam"; }
+  double lr() const override { return lr_; }
+  void set_lr(double lr) override { lr_ = lr; }
+
+  double beta1() const { return beta1_; }
+  void set_beta1(double b1) { beta1_ = b1; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::vector<tensor::Tensor> m_, v_;
+};
+
+}  // namespace yf::optim

@@ -1,0 +1,30 @@
+#include "optim/clipping.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::optim {
+
+double global_grad_norm(const std::vector<autograd::Variable>& params) {
+  double sq = 0.0;
+  for (const auto& p : params) {
+    for (double g : p.grad().data()) sq += g * g;
+  }
+  return std::sqrt(sq);
+}
+
+double clip_grad_norm(std::vector<autograd::Variable>& params, double max_norm) {
+  if (max_norm <= 0.0) throw std::invalid_argument("clip_grad_norm: max_norm must be positive");
+  const double norm = global_grad_norm(params);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (auto& p : params) {
+      // grad() is const-ref; mutate via node to keep the public API const-safe.
+      auto g = p.node()->ensure_grad().data();
+      for (auto& x : g) x *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace yf::optim

@@ -1,0 +1,18 @@
+// Gradient norm clipping (Pascanu et al., 2013), the manually-tuned
+// baseline that adaptive clipping (Appendix F) replaces.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace yf::optim {
+
+/// Global L2 norm over all parameter gradients.
+double global_grad_norm(const std::vector<autograd::Variable>& params);
+
+/// Scale all gradients so the global norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(std::vector<autograd::Variable>& params, double max_norm);
+
+}  // namespace yf::optim

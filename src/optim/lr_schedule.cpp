@@ -1,0 +1,12 @@
+#include "optim/lr_schedule.hpp"
+
+#include <cmath>
+
+namespace yf::optim {
+
+double ExponentialDecaySchedule::factor(std::int64_t epoch) const {
+  const auto n = epoch > start_epoch_ ? epoch - start_epoch_ : 0;
+  return std::pow(decay_, static_cast<double>(n));
+}
+
+}  // namespace yf::optim

@@ -1,0 +1,36 @@
+// Epoch-indexed learning-rate schedules used by the paper's protocols:
+// TS decays by 0.97 every epoch; WSJ decays by 0.9 per epoch after epoch 14
+// (Appendix I). Schedules return a multiplicative factor on the base lr.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace yf::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Multiplicative factor applied to the base learning rate at `epoch`.
+  virtual double factor(std::int64_t epoch) const = 0;
+};
+
+/// factor == 1 forever.
+class ConstantSchedule : public LrSchedule {
+ public:
+  double factor(std::int64_t) const override { return 1.0; }
+};
+
+/// factor = decay^max(0, epoch - start_epoch).
+class ExponentialDecaySchedule : public LrSchedule {
+ public:
+  ExponentialDecaySchedule(double decay, std::int64_t start_epoch = 0)
+      : decay_(decay), start_epoch_(start_epoch) {}
+  double factor(std::int64_t epoch) const override;
+
+ private:
+  double decay_;
+  std::int64_t start_epoch_;
+};
+
+}  // namespace yf::optim

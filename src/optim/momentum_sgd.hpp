@@ -1,0 +1,38 @@
+// Polyak momentum SGD (Eq. 1 of the paper) and its Nesterov variant.
+//
+//   v_{t+1} = mu * v_t - lr * g_t
+//   x_{t+1} = x_t + v_{t+1}            (equivalently Eq. 1 for constant lr)
+//
+// Exposes set_momentum() so that (a) YellowFin can drive it, and (b) the
+// closed-loop controller can lower algorithmic momentum under asynchrony.
+#pragma once
+
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace yf::optim {
+
+class MomentumSGD : public Optimizer {
+ public:
+  MomentumSGD(std::vector<autograd::Variable> params, double lr, double momentum,
+              bool nesterov = false);
+
+  void step() override;
+  std::string name() const override { return nesterov_ ? "nesterov_sgd" : "momentum_sgd"; }
+  double lr() const override { return lr_; }
+  void set_lr(double lr) override { lr_ = lr; }
+
+  double momentum() const { return momentum_; }
+  void set_momentum(double mu) { momentum_ = mu; }
+
+  /// Velocity buffer for parameter slot i (tests & async introspection).
+  const tensor::Tensor& velocity(std::size_t i) const { return velocity_[i]; }
+
+ private:
+  double lr_;
+  double momentum_;
+  bool nesterov_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+}  // namespace yf::optim

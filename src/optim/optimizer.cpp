@@ -1,0 +1,20 @@
+#include "optim/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace yf::optim {
+
+Optimizer::Optimizer(std::vector<autograd::Variable> params) : params_(std::move(params)) {
+  if (params_.empty()) throw std::invalid_argument("Optimizer: empty parameter list");
+  for (const auto& p : params_) {
+    if (!p.requires_grad()) {
+      throw std::invalid_argument("Optimizer: parameter does not require grad");
+    }
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+}  // namespace yf::optim

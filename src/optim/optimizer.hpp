@@ -1,0 +1,45 @@
+// Optimizer base class: consumes parameter gradients, updates values.
+//
+// All optimizers in this library (including YellowFin) share this
+// interface, so experiment harnesses can swap them freely -- the "drop-in
+// replacement" property the paper's released implementations advertise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace yf::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Apply one update using the gradients currently stored on the params.
+  virtual void step() = 0;
+
+  /// Human-readable optimizer name for reports ("adam", "yellowfin", ...).
+  virtual std::string name() const = 0;
+
+  /// Current base learning rate (schedules and Fig. 11 factors hook here).
+  virtual double lr() const = 0;
+  virtual void set_lr(double lr) = 0;
+
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+  /// Number of step() calls so far.
+  std::int64_t iteration() const { return iteration_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+  std::int64_t iteration_ = 0;
+};
+
+}  // namespace yf::optim

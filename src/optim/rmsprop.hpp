@@ -1,0 +1,24 @@
+// RMSProp (Tieleman & Hinton, 2012).
+#pragma once
+
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace yf::optim {
+
+class RMSProp : public Optimizer {
+ public:
+  RMSProp(std::vector<autograd::Variable> params, double lr, double decay = 0.99,
+          double eps = 1e-8);
+
+  void step() override;
+  std::string name() const override { return "rmsprop"; }
+  double lr() const override { return lr_; }
+  void set_lr(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_, decay_, eps_;
+  std::vector<tensor::Tensor> sq_;
+};
+
+}  // namespace yf::optim

@@ -1,0 +1,13 @@
+#include "optim/sgd.hpp"
+
+namespace yf::optim {
+
+SGD::SGD(std::vector<autograd::Variable> params, double lr)
+    : Optimizer(std::move(params)), lr_(lr) {}
+
+void SGD::step() {
+  for (auto& p : params_) p.value().add_(p.grad(), -lr_);
+  ++iteration_;
+}
+
+}  // namespace yf::optim

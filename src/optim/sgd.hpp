@@ -1,0 +1,21 @@
+// Vanilla SGD: x <- x - lr * g. Baseline in the WSJ experiment (Fig. 5).
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace yf::optim {
+
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<autograd::Variable> params, double lr);
+
+  void step() override;
+  std::string name() const override { return "sgd"; }
+  double lr() const override { return lr_; }
+  void set_lr(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_;
+};
+
+}  // namespace yf::optim

@@ -1,0 +1,159 @@
+#include "sim/eigen_small.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::sim {
+
+SmallMatrix SmallMatrix::zero(std::size_t n) {
+  SmallMatrix m;
+  m.n = n;
+  m.a.assign(n * n, 0.0);
+  return m;
+}
+
+SmallMatrix SmallMatrix::identity(std::size_t n) {
+  SmallMatrix m = zero(n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+SmallMatrix matmul(const SmallMatrix& x, const SmallMatrix& y) {
+  if (x.n != y.n) throw std::invalid_argument("SmallMatrix matmul: size mismatch");
+  SmallMatrix out = SmallMatrix::zero(x.n);
+  for (std::size_t i = 0; i < x.n; ++i)
+    for (std::size_t k = 0; k < x.n; ++k) {
+      const double v = x(i, k);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < x.n; ++j) out(i, j) += v * y(k, j);
+    }
+  return out;
+}
+
+SmallMatrix matpow(const SmallMatrix& x, std::int64_t k) {
+  if (k < 0) throw std::invalid_argument("matpow: negative exponent");
+  SmallMatrix result = SmallMatrix::identity(x.n);
+  SmallMatrix base = x;
+  while (k > 0) {
+    if (k & 1) result = matmul(result, base);
+    base = matmul(base, base);
+    k >>= 1;
+  }
+  return result;
+}
+
+std::vector<double> matvec(const SmallMatrix& x, const std::vector<double>& v) {
+  if (v.size() != x.n) throw std::invalid_argument("matvec: size mismatch");
+  std::vector<double> out(x.n, 0.0);
+  for (std::size_t i = 0; i < x.n; ++i)
+    for (std::size_t j = 0; j < x.n; ++j) out[i] += x(i, j) * v[j];
+  return out;
+}
+
+SmallMatrix sub(const SmallMatrix& x, const SmallMatrix& y) {
+  if (x.n != y.n) throw std::invalid_argument("SmallMatrix sub: size mismatch");
+  SmallMatrix out = x;
+  for (std::size_t i = 0; i < x.a.size(); ++i) out.a[i] -= y.a[i];
+  return out;
+}
+
+std::vector<double> solve(const SmallMatrix& a_in, const std::vector<double>& b_in) {
+  const std::size_t n = a_in.n;
+  if (b_in.size() != n) throw std::invalid_argument("solve: size mismatch");
+  SmallMatrix a = a_in;
+  std::vector<double> b = b_in;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(piv, col))) piv = r;
+    if (std::abs(a(piv, col)) < 1e-14) throw std::runtime_error("solve: singular matrix");
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(piv, j), a(col, j));
+      std::swap(b[piv], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a(r, j) -= f * a(col, j);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= a(i, j) * z[j];
+    z[i] = s / a(i, i);
+  }
+  return z;
+}
+
+std::array<std::complex<double>, 2> quadratic_roots(double b, double c) {
+  const std::complex<double> disc = std::sqrt(std::complex<double>(b * b - 4.0 * c, 0.0));
+  return {(-b + disc) / 2.0, (-b - disc) / 2.0};
+}
+
+std::array<std::complex<double>, 3> cubic_roots(double a2, double a1, double a0) {
+  // Depress: x = y - a2/3 -> y^3 + p y + q = 0.
+  const double p = a1 - a2 * a2 / 3.0;
+  const double q = 2.0 * a2 * a2 * a2 / 27.0 - a2 * a1 / 3.0 + a0;
+  const std::complex<double> shift(-a2 / 3.0, 0.0);
+  // Cardano with complex arithmetic covers all sign cases uniformly.
+  const std::complex<double> inner =
+      std::sqrt(std::complex<double>(q * q / 4.0 + p * p * p / 27.0, 0.0));
+  std::complex<double> u = std::pow(-q / 2.0 + inner, 1.0 / 3.0);
+  if (std::abs(u) < 1e-300) u = std::pow(-q / 2.0 - inner, 1.0 / 3.0);
+  std::array<std::complex<double>, 3> roots;
+  const std::complex<double> omega(-0.5, std::sqrt(3.0) / 2.0);
+  std::complex<double> uk = u;
+  for (int k = 0; k < 3; ++k) {
+    const std::complex<double> y =
+        std::abs(uk) < 1e-300 ? std::complex<double>(0.0, 0.0) : uk - p / (3.0 * uk);
+    roots[static_cast<std::size_t>(k)] = y + shift;
+    uk *= omega;
+  }
+  return roots;
+}
+
+double spectral_radius(const SmallMatrix& m) {
+  if (m.n == 1) return std::abs(m(0, 0));
+  if (m.n == 2) {
+    const double tr = m(0, 0) + m(1, 1);
+    const double det = m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0);
+    const auto roots = quadratic_roots(-tr, det);
+    return std::max(std::abs(roots[0]), std::abs(roots[1]));
+  }
+  if (m.n == 3) {
+    // det(xI - M) = x^3 - tr x^2 + c1 x - det.
+    const double tr = m(0, 0) + m(1, 1) + m(2, 2);
+    const double c1 = m(0, 0) * m(1, 1) - m(0, 1) * m(1, 0) + m(0, 0) * m(2, 2) -
+                      m(0, 2) * m(2, 0) + m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1);
+    const double det = m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+                       m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+                       m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+    const auto roots = cubic_roots(-tr, c1, -det);
+    double r = 0.0;
+    for (const auto& z : roots) r = std::max(r, std::abs(z));
+    return r;
+  }
+  throw std::invalid_argument("spectral_radius: closed form only for n <= 3");
+}
+
+double spectral_radius_power_iteration(const SmallMatrix& m, std::int64_t iters) {
+  // rho(M) = lim ||M^k v||^{1/k}. Normalize periodically to avoid overflow.
+  std::vector<double> v(m.n, 0.0);
+  for (std::size_t i = 0; i < m.n; ++i) v[i] = 1.0 / std::sqrt(static_cast<double>(m.n) + i);
+  double log_scale = 0.0;
+  for (std::int64_t k = 0; k < iters; ++k) {
+    v = matvec(m, v);
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) return 0.0;
+    for (double& x : v) x /= norm;
+    log_scale += std::log(norm);
+  }
+  return std::exp(log_scale / static_cast<double>(iters));
+}
+
+}  // namespace yf::sim

@@ -1,0 +1,44 @@
+// Closed-form eigen machinery for the paper's 2x2 / 3x3 operators, plus a
+// power-iteration cross-check used by the tests.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <vector>
+
+namespace yf::sim {
+
+/// Dense row-major square matrix small enough to manipulate directly.
+struct SmallMatrix {
+  std::size_t n = 0;
+  std::vector<double> a;  ///< n*n row-major
+
+  static SmallMatrix zero(std::size_t n);
+  static SmallMatrix identity(std::size_t n);
+  double& operator()(std::size_t i, std::size_t j) { return a[i * n + j]; }
+  double operator()(std::size_t i, std::size_t j) const { return a[i * n + j]; }
+};
+
+SmallMatrix matmul(const SmallMatrix& x, const SmallMatrix& y);
+SmallMatrix matpow(const SmallMatrix& x, std::int64_t k);
+std::vector<double> matvec(const SmallMatrix& x, const std::vector<double>& v);
+SmallMatrix sub(const SmallMatrix& x, const SmallMatrix& y);
+
+/// Solve (n x n) linear system A z = b by Gaussian elimination with
+/// partial pivoting. Throws on (numerically) singular A.
+std::vector<double> solve(const SmallMatrix& a, const std::vector<double>& b);
+
+/// Roots of x^2 + bx + c (monic), possibly complex.
+std::array<std::complex<double>, 2> quadratic_roots(double b, double c);
+
+/// Roots of x^3 + a2 x^2 + a1 x + a0 (monic), possibly complex.
+std::array<std::complex<double>, 3> cubic_roots(double a2, double a1, double a0);
+
+/// Spectral radius via characteristic polynomial (exact for n <= 3).
+double spectral_radius(const SmallMatrix& m);
+
+/// Spectral radius estimate via power iteration on m (gram trick handles
+/// complex eigenvalues by iterating m^2 pairs); test cross-check only.
+double spectral_radius_power_iteration(const SmallMatrix& m, std::int64_t iters = 20000);
+
+}  // namespace yf::sim

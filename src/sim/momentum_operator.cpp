@@ -1,0 +1,44 @@
+#include "sim/momentum_operator.hpp"
+
+#include <cmath>
+
+namespace yf::sim {
+
+SmallMatrix momentum_operator(double alpha, double mu, double h) {
+  SmallMatrix a = SmallMatrix::zero(2);
+  a(0, 0) = 1.0 - alpha * h + mu;
+  a(0, 1) = -mu;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  return a;
+}
+
+SmallMatrix variance_operator(double alpha, double mu, double h) {
+  const double m = 1.0 - alpha * h + mu;
+  SmallMatrix b = SmallMatrix::zero(3);
+  b(0, 0) = m * m;
+  b(0, 1) = mu * mu;
+  b(0, 2) = -2.0 * mu * m;
+  b(1, 0) = 1.0;
+  b(2, 0) = m;
+  b(2, 2) = -mu;
+  return b;
+}
+
+double momentum_spectral_radius(double alpha, double mu, double h) {
+  // lambda = (m +- sqrt(m^2 - 4 mu)) / 2 with m = 1 - alpha h + mu.
+  const double m = 1.0 - alpha * h + mu;
+  const double disc = m * m - 4.0 * mu;
+  if (disc <= 0.0) {
+    // Complex pair: |lambda|^2 = det = mu.
+    return std::sqrt(std::max(mu, 0.0));
+  }
+  const double s = std::sqrt(disc);
+  return std::max(std::abs((m + s) / 2.0), std::abs((m - s) / 2.0));
+}
+
+double variance_spectral_radius(double alpha, double mu, double h) {
+  return spectral_radius(variance_operator(alpha, mu, h));
+}
+
+}  // namespace yf::sim

@@ -1,0 +1,21 @@
+// The momentum operator A_t (Eq. 5) and variance operator B (Eq. 12).
+#pragma once
+
+#include "sim/eigen_small.hpp"
+
+namespace yf::sim {
+
+/// 2x2 bias operator  A = [[1 - alpha h + mu, -mu], [1, 0]]  (Eq. 5/12).
+SmallMatrix momentum_operator(double alpha, double mu, double h);
+
+/// 3x3 variance operator B (Eq. 12).
+SmallMatrix variance_operator(double alpha, double mu, double h);
+
+/// rho(A): closed form from the quadratic lambda^2 - (1 - alpha h + mu)
+/// lambda + mu = 0 (Appendix A).
+double momentum_spectral_radius(double alpha, double mu, double h);
+
+/// rho(B) (Lemma 6 / Appendix C).
+double variance_spectral_radius(double alpha, double mu, double h);
+
+}  // namespace yf::sim

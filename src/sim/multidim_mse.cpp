@@ -1,0 +1,59 @@
+#include "sim/multidim_mse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/robust_region.hpp"
+
+namespace yf::sim {
+
+namespace {
+
+void check(const MultidimMseParams& p) {
+  if (p.h.empty() || p.h.size() != p.c.size() || p.h.size() != p.x0.size()) {
+    throw std::invalid_argument("MultidimMseParams: h, c, x0 must be equal non-zero length");
+  }
+}
+
+}  // namespace
+
+std::vector<double> multidim_exact_mse_curve(const MultidimMseParams& p, std::int64_t steps) {
+  check(p);
+  std::vector<double> total(static_cast<std::size_t>(steps), 0.0);
+  for (std::size_t d = 0; d < p.h.size(); ++d) {
+    MseParams scalar{p.alpha, p.mu, p.h[d], p.c[d], p.x0[d]};
+    const auto curve = exact_mse_curve(scalar, steps);
+    for (std::size_t t = 0; t < curve.size(); ++t) total[t] += curve[t];
+  }
+  return total;
+}
+
+std::vector<double> multidim_surrogate_mse_curve(const MultidimMseParams& p,
+                                                 std::int64_t steps) {
+  check(p);
+  double dist_sq = 0.0, c_total = 0.0;
+  for (std::size_t d = 0; d < p.h.size(); ++d) {
+    dist_sq += p.x0[d] * p.x0[d];
+    c_total += p.c[d];
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  const double denom = 1.0 - p.mu;
+  for (std::int64_t t = 1; t <= steps; ++t) {
+    const double mut = std::pow(p.mu, static_cast<double>(t));
+    const double var = denom > 1e-12 ? (1.0 - mut) * p.alpha * p.alpha * c_total / denom
+                                     : p.alpha * p.alpha * c_total * static_cast<double>(t);
+    out.push_back(mut * dist_sq + var);
+  }
+  return out;
+}
+
+bool all_directions_robust(const MultidimMseParams& p) {
+  check(p);
+  for (double h : p.h) {
+    if (!in_robust_region(p.alpha, p.mu, h)) return false;
+  }
+  return true;
+}
+
+}  // namespace yf::sim

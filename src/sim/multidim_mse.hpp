@@ -1,0 +1,40 @@
+// Multidimensional generalization of Lemma 5 (Appendix B): on a diagonal
+// quadratic, the momentum-SGD MSE dynamics decompose along the Hessian's
+// eigenvectors; the total E||x_t - x*||^2 is the sum of the per-direction
+// scalar recurrences, with per-direction gradient variance.
+//
+// This is exactly the model behind YellowFin's multidimensional surrogate
+// (Sec. 3.1): "the expectation of squared distance to x* decomposes into
+// independent scalar components along the eigenvectors of the Hessian; we
+// define gradient variance C as the sum along these eigenvectors".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/quadratic_mse.hpp"
+
+namespace yf::sim {
+
+struct MultidimMseParams {
+  double alpha = 0.0;
+  double mu = 0.0;
+  std::vector<double> h;   ///< per-direction curvatures (Hessian eigenvalues)
+  std::vector<double> c;   ///< per-direction gradient variances
+  std::vector<double> x0;  ///< per-direction initial distance to optimum
+};
+
+/// Exact E||x_{t+1} - x*||^2 for t = 0..steps-1: sum of Eq. 11 over
+/// eigen-directions.
+std::vector<double> multidim_exact_mse_curve(const MultidimMseParams& p, std::int64_t steps);
+
+/// Multidimensional robust-region surrogate (Sec. 3.1):
+///   mu^t ||x0||^2 + (1 - mu^t) alpha^2 C_total / (1 - mu),
+/// valid when every direction is inside the robust region.
+std::vector<double> multidim_surrogate_mse_curve(const MultidimMseParams& p,
+                                                 std::int64_t steps);
+
+/// True iff (alpha, mu) lies in the robust region for every curvature.
+bool all_directions_robust(const MultidimMseParams& p);
+
+}  // namespace yf::sim

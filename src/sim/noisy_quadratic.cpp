@@ -1,0 +1,33 @@
+#include "sim/noisy_quadratic.hpp"
+
+#include <stdexcept>
+
+namespace yf::sim {
+
+NoisyQuadratic::NoisyQuadratic(double h, std::vector<double> offsets)
+    : h_(h), offsets_(std::move(offsets)) {
+  if (h <= 0.0) throw std::invalid_argument("NoisyQuadratic: curvature must be > 0");
+  if (offsets_.empty()) throw std::invalid_argument("NoisyQuadratic: need >= 1 component");
+  double mean = 0.0;
+  for (double c : offsets_) mean += c;
+  mean /= static_cast<double>(offsets_.size());
+  for (double& c : offsets_) c -= mean;  // enforce sum c_i = 0
+}
+
+NoisyQuadratic NoisyQuadratic::symmetric(double h, double c) {
+  return NoisyQuadratic(h, {c, -c});
+}
+
+double NoisyQuadratic::gradient_variance() const {
+  double s = 0.0;
+  for (double c : offsets_) s += c * c;
+  s /= static_cast<double>(offsets_.size());
+  return h_ * h_ * s;
+}
+
+double NoisyQuadratic::stochastic_gradient(double x, tensor::Rng& rng) const {
+  const auto i = rng.index(static_cast<std::int64_t>(offsets_.size()));
+  return h_ * (x - offsets_[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace yf::sim

@@ -1,0 +1,42 @@
+// The noisy quadratic model of Section 3 (Eq. 10):
+//
+//   f(x) = (h/2) x^2 + C = (1/n) sum_i (h/2n') (x - c_i)^2-style components;
+//
+// we realize it with n symmetric offsets c_i (sum c_i = 0), so a minibatch
+// gradient is grad f_i(x) = h (x - c_i) -- an unbiased gradient of the
+// quadratic (h/2) x^2 with variance h^2 * mean(c_i^2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.hpp"
+
+namespace yf::sim {
+
+class NoisyQuadratic {
+ public:
+  /// `offsets` are the component centers c_i; their mean is subtracted so
+  /// the full-batch optimum is exactly 0.
+  NoisyQuadratic(double h, std::vector<double> offsets);
+
+  /// Symmetric two-component instance with gradient stddev h*c.
+  static NoisyQuadratic symmetric(double h, double c);
+
+  double curvature() const { return h_; }
+  /// Exact per-step gradient variance E[(grad_i - grad)^2] = h^2 mean(c^2).
+  double gradient_variance() const;
+
+  /// Full-batch gradient at x.
+  double gradient(double x) const { return h_ * x; }
+  /// Stochastic gradient: component chosen uniformly at random.
+  double stochastic_gradient(double x, tensor::Rng& rng) const;
+  /// Full-batch loss (optimum value 0).
+  double loss(double x) const { return 0.5 * h_ * x * x; }
+
+ private:
+  double h_;
+  std::vector<double> offsets_;
+};
+
+}  // namespace yf::sim

@@ -1,0 +1,90 @@
+#include "sim/quadratic_mse.hpp"
+
+#include <cmath>
+
+#include "sim/momentum_operator.hpp"
+#include "sim/noisy_quadratic.hpp"
+
+namespace yf::sim {
+
+std::vector<double> exact_mse_curve(const MseParams& p, std::int64_t steps) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  const SmallMatrix a = momentum_operator(p.alpha, p.mu, p.h);
+  const SmallMatrix b = variance_operator(p.alpha, p.mu, p.h);
+
+  // Bias: [xbar_{t+1}, xbar_t] = A [xbar_t, xbar_{t-1}], xbar_1 = xbar_0 = x0.
+  std::vector<double> bias_state = {p.x0, p.x0};
+  // Variance recurrence (Appendix B, Eq. 27):
+  //   [U_{t+1}, U_t, V_{t+1}]^T = B [U_t, U_{t-1}, V_t]^T + [alpha^2 C, 0, 0]^T,
+  // starting from U_1 = U_0 = V_1 = 0.
+  std::vector<double> var_state = {0.0, 0.0, 0.0};
+  const double inj = p.alpha * p.alpha * p.c;
+
+  for (std::int64_t t = 0; t < steps; ++t) {
+    // State currently holds (xbar_{t+1}, xbar_t) and (U_{t+1}, U_t, V_{t+1}).
+    bias_state = matvec(a, bias_state);
+    var_state = matvec(b, var_state);
+    var_state[0] += inj;
+    out.push_back(bias_state[0] * bias_state[0] + var_state[0]);
+  }
+  return out;
+}
+
+std::vector<double> surrogate_mse_curve(const MseParams& p, std::int64_t steps) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  const double rho_a = momentum_spectral_radius(p.alpha, p.mu, p.h);
+  const double rho_b = variance_spectral_radius(p.alpha, p.mu, p.h);
+  const double denom = 1.0 - rho_b;
+  for (std::int64_t t = 1; t <= steps; ++t) {
+    const double bias = std::pow(rho_a, 2.0 * static_cast<double>(t)) * p.x0 * p.x0;
+    const double var = denom > 1e-12
+                           ? (1.0 - std::pow(rho_b, static_cast<double>(t))) *
+                                 p.alpha * p.alpha * p.c / denom
+                           : p.alpha * p.alpha * p.c * static_cast<double>(t);
+    out.push_back(bias + var);
+  }
+  return out;
+}
+
+std::vector<double> robust_surrogate_mse_curve(const MseParams& p, std::int64_t steps) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  const double denom = 1.0 - p.mu;
+  for (std::int64_t t = 1; t <= steps; ++t) {
+    const double mut = std::pow(p.mu, static_cast<double>(t));
+    const double var = denom > 1e-12 ? (1.0 - mut) * p.alpha * p.alpha * p.c / denom
+                                     : p.alpha * p.alpha * p.c * static_cast<double>(t);
+    out.push_back(mut * p.x0 * p.x0 + var);
+  }
+  return out;
+}
+
+std::vector<double> monte_carlo_mse_curve(const MseParams& p, std::int64_t steps,
+                                          std::int64_t trials, std::uint64_t seed) {
+  // Two-component quadratic with matching gradient variance: h^2 c_off^2 = C.
+  const double c_off = std::sqrt(p.c) / p.h;
+  const NoisyQuadratic q = NoisyQuadratic::symmetric(p.h, c_off);
+  std::vector<double> acc(static_cast<std::size_t>(steps), 0.0);
+  for (std::int64_t trial = 0; trial < trials; ++trial) {
+    tensor::Rng rng(seed + static_cast<std::uint64_t>(trial));
+    double x_prev = p.x0;
+    double x = p.x0;  // x1 = x0, matching Lemma 5's initialization
+    for (std::int64_t t = 0; t < steps; ++t) {
+      const double g = q.stochastic_gradient(x, rng);
+      const double x_next = x - p.alpha * g + p.mu * (x - x_prev);
+      x_prev = x;
+      x = x_next;
+      acc[static_cast<std::size_t>(t)] += x * x;
+    }
+  }
+  for (double& v : acc) v /= static_cast<double>(trials);
+  return acc;
+}
+
+double single_step_objective(double mu, double alpha, double d, double c) {
+  return mu * d * d + alpha * alpha * c;
+}
+
+}  // namespace yf::sim

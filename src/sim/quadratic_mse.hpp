@@ -1,0 +1,40 @@
+// Lemma 5: exact mean-squared-error dynamics of momentum SGD on the noisy
+// scalar quadratic, and the asymptotic surrogates of Eqs. 13/14.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace yf::sim {
+
+struct MseParams {
+  double alpha;  ///< learning rate
+  double mu;     ///< momentum
+  double h;      ///< curvature
+  double c;      ///< gradient variance C
+  double x0;     ///< starting point (x1 = x0), optimum at 0
+};
+
+/// Exact E(x_{t+1} - x*)^2 for t = 0..steps-1 via Eq. 11:
+///   bias_t  = (e1^T A^t [x1, x0]^T)^2
+///   var_t   = alpha^2 C e1^T (I - B^t)(I - B)^{-1} e1
+/// computed with the recurrences of Appendix B (no matrix inversion in the
+/// loop; the variance recurrence is [U_{t+1}, U_t, V_{t+1}]^T update).
+std::vector<double> exact_mse_curve(const MseParams& p, std::int64_t steps);
+
+/// Surrogate of Eq. 13: rho(A)^{2t} x0^2 + (1 - rho(B)^t) alpha^2 C / (1 - rho(B)).
+std::vector<double> surrogate_mse_curve(const MseParams& p, std::int64_t steps);
+
+/// Robust-region surrogate of Eq. 14: mu^t x0^2 + (1 - mu^t) alpha^2 C/(1 - mu).
+std::vector<double> robust_surrogate_mse_curve(const MseParams& p, std::int64_t steps);
+
+/// Monte-Carlo estimate of the same curve by running momentum SGD on a
+/// symmetric two-component NoisyQuadratic; used to validate Lemma 5.
+std::vector<double> monte_carlo_mse_curve(const MseParams& p, std::int64_t steps,
+                                          std::int64_t trials, std::uint64_t seed);
+
+/// The one-step SingleStep objective value mu D^2 + alpha^2 C (Eq. 15),
+/// exposed for ablation benches comparing tuned vs. grid hyperparameters.
+double single_step_objective(double mu, double alpha, double d, double c);
+
+}  // namespace yf::sim

@@ -1,0 +1,40 @@
+#include "sim/robust_region.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::sim {
+
+bool in_robust_region(double alpha, double mu, double h, double rel_tol) {
+  if (mu < 0.0) return false;
+  const double s = std::sqrt(mu);
+  const double ah = alpha * h;
+  const double lo = (1.0 - s) * (1.0 - s);
+  const double hi = (1.0 + s) * (1.0 + s);
+  return lo * (1.0 - rel_tol) <= ah && ah <= hi * (1.0 + rel_tol);
+}
+
+LrInterval robust_lr_interval(double mu, double h) {
+  if (h <= 0.0) throw std::invalid_argument("robust_lr_interval: h must be > 0");
+  const double s = std::sqrt(mu);
+  return {(1.0 - s) * (1.0 - s) / h, (1.0 + s) * (1.0 + s) / h};
+}
+
+double optimal_momentum(double kappa) {
+  if (kappa < 1.0) throw std::invalid_argument("optimal_momentum: kappa must be >= 1");
+  const double r = (std::sqrt(kappa) - 1.0) / (std::sqrt(kappa) + 1.0);
+  return r * r;
+}
+
+NoiselessTuning tune_noiseless(double h_min, double h_max) {
+  if (!(h_min > 0.0) || h_max < h_min) {
+    throw std::invalid_argument("tune_noiseless: need h_max >= h_min > 0");
+  }
+  NoiselessTuning t;
+  t.mu = optimal_momentum(h_max / h_min);
+  const double s = 1.0 - std::sqrt(t.mu);
+  t.alpha = s * s / h_min;
+  return t;
+}
+
+}  // namespace yf::sim

@@ -1,0 +1,33 @@
+// The robust region (Lemma 3) and the noiseless tuning rule (Eqs. 2, 7, 9).
+#pragma once
+
+namespace yf::sim {
+
+/// Lemma 3 condition: (1 - sqrt(mu))^2 <= alpha * h <= (1 + sqrt(mu))^2.
+/// `rel_tol` loosens both boundaries relatively, so points that land on a
+/// boundary by construction (e.g. Eq. 9 / Eq. 15 at the extremal
+/// curvatures) are classified as inside despite rounding.
+bool in_robust_region(double alpha, double mu, double h, double rel_tol = 1e-9);
+
+/// Learning-rate interval [lo, hi] that keeps curvature h in the robust
+/// region at momentum mu (Eq. 7).
+struct LrInterval {
+  double lo;
+  double hi;
+};
+LrInterval robust_lr_interval(double mu, double h);
+
+/// Optimal momentum for condition number (or GCN) kappa (Eqs. 2, 9):
+/// mu* = ((sqrt(kappa) - 1) / (sqrt(kappa) + 1))^2.
+double optimal_momentum(double kappa);
+
+/// The noiseless tuning rule (Eq. 9) for a curvature range [h_min, h_max]:
+/// mu = mu*(h_max/h_min), alpha = (1 - sqrt(mu))^2 / h_min, which places
+/// every curvature in [h_min, h_max] inside the robust region.
+struct NoiselessTuning {
+  double mu;
+  double alpha;
+};
+NoiselessTuning tune_noiseless(double h_min, double h_max);
+
+}  // namespace yf::sim

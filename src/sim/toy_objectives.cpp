@@ -1,0 +1,88 @@
+#include "sim/toy_objectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::sim {
+
+ScalarObjective two_curvature_objective(double h_flat, double h_steep, double knee) {
+  if (h_flat <= 0.0 || h_steep <= 0.0 || knee <= 0.0) {
+    throw std::invalid_argument("two_curvature_objective: parameters must be positive");
+  }
+  ScalarObjective obj;
+  obj.x_star = 0.0;
+  // Exact piecewise generalized curvature (Definition 2): f'(x) = h(x) x
+  // with h(x) in {h_steep, h_flat}. The objective integrates continuously;
+  // the gradient jumps at |x| = knee (allowed -- Definition 2 constrains
+  // only the ratio f'(x)/(x - x*)).
+  obj.grad = [=](double x) { return (std::abs(x) < knee ? h_steep : h_flat) * x; };
+  obj.f = [=](double x) {
+    const double ax = std::abs(x);
+    if (ax < knee) return 0.5 * h_steep * x * x;
+    return 0.5 * h_flat * x * x + 0.5 * (h_steep - h_flat) * knee * knee;
+  };
+  obj.gcurv = [=](double x) { return std::abs(x) < knee ? h_steep : h_flat; };
+  obj.distance = [](double x) { return std::abs(x); };
+  return obj;
+}
+
+ScalarObjective double_well_objective(double h1, double h2, double c) {
+  if (h1 <= 0.0 || h2 <= 0.0 || c <= 0.0) {
+    throw std::invalid_argument("double_well_objective: parameters must be positive");
+  }
+  ScalarObjective obj;
+  obj.x_star = c;  // reference minimum: the (h2) right well
+  auto left = [=](double x) { return 0.5 * h1 * (x + c) * (x + c); };
+  auto right = [=](double x) { return 0.5 * h2 * (x - c) * (x - c); };
+  obj.f = [=](double x) { return std::min(left(x), right(x)); };
+  obj.grad = [=](double x) { return left(x) < right(x) ? h1 * (x + c) : h2 * (x - c); };
+  obj.gcurv = [=, g = obj.grad](double x) {
+    const double d = x - c;
+    if (std::abs(d) < 1e-12) return h2;
+    return g(x) / d;
+  };
+  obj.distance = [=](double x) { return std::min(std::abs(x - c), std::abs(x + c)); };
+  return obj;
+}
+
+double generalized_condition_number(const ScalarObjective& obj, double lo, double hi,
+                                    int samples) {
+  if (samples < 2 || hi <= lo) throw std::invalid_argument("GCN: bad grid");
+  double hmin = 1e300, hmax = -1e300;
+  for (int i = 0; i < samples; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(samples - 1);
+    if (std::abs(x - obj.x_star) < 1e-9) continue;
+    const double h = obj.gcurv(x);
+    hmin = std::min(hmin, h);
+    hmax = std::max(hmax, h);
+  }
+  if (hmin <= 0.0) throw std::runtime_error("GCN: non-positive generalized curvature on grid");
+  return hmax / hmin;
+}
+
+std::vector<double> run_momentum_gd(const ScalarObjective& obj, double x0, double alpha,
+                                    double mu, int steps) {
+  std::vector<double> dist;
+  dist.reserve(static_cast<std::size_t>(steps));
+  double x_prev = x0, x = x0;
+  for (int t = 0; t < steps; ++t) {
+    const double x_next = x - alpha * obj.grad(x) + mu * (x - x_prev);
+    x_prev = x;
+    x = x_next;
+    dist.push_back(obj.distance ? obj.distance(x) : std::abs(x - obj.x_star));
+  }
+  return dist;
+}
+
+double empirical_rate(const std::vector<double>& distances) {
+  if (distances.size() < 8) throw std::invalid_argument("empirical_rate: curve too short");
+  const std::size_t a = distances.size() / 2;
+  // Walk back from the end to the last strictly positive value (underflow guard).
+  std::size_t b = distances.size() - 1;
+  while (b > a && distances[b] <= 1e-300) --b;
+  if (b <= a || distances[a] <= 1e-300) return 0.0;
+  return std::pow(distances[b] / distances[a], 1.0 / static_cast<double>(b - a));
+}
+
+}  // namespace yf::sim

@@ -1,0 +1,53 @@
+// One-dimensional objectives used by the Section 2 analysis experiments.
+//
+// Two realizations of the paper's "two quadratics with curvatures 1 and
+// 1000" (Fig. 3a):
+//  * `two_curvature_objective`: nested regions with piecewise-constant
+//    generalized curvature w.r.t. a single minimum at 0 (exact GCN =
+//    h_steep / h_flat per Definitions 2 and 4). Used for GCN math.
+//  * `double_well_objective`: the paper's non-convex W shape -- two
+//    side-by-side quadratic wells with different curvatures. A momentum-GD
+//    trajectory settles into one well (locally constant curvature), which
+//    is where the empirical sqrt(mu) rate of Fig. 3(b) comes from.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace yf::sim {
+
+/// A scalar objective with known minima and generalized curvature.
+struct ScalarObjective {
+  std::function<double(double)> f;      ///< objective value
+  std::function<double(double)> grad;   ///< (sub)derivative
+  std::function<double(double)> gcurv;  ///< generalized curvature h(x) w.r.t. x_star
+  double x_star = 0.0;                  ///< reference minimum for Definition 2
+  /// Distance to the nearest minimum (equals |x - x_star| when there is
+  /// only one); convergence curves are measured with this.
+  std::function<double(double)> distance;
+};
+
+/// Piecewise-curvature objective: generalized curvature is exactly h_steep
+/// for |x| < knee and h_flat otherwise (gradient jumps at the knee; the
+/// objective itself is continuous). Single minimum at 0.
+ScalarObjective two_curvature_objective(double h_flat, double h_steep, double knee);
+
+/// Non-convex double well: f(x) = min((h1/2)(x + c)^2, (h2/2)(x - c)^2),
+/// minima at -c (curvature h1) and +c (curvature h2). Matches Fig. 3(a).
+ScalarObjective double_well_objective(double h1, double h2, double c);
+
+/// Generalized condition number of `obj` estimated on a grid over
+/// [lo, hi] (Def. 4): sup h / inf h.
+double generalized_condition_number(const ScalarObjective& obj, double lo, double hi,
+                                    int samples = 10001);
+
+/// Run Polyak momentum GD from x0 and return obj.distance(x_t) per step.
+std::vector<double> run_momentum_gd(const ScalarObjective& obj, double x0, double alpha,
+                                    double mu, int steps);
+
+/// Asymptotic linear rate of a convergence curve: geometric-mean per-step
+/// factor between the midpoint and the end of the curve (envelope fit,
+/// robust to the oscillations of under-damped momentum).
+double empirical_rate(const std::vector<double>& distances);
+
+}  // namespace yf::sim

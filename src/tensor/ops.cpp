@@ -1,0 +1,212 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace yf::tensor {
+namespace {
+
+template <typename F>
+Tensor zip(const Tensor& a, const Tensor& b, const char* op, F&& f) {
+  check_same_shape(a, b, op);
+  Tensor out(a.shape());
+  auto oa = a.data();
+  auto ob = b.data();
+  auto oo = out.data();
+  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = f(oa[i], ob[i]);
+  return out;
+}
+
+template <typename F>
+Tensor unary(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  auto ia = a.data();
+  auto oo = out.data();
+  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = f(ia[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "add", [](double x, double y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "sub", [](double x, double y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "mul", [](double x, double y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "div", [](double x, double y) { return x / y; });
+}
+
+Tensor add_scalar(const Tensor& a, double s) {
+  return unary(a, [s](double x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, double s) {
+  return unary(a, [s](double x) { return x * s; });
+}
+
+Tensor neg(const Tensor& a) {
+  return unary(a, [](double x) { return -x; });
+}
+Tensor abs(const Tensor& a) {
+  return unary(a, [](double x) { return std::abs(x); });
+}
+Tensor exp(const Tensor& a) {
+  return unary(a, [](double x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary(a, [](double x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary(a, [](double x) { return std::sqrt(x); });
+}
+Tensor square(const Tensor& a) {
+  return unary(a, [](double x) { return x * x; });
+}
+Tensor tanh(const Tensor& a) {
+  return unary(a, [](double x) { return std::tanh(x); });
+}
+Tensor sigmoid(const Tensor& a) {
+  return unary(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+Tensor relu(const Tensor& a) {
+  return unary(a, [](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+Tensor map(const Tensor& a, const std::function<double(double)>& fn) {
+  return unary(a, [&fn](double x) { return fn(x); });
+}
+
+double sum(const Tensor& a) {
+  double s = 0.0;
+  for (double x : a.data()) s += x;
+  return s;
+}
+
+double mean(const Tensor& a) {
+  if (a.size() == 0) throw std::invalid_argument("mean: empty tensor");
+  return sum(a) / static_cast<double>(a.size());
+}
+
+double max(const Tensor& a) {
+  if (a.size() == 0) throw std::invalid_argument("max: empty tensor");
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : a.data()) m = std::max(m, x);
+  return m;
+}
+
+double min(const Tensor& a) {
+  if (a.size() == 0) throw std::invalid_argument("min: empty tensor");
+  double m = std::numeric_limits<double>::infinity();
+  for (double x : a.data()) m = std::min(m, x);
+  return m;
+}
+
+double norm(const Tensor& a) {
+  double s = 0.0;
+  for (double x : a.data()) s += x * x;
+  return std::sqrt(s);
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot");
+  double s = 0.0;
+  auto ia = a.data();
+  auto ib = b.data();
+  for (std::size_t i = 0; i < ia.size(); ++i) s += ia[i] * ib[i];
+  return s;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("matmul: expected 2-D tensors, got " + to_string(a.shape()) +
+                                " and " + to_string(b.shape()));
+  }
+  const auto m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  if (k != k2) {
+    throw std::invalid_argument("matmul: inner dimension mismatch " + to_string(a.shape()) +
+                                " vs " + to_string(b.shape()));
+  }
+  Tensor c(Shape{m, n});
+  const auto* pa = a.data().data();
+  const auto* pb = b.data().data();
+  auto* pc = c.data().data();
+  // i-k-j loop order: streams through B and C rows for cache friendliness.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double aik = pa[i * k + kk];
+      if (aik == 0.0) continue;
+      const double* brow = pb + kk * n;
+      double* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  if (a.ndim() != 2) {
+    throw std::invalid_argument("transpose: expected 2-D tensor, got " + to_string(a.shape()));
+  }
+  const auto m = a.dim(0), n = a.dim(1);
+  Tensor t(Shape{n, m});
+  const auto* pa = a.data().data();
+  auto* pt = t.data().data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) pt[j * m + i] = pa[i * n + j];
+  return t;
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
+  if (a.ndim() != 2 || bias.ndim() != 1 || a.dim(1) != bias.dim(0)) {
+    throw std::invalid_argument("add_row_broadcast: incompatible shapes " + to_string(a.shape()) +
+                                " and " + to_string(bias.shape()));
+  }
+  const auto m = a.dim(0), n = a.dim(1);
+  Tensor out(a.shape());
+  const auto* pa = a.data().data();
+  const auto* pb = bias.data().data();
+  auto* po = out.data().data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pb[j];
+  return out;
+}
+
+Tensor sum_rows(const Tensor& a) {
+  if (a.ndim() != 2) {
+    throw std::invalid_argument("sum_rows: expected 2-D tensor, got " + to_string(a.shape()));
+  }
+  const auto m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n});
+  const auto* pa = a.data().data();
+  auto* po = out.data().data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
+  return out;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  double m = 0.0;
+  auto ia = a.data();
+  auto ib = b.data();
+  for (std::size_t i = 0; i < ia.size(); ++i) m = std::max(m, std::abs(ia[i] - ib[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, double atol, double rtol) {
+  if (a.shape() != b.shape()) return false;
+  auto ia = a.data();
+  auto ib = b.data();
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    if (std::abs(ia[i] - ib[i]) > atol + rtol * std::abs(ib[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace yf::tensor

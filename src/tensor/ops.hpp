@@ -1,0 +1,61 @@
+// Elementwise and linear-algebra operations on yf::tensor::Tensor.
+//
+// All functions are pure (return fresh tensors) unless suffixed `_into`.
+// Shapes are validated eagerly; mismatches throw std::invalid_argument.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace yf::tensor {
+
+// -- Elementwise binary (same shape). ---------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// -- Scalar broadcast. -------------------------------------------------------
+Tensor add_scalar(const Tensor& a, double s);
+Tensor mul_scalar(const Tensor& a, double s);
+
+// -- Elementwise unary. -------------------------------------------------------
+Tensor neg(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor square(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor relu(const Tensor& a);
+
+/// Apply `fn` to every element.
+Tensor map(const Tensor& a, const std::function<double(double)>& fn);
+
+// -- Reductions (over all elements). -----------------------------------------
+double sum(const Tensor& a);
+double mean(const Tensor& a);
+double max(const Tensor& a);
+double min(const Tensor& a);
+/// Euclidean norm of the flattened tensor.
+double norm(const Tensor& a);
+double dot(const Tensor& a, const Tensor& b);
+
+// -- 2-D linear algebra. -------------------------------------------------------
+/// C[m,n] = A[m,k] @ B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Transpose of a 2-D tensor.
+Tensor transpose(const Tensor& a);
+/// y[m,n] = A[m,n] + b[n] (bias broadcast over rows).
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias);
+/// Column-sums of a 2-D tensor -> rank-1 tensor of length n.
+Tensor sum_rows(const Tensor& a);
+
+// -- Comparison helpers (used heavily by tests). ------------------------------
+/// max_i |a_i - b_i|; shapes must match.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+bool allclose(const Tensor& a, const Tensor& b, double atol = 1e-9, double rtol = 1e-7);
+
+}  // namespace yf::tensor

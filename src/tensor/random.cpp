@@ -1,0 +1,35 @@
+#include "tensor/random.hpp"
+
+#include <stdexcept>
+
+namespace yf::tensor {
+
+Tensor Rng::normal_tensor(Shape shape, double mean, double stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data()) x = normal(mean, stddev);
+  return t;
+}
+
+Tensor Rng::uniform_tensor(Shape shape, double lo, double hi) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data()) x = uniform(lo, hi);
+  return t;
+}
+
+std::int64_t Rng::categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("categorical: weights sum to zero");
+  double u = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<std::int64_t>(i);
+  }
+  return static_cast<std::int64_t>(weights.size()) - 1;
+}
+
+}  // namespace yf::tensor

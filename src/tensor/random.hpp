@@ -1,0 +1,50 @@
+// Seeded random number generation for reproducible experiments.
+//
+// Every experiment in the paper is averaged over >= 3 random seeds
+// (Sec. 5); all stochasticity in this library flows through yf::tensor::Rng
+// so a run is fully determined by its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.hpp"
+
+namespace yf::tensor {
+
+/// Thin, copyable wrapper over std::mt19937_64 with tensor-producing
+/// convenience methods.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  /// Standard normal sample.
+  double normal() { return normal_(engine_); }
+  /// Normal with the given mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal_(engine_); }
+  /// Uniform in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return lo + (hi - lo) * unit_(engine_);
+  }
+  /// Uniform integer in [0, n).
+  std::int64_t index(std::int64_t n) {
+    return static_cast<std::int64_t>(engine_() % static_cast<std::uint64_t>(n));
+  }
+  /// Bernoulli(p).
+  bool bernoulli(double p) { return unit_(engine_) < p; }
+
+  Tensor normal_tensor(Shape shape, double mean = 0.0, double stddev = 1.0);
+  Tensor uniform_tensor(Shape shape, double lo = 0.0, double hi = 1.0);
+
+  /// Sample an index from an (unnormalized) non-negative weight vector.
+  std::int64_t categorical(std::span<const double> weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace yf::tensor

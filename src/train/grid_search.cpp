@@ -1,0 +1,33 @@
+#include "train/grid_search.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "train/metrics.hpp"
+
+namespace yf::train {
+
+GridSearchResult grid_search(const RunFn& run, const GridSearchOptions& opts) {
+  if (opts.grid.empty() || opts.seeds.empty()) {
+    throw std::invalid_argument("grid_search: empty grid or seed list");
+  }
+  GridSearchResult result;
+  result.best_loss = std::numeric_limits<double>::infinity();
+  for (double hyper : opts.grid) {
+    std::vector<std::vector<double>> curves;
+    curves.reserve(opts.seeds.size());
+    for (auto seed : opts.seeds) curves.push_back(run(hyper, seed));
+    const auto avg = average_curves(curves);
+    const auto smoothed = smooth_uniform(avg, opts.smooth_window);
+    const double score = curve_min(smoothed);
+    result.scores.emplace_back(hyper, score);
+    if (score < result.best_loss) {
+      result.best_loss = score;
+      result.best_hyper = hyper;
+      result.best_curve = smoothed;
+    }
+  }
+  return result;
+}
+
+}  // namespace yf::train

@@ -1,0 +1,32 @@
+// Learning-rate grid search with seed averaging (Section 5.1 protocol):
+// "we tune Adam and momentum SGD on learning rate grids ... we pick the
+// configuration achieving the lowest averaged smoothed loss".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace yf::train {
+
+/// Run one training job: build the model/task at `seed`, train with the
+/// given hyperparameter (lr or lr factor), return the raw loss curve.
+using RunFn = std::function<std::vector<double>(double hyper, std::uint64_t seed)>;
+
+struct GridSearchOptions {
+  std::vector<double> grid;
+  std::vector<std::uint64_t> seeds = {1};
+  std::int64_t smooth_window = 100;
+};
+
+struct GridSearchResult {
+  double best_hyper = 0.0;
+  std::vector<double> best_curve;                 ///< seed-averaged smoothed curve
+  double best_loss = 0.0;                         ///< its minimum
+  std::vector<std::pair<double, double>> scores;  ///< (hyper, min smoothed loss)
+};
+
+GridSearchResult grid_search(const RunFn& run, const GridSearchOptions& opts);
+
+}  // namespace yf::train

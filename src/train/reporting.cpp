@@ -1,0 +1,84 @@
+#include "train/reporting.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace yf::train {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::defaultfloat << v;
+  return os.str();
+}
+
+std::string fmt_speedup(double ratio) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << ratio << "x";
+  return os.str();
+}
+
+void print_table(const std::string& title, const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return;
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::cout << "\n== " << title << " ==\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::cout << "  ";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      std::cout << std::left << std::setw(static_cast<int>(widths[c]) + 2) << rows[r][c];
+    }
+    std::cout << "\n";
+    if (r == 0) {
+      std::cout << "  ";
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        std::cout << std::string(widths[c], '-') << "  ";
+      }
+      std::cout << "\n";
+    }
+  }
+}
+
+void print_series(const std::string& name, const std::vector<double>& values,
+                  std::size_t max_points) {
+  std::cout << "  " << name << ":";
+  if (values.empty()) {
+    std::cout << " (empty)\n";
+    return;
+  }
+  const std::size_t n = values.size();
+  const std::size_t points = std::min(max_points, n);
+  for (std::size_t i = 0; i < points; ++i) {
+    const std::size_t idx = points == 1 ? n - 1 : i * (n - 1) / (points - 1);
+    std::cout << " " << fmt(values[idx], 4);
+  }
+  std::cout << "\n";
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& names,
+               const std::vector<std::vector<double>>& columns) {
+  if (names.size() != columns.size()) throw std::invalid_argument("write_csv: size mismatch");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    out << (c ? "," : "") << names[c];
+  }
+  out << "\n";
+  std::size_t max_len = 0;
+  for (const auto& col : columns) max_len = std::max(max_len, col.size());
+  for (std::size_t r = 0; r < max_len; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) out << ",";
+      if (r < columns[c].size()) out << columns[c][r];
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace yf::train

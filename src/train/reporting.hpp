@@ -1,0 +1,28 @@
+// Console/CSV reporting used by the bench harness to print the paper's
+// tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace yf::train {
+
+/// Fixed-width console table. `rows` are row-major cells; the first row is
+/// treated as the header.
+void print_table(const std::string& title, const std::vector<std::vector<std::string>>& rows);
+
+/// Print a figure series as "name: v0 v1 v2 ..." subsampled to at most
+/// `max_points` evenly spaced points (so bench output stays readable).
+void print_series(const std::string& name, const std::vector<double>& values,
+                  std::size_t max_points = 16);
+
+/// Write curves as CSV (one column per named curve) to `path`; curves may
+/// have different lengths (shorter ones leave trailing cells empty).
+void write_csv(const std::string& path, const std::vector<std::string>& names,
+               const std::vector<std::vector<double>>& columns);
+
+/// Format helpers.
+std::string fmt(double v, int precision = 4);
+std::string fmt_speedup(double ratio);  ///< "1.93x"
+
+}  // namespace yf::train

@@ -1,0 +1,46 @@
+#include "train/trainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "optim/clipping.hpp"
+
+namespace yf::train {
+
+TrainResult train(optim::Optimizer& optimizer, const GradFn& grad_fn, const TrainOptions& opts) {
+  if (opts.schedule && (opts.epoch_length <= 0 || opts.base_lr <= 0.0)) {
+    throw std::invalid_argument("train: schedule requires epoch_length and base_lr");
+  }
+  TrainResult result;
+  result.losses.reserve(static_cast<std::size_t>(opts.iterations));
+  auto& params = const_cast<std::vector<autograd::Variable>&>(optimizer.params());
+
+  for (std::int64_t it = 0; it < opts.iterations; ++it) {
+    if (result.diverged) {
+      result.losses.push_back(opts.divergence_bound);
+      continue;
+    }
+    if (opts.schedule) {
+      const auto epoch = it / opts.epoch_length;
+      optimizer.set_lr(opts.base_lr * opts.schedule->factor(epoch));
+    }
+    optimizer.zero_grad();
+    const double loss = grad_fn();
+    if (!std::isfinite(loss) || loss > opts.divergence_bound) {
+      result.diverged = true;
+      result.losses.push_back(opts.divergence_bound);
+      continue;
+    }
+    if (opts.clip_norm) optim::clip_grad_norm(params, *opts.clip_norm);
+    optimizer.step();
+    result.losses.push_back(loss);
+
+    if (opts.val_fn && opts.val_every > 0 && (it + 1) % opts.val_every == 0) {
+      result.val_values.push_back(opts.val_fn());
+      result.val_iterations.push_back(it + 1);
+    }
+  }
+  return result;
+}
+
+}  // namespace yf::train

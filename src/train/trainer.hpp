@@ -1,0 +1,43 @@
+// Synchronous training loop shared by tests, examples and benches.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "async/async_simulator.hpp"  // for GradFn
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizer.hpp"
+
+namespace yf::train {
+
+/// `GradFn` computes the minibatch loss at the current parameters and
+/// leaves gradients on them (zero_grad is called by the loop).
+using async::GradFn;
+
+struct TrainOptions {
+  std::int64_t iterations = 1000;
+  /// Fixed-threshold gradient clipping (the manual baseline of Table 1);
+  /// YellowFin's adaptive clipping is internal to the optimizer instead.
+  std::optional<double> clip_norm;
+  /// Epoch-indexed lr schedule: factor applied to `base_lr` each epoch.
+  const optim::LrSchedule* schedule = nullptr;
+  std::int64_t epoch_length = 0;  ///< iterations per epoch (0 = no epochs)
+  double base_lr = 0.0;           ///< required when schedule != nullptr
+  /// Optional validation probe, evaluated every `val_every` iterations.
+  std::function<double()> val_fn;
+  std::int64_t val_every = 0;
+  /// Abort when loss is NaN/inf or exceeds this bound (divergence guard);
+  /// remaining iterations are filled with the bound so curves stay rectangular.
+  double divergence_bound = 1e9;
+};
+
+struct TrainResult {
+  std::vector<double> losses;               ///< per-iteration training loss
+  std::vector<double> val_values;           ///< validation probe outputs
+  std::vector<std::int64_t> val_iterations; ///< iterations they were taken at
+  bool diverged = false;
+};
+
+TrainResult train(optim::Optimizer& optimizer, const GradFn& grad_fn, const TrainOptions& opts);
+
+}  // namespace yf::train

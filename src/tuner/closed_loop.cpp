@@ -1,0 +1,3 @@
+#include "tuner/closed_loop.hpp"
+
+// Header-only controller; TU anchors the target in the build graph.

@@ -1,0 +1,39 @@
+// Closed-loop momentum control (Section 4, Algorithm 5).
+//
+// Under asynchrony, the *total* momentum mu_T (algorithmic + asynchrony-
+// induced, Mitliagkas et al. 2016) exceeds the algorithmic value. The
+// controller adjusts the applied algorithmic momentum with a negative
+// feedback loop so the measured total momentum tracks the tuner's target:
+//
+//   mu <- mu + gamma * (mu_target - mu_hat_T)
+//
+// The applied momentum may legitimately go negative (Fig. 4, right pane):
+// with 16 workers the asynchrony-induced momentum alone can exceed the
+// target.
+#pragma once
+
+#include <algorithm>
+
+namespace yf::tuner {
+
+class ClosedLoopController {
+ public:
+  explicit ClosedLoopController(double gamma = 0.01, double mu0 = 0.0)
+      : gamma_(gamma), mu_(mu0) {}
+
+  /// One feedback update; returns the new applied momentum.
+  double update(double mu_target, double mu_hat_total) {
+    mu_ += gamma_ * (mu_target - mu_hat_total);
+    mu_ = std::clamp(mu_, -0.999, 0.999);
+    return mu_;
+  }
+
+  double applied_momentum() const { return mu_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+  double mu_;
+};
+
+}  // namespace yf::tuner

@@ -1,0 +1,51 @@
+#include "tuner/curvature_range.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::tuner {
+
+namespace {
+constexpr double kTiny = 1e-45;  // floor before log() so h_t = 0 is representable
+}
+
+CurvatureRange::CurvatureRange(const CurvatureRangeOptions& opts)
+    : opts_(opts), max_avg_(opts.beta), min_avg_(opts.beta) {
+  if (opts.window < 1) throw std::invalid_argument("CurvatureRange: window must be >= 1");
+}
+
+void CurvatureRange::update(double h_t) {
+  if (!(h_t >= 0.0)) throw std::invalid_argument("CurvatureRange: h_t must be non-negative");
+  window_.push_back(h_t);
+  while (static_cast<std::int64_t>(window_.size()) > opts_.window) window_.pop_front();
+
+  double hmax_t = *std::max_element(window_.begin(), window_.end());
+  const double hmin_t = *std::min_element(window_.begin(), window_.end());
+
+  // Eq. (35): limit the growth rate of the envelope for clipping robustness.
+  if (opts_.growth_cap > 0.0 && count_ > 0) {
+    hmax_t = std::min(hmax_t, opts_.growth_cap * h_max());
+  }
+
+  if (opts_.log_smoothing) {
+    max_avg_.update(std::log(std::max(hmax_t, kTiny)));
+    min_avg_.update(std::log(std::max(hmin_t, kTiny)));
+  } else {
+    max_avg_.update(hmax_t);
+    min_avg_.update(hmin_t);
+  }
+  ++count_;
+}
+
+double CurvatureRange::h_max() const {
+  if (count_ == 0) throw std::logic_error("CurvatureRange::h_max: no observations");
+  return opts_.log_smoothing ? std::exp(max_avg_.value()) : max_avg_.value();
+}
+
+double CurvatureRange::h_min() const {
+  if (count_ == 0) throw std::logic_error("CurvatureRange::h_min: no observations");
+  return opts_.log_smoothing ? std::exp(min_avg_.value()) : min_avg_.value();
+}
+
+}  // namespace yf::tuner

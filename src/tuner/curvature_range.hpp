@@ -1,0 +1,50 @@
+// CurvatureRange (Algorithm 2 + Appendix E/F refinements).
+//
+// Uses h_t = ||g_t||^2 as a curvature proxy (under the negative
+// log-likelihood assumption, g g^T approximates the Hessian along g, with
+// eigenvalue ||g||^2). Tracks the extremes over a sliding window of width
+// `window` (paper: 20), then smooths the extremes with zero-debiased EWMA.
+//
+// Refinements implemented exactly as the paper describes:
+//  * log-space smoothing: the EWMA runs on log h_{max,t}, log h_{min,t}
+//    so fast-decreasing curvatures are tracked (Appendix E);
+//  * growth cap for adaptive clipping: h_max,t is limited to 100x the
+//    current envelope before entering the EWMA (Eq. 35, Appendix F).
+#pragma once
+
+#include <deque>
+
+#include "tuner/ewma.hpp"
+
+namespace yf::tuner {
+
+struct CurvatureRangeOptions {
+  double beta = 0.999;
+  std::int64_t window = 20;
+  bool log_smoothing = true;
+  /// When > 0, cap h_max,t at `growth_cap` * current h_max (Eq. 35).
+  double growth_cap = 100.0;
+};
+
+class CurvatureRange {
+ public:
+  explicit CurvatureRange(const CurvatureRangeOptions& opts = {});
+
+  /// Observe h_t = ||g_t||^2 for the current step.
+  void update(double h_t);
+
+  /// Smoothed extremal curvature estimates; valid after >= 1 update.
+  double h_max() const;
+  double h_min() const;
+
+  std::int64_t count() const { return count_; }
+  const CurvatureRangeOptions& options() const { return opts_; }
+
+ private:
+  CurvatureRangeOptions opts_;
+  std::deque<double> window_;
+  Ewma max_avg_, min_avg_;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace yf::tuner

@@ -1,0 +1,18 @@
+#include "tuner/distance_to_opt.hpp"
+
+#include <stdexcept>
+
+namespace yf::tuner {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+void DistanceToOpt::update(double grad_norm) {
+  if (!(grad_norm >= 0.0)) throw std::invalid_argument("DistanceToOpt: negative norm");
+  grad_norm_avg_.update(grad_norm);
+  curvature_avg_.update(grad_norm * grad_norm);
+  dist_avg_.update(grad_norm_avg_.value() / (curvature_avg_.value() + kEps));
+}
+
+}  // namespace yf::tuner

@@ -1,0 +1,29 @@
+// DistanceToOpt (Algorithm 4).
+//
+// Estimates D ~= ||x - x*|| of the local quadratic approximation from
+// ||grad f(x)|| <= ||H|| ||x - x*||: running averages of the gradient norm
+// and of the curvature h_t = ||g_t||^2 give D <- EWMA of ||g||_avg / h_avg.
+#pragma once
+
+#include "tuner/ewma.hpp"
+
+namespace yf::tuner {
+
+class DistanceToOpt {
+ public:
+  explicit DistanceToOpt(double beta = 0.999)
+      : grad_norm_avg_(beta), curvature_avg_(beta), dist_avg_(beta) {}
+
+  /// Observe the gradient norm ||g_t|| for this step.
+  void update(double grad_norm);
+
+  /// Current distance estimate D.
+  double distance() const { return dist_avg_.value(); }
+
+ private:
+  Ewma grad_norm_avg_;  ///< running ||g||
+  Ewma curvature_avg_;  ///< running h = ||g||^2
+  Ewma dist_avg_;       ///< running ||g||_avg / h_avg
+};
+
+}  // namespace yf::tuner

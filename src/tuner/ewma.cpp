@@ -1,0 +1,43 @@
+#include "tuner/ewma.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::tuner {
+
+double Ewma::update(double x) {
+  raw_ = beta_ * raw_ + (1.0 - beta_) * x;
+  ++count_;
+  return value();
+}
+
+double Ewma::value() const {
+  if (count_ == 0) return 0.0;
+  const double debias = 1.0 - std::pow(beta_, static_cast<double>(count_));
+  return raw_ / debias;
+}
+
+void Ewma::reset() {
+  raw_ = 0.0;
+  count_ = 0;
+}
+
+void TensorEwma::update(const tensor::Tensor& x) {
+  if (count_ == 0) {
+    raw_ = tensor::Tensor::zeros(x.shape());
+  }
+  tensor::check_same_shape(raw_, x, "TensorEwma::update");
+  raw_.mul_(beta_);
+  raw_.add_(x, 1.0 - beta_);
+  ++count_;
+}
+
+tensor::Tensor TensorEwma::value() const {
+  if (count_ == 0) throw std::logic_error("TensorEwma::value: no observations");
+  const double debias = 1.0 - std::pow(beta_, static_cast<double>(count_));
+  tensor::Tensor out = raw_.clone();
+  out.mul_(1.0 / debias);
+  return out;
+}
+
+}  // namespace yf::tuner

@@ -1,0 +1,25 @@
+#include "tuner/gradient_variance.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace yf::tuner {
+
+void GradientVariance::update(const tensor::Tensor& grad) {
+  g_avg_.update(grad);
+  g2_avg_.update(tensor::square(grad));
+}
+
+double GradientVariance::variance() const {
+  if (!g_avg_.initialized()) return 0.0;
+  const auto mean = g_avg_.value();
+  const auto mean_sq = g2_avg_.value();
+  double c = 0.0;
+  auto m = mean.data();
+  auto m2 = mean_sq.data();
+  for (std::size_t i = 0; i < m.size(); ++i) c += m2[i] - m[i] * m[i];
+  return std::max(c, 0.0);
+}
+
+}  // namespace yf::tuner

@@ -1,0 +1,30 @@
+// GradientVariance (Algorithm 3).
+//
+// Tracks elementwise first and second moments of the gradient with
+// zero-debiased EWMAs; the variance estimate is
+//   C = 1^T (E[g^2] - E[g]^2) = sum_i Var(g_i),
+// the total gradient variance over all coordinates (the `C` in Eq. 15).
+#pragma once
+
+#include "tuner/ewma.hpp"
+
+namespace yf::tuner {
+
+class GradientVariance {
+ public:
+  explicit GradientVariance(double beta = 0.999) : g_avg_(beta), g2_avg_(beta) {}
+
+  /// Observe a flattened gradient.
+  void update(const tensor::Tensor& grad);
+
+  /// Current total-variance estimate; clamped at 0 (the EWMA difference can
+  /// go slightly negative early on).
+  double variance() const;
+
+  bool initialized() const { return g_avg_.initialized(); }
+
+ private:
+  TensorEwma g_avg_, g2_avg_;
+};
+
+}  // namespace yf::tuner

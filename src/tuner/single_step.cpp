@@ -1,0 +1,50 @@
+#include "tuner/single_step.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yf::tuner {
+
+double solve_cubic_sqrt_mu(double p) {
+  if (!(p > 0.0)) throw std::invalid_argument("solve_cubic_sqrt_mu: p must be > 0");
+  // Depressed cubic y^3 + p y + p = 0. Discriminant (p/2)^2 + (p/3)^3 > 0
+  // for p > 0, so there is exactly one real root, given by Cardano:
+  //   w^3 = -p/2 - sqrt(p^2/4 + p^3/27),  y = w - p / (3 w).
+  const double w3 = (-std::sqrt(p * p + 4.0 / 27.0 * p * p * p) - p) / 2.0;
+  const double w = std::copysign(std::pow(std::abs(w3), 1.0 / 3.0), w3);
+  const double y = w - p / (3.0 * w);
+  const double x = y + 1.0;
+  // For p > 0 the real root satisfies y in (-1, 0), i.e. x in (0, 1);
+  // clamp for numerical safety at the extremes.
+  return std::clamp(x, 0.0, 1.0 - 1e-9);
+}
+
+SingleStepResult single_step(double h_max, double h_min, double c, double d) {
+  if (!(h_min > 0.0) || !(h_max >= h_min)) {
+    throw std::invalid_argument("single_step: need h_max >= h_min > 0");
+  }
+  if (c < 0.0 || d < 0.0) throw std::invalid_argument("single_step: C and D must be >= 0");
+
+  SingleStepResult r;
+  const double ratio = h_max / h_min;
+  const double sqrt_ratio = std::sqrt(ratio);
+  r.mu_lower_bound = ((sqrt_ratio - 1.0) / (sqrt_ratio + 1.0));
+  r.mu_lower_bound *= r.mu_lower_bound;
+
+  if (c <= 0.0 || d <= 0.0) {
+    // Noiseless (or not-yet-measured) limit: the objective reduces to
+    // mu D^2, minimized at the constraint boundary.
+    r.mu_unconstrained = 0.0;
+  } else {
+    const double p = d * d * h_min * h_min / (2.0 * c);
+    const double x = solve_cubic_sqrt_mu(p);
+    r.mu_unconstrained = x * x;
+  }
+  r.mu = std::max(r.mu_unconstrained, r.mu_lower_bound);
+  const double one_minus_sqrt_mu = 1.0 - std::sqrt(r.mu);
+  r.alpha = one_minus_sqrt_mu * one_minus_sqrt_mu / h_min;
+  return r;
+}
+
+}  // namespace yf::tuner

@@ -1,0 +1,34 @@
+// SingleStep (Eq. 15) -- the closed-form hyperparameter rule.
+//
+//   min_{mu, alpha}  mu * D^2 + alpha^2 * C
+//   s.t.  mu >= ((sqrt(hmax/hmin) - 1) / (sqrt(hmax/hmin) + 1))^2
+//         alpha = (1 - sqrt(mu))^2 / hmin
+//
+// Substituting the alpha constraint, with x = sqrt(mu) in [0, 1):
+//   p(x) = x^2 D^2 + (1 - x)^4 C / hmin^2.
+// Setting p'(x) = 0 yields the depressed cubic  y^3 + p y + p = 0 with
+// y = x - 1 and p = D^2 hmin^2 / (2 C), solved in closed form via
+// Cardano/Vieta (Appendix D). p(x) is unimodal on [0, 1), so the optimum
+// is max(x_root^2, mu_lower_bound).
+#pragma once
+
+namespace yf::tuner {
+
+struct SingleStepResult {
+  double mu = 0.0;
+  double alpha = 0.0;
+  double mu_unconstrained = 0.0;  ///< cubic-root momentum before the GCN bound
+  double mu_lower_bound = 0.0;    ///< ((sqrt r - 1)/(sqrt r + 1))^2, r = hmax/hmin
+};
+
+/// Root x in [0, 1) of the cubic optimality condition, i.e. the
+/// unconstrained sqrt-momentum. `p` must be > 0.
+double solve_cubic_sqrt_mu(double p);
+
+/// Full SingleStep rule. Inputs are the measurement-function outputs:
+/// extremal curvatures (hmax >= hmin > 0), gradient variance C >= 0 and
+/// distance-to-opt D >= 0. Handles the noiseless limit C -> 0 (momentum
+/// collapses to the GCN lower bound).
+SingleStepResult single_step(double h_max, double h_min, double c, double d);
+
+}  // namespace yf::tuner

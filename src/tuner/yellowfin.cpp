@@ -1,0 +1,104 @@
+#include "tuner/yellowfin.hpp"
+
+#include <cmath>
+
+namespace yf::tuner {
+
+YellowFin::YellowFin(std::vector<autograd::Variable> params, const YellowFinOptions& opts)
+    : optim::Optimizer(std::move(params)),
+      opts_(opts),
+      curvature_(CurvatureRangeOptions{opts.beta, opts.window, /*log_smoothing=*/true,
+                                       opts.adaptive_clipping ? 100.0 : 0.0}),
+      variance_(opts.beta),
+      distance_(opts.beta),
+      mu_avg_(opts.beta),
+      alpha_avg_(opts.beta),
+      mu_(opts.mu0),
+      alpha_(opts.lr0),
+      target_mu_(opts.mu0),
+      target_alpha_(opts.lr0) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.push_back(tensor::Tensor::zeros(p.value().shape()));
+}
+
+void YellowFin::measure(const tensor::Tensor& flat_grad) {
+  double sq = 0.0;
+  for (double g : flat_grad.data()) sq += g * g;
+  curvature_.update(sq);
+  variance_.update(flat_grad);
+  distance_.update(std::sqrt(sq));
+}
+
+void YellowFin::step() {
+  // Flatten the gradient once; all measurements run on this view.
+  std::int64_t total = 0;
+  for (const auto& p : params_) total += p.value().size();
+  tensor::Tensor flat(tensor::Shape{total});
+  std::int64_t off = 0;
+  for (const auto& p : params_) {
+    const auto& g = p.grad();
+    for (std::int64_t i = 0; i < g.size(); ++i) flat[off + i] = g[i];
+    off += g.size();
+  }
+
+  // -- Adaptive clipping (Appendix F): threshold sqrt(h_max). ---------------
+  last_step_clipped_ = false;
+  if (opts_.adaptive_clipping && curvature_.count() > 0) {
+    last_clip_threshold_ = std::sqrt(curvature_.h_max());
+    double norm_sq = 0.0;
+    for (double g : flat.data()) norm_sq += g * g;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > last_clip_threshold_ && norm > 0.0) {
+      const double scale = last_clip_threshold_ / norm;
+      flat.mul_(scale);
+      // Also scale the gradients in place so the update below sees them.
+      for (auto& p : params_) {
+        auto g = p.node()->ensure_grad().data();
+        for (auto& x : g) x *= scale;
+      }
+      last_step_clipped_ = true;
+    }
+  }
+
+  // -- Measurements (Algorithms 2-4). ---------------------------------------
+  measure(flat);
+
+  // -- SingleStep closed form (Eq. 15). --------------------------------------
+  const double hmax = curvature_.h_max();
+  const double hmin = curvature_.h_min();
+  if (hmin > 0.0) {
+    const auto result = single_step(hmax, hmin, variance_.variance(), distance_.distance());
+    target_mu_ = result.mu;
+    target_alpha_ = result.alpha;
+    if (opts_.smooth_hyperparams) {
+      mu_ = mu_avg_.update(target_mu_);
+      alpha_ = alpha_avg_.update(target_alpha_);
+    } else {
+      mu_ = target_mu_;
+      alpha_ = target_alpha_;
+    }
+  }
+
+  // -- Slow start (Appendix E) and the Fig. 11 manual factor. ----------------
+  double lr = alpha_ * opts_.lr_factor;
+  if (opts_.slow_start) {
+    const double warmup = opts_.slow_start_iters > 0
+                              ? static_cast<double>(opts_.slow_start_iters)
+                              : 10.0 * static_cast<double>(opts_.window);
+    const double t = static_cast<double>(iteration_ + 1);
+    lr = std::min(lr, t * lr / warmup);
+  }
+  double mu = opts_.force_momentum.value_or(mu_);
+  if (applied_mu_override_) mu = *applied_mu_override_;
+
+  // -- Momentum SGD update. ----------------------------------------------------
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& v = velocity_[i];
+    v.mul_(mu);
+    v.add_(params_[i].grad(), -lr);
+    params_[i].value().add_(v);
+  }
+  ++iteration_;
+}
+
+}  // namespace yf::tuner

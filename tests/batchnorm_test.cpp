@@ -1,0 +1,97 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace ag = yf::autograd;
+namespace nn = yf::nn;
+namespace t = yf::tensor;
+
+TEST(BatchNorm, OutputShapeMatchesInput) {
+  nn::BatchNorm2d bn(3);
+  t::Rng rng(1);
+  auto x = ag::Variable(rng.normal_tensor({2, 3, 4, 4}));
+  EXPECT_EQ(bn.forward(x).value().shape(), (t::Shape{2, 3, 4, 4}));
+}
+
+TEST(BatchNorm, NormalizesPerChannel) {
+  nn::BatchNorm2d bn(2);
+  t::Rng rng(2);
+  // Channels with very different scales and offsets.
+  t::Tensor x({4, 2, 3, 3});
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t k = 0; k < 9; ++k) {
+      x[(i * 2 + 0) * 9 + k] = 100.0 + 5.0 * rng.normal();
+      x[(i * 2 + 1) * 9 + k] = -3.0 + 0.1 * rng.normal();  // var >> eps
+    }
+  auto y = bn.forward(ag::Variable(x));
+  for (std::int64_t ch = 0; ch < 2; ++ch) {
+    double mean = 0.0, var = 0.0;
+    for (std::int64_t i = 0; i < 4; ++i)
+      for (std::int64_t k = 0; k < 9; ++k) mean += y.value()[(i * 2 + ch) * 9 + k];
+    mean /= 36.0;
+    for (std::int64_t i = 0; i < 4; ++i)
+      for (std::int64_t k = 0; k < 9; ++k) {
+        const double d = y.value()[(i * 2 + ch) * 9 + k] - mean;
+        var += d * d;
+      }
+    var /= 36.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9) << "channel " << ch;
+    EXPECT_NEAR(var, 1.0, 1e-3) << "channel " << ch;
+  }
+}
+
+TEST(BatchNorm, GammaBetaApplied) {
+  nn::BatchNorm2d bn(1);
+  bn.gamma.value()[0] = 3.0;
+  bn.beta.value()[0] = -2.0;
+  t::Rng rng(3);
+  auto x = ag::Variable(rng.normal_tensor({2, 1, 2, 2}));
+  auto y = bn.forward(x);
+  double mean = 0.0;
+  for (double v : y.value().data()) mean += v;
+  mean /= static_cast<double>(y.value().size());
+  EXPECT_NEAR(mean, -2.0, 1e-9);  // beta shifts the (zero) mean
+}
+
+TEST(BatchNorm, RejectsWrongShapes) {
+  nn::BatchNorm2d bn(3);
+  t::Rng rng(4);
+  auto bad_rank = ag::Variable(rng.normal_tensor({2, 3, 4}));
+  EXPECT_THROW(bn.forward(bad_rank), std::invalid_argument);
+  auto bad_channels = ag::Variable(rng.normal_tensor({2, 5, 4, 4}));
+  EXPECT_THROW(bn.forward(bad_channels), std::invalid_argument);
+}
+
+TEST(BatchNorm, GradcheckAllInputs) {
+  t::Rng rng(5);
+  auto x = ag::Variable(rng.normal_tensor({3, 2, 2, 2}), true);
+  auto gamma = ag::Variable(rng.uniform_tensor({2}, 0.5, 1.5), true);
+  auto beta = ag::Variable(rng.normal_tensor({2}), true);
+  auto fn = [](const std::vector<ag::Variable>& in) {
+    return ag::sum(ag::square(ag::batch_norm2d(in[0], in[1], in[2])));
+  };
+  const auto result = ag::gradcheck(fn, {x, gamma, beta}, 1e-5, 1e-5, 1e-3);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(BatchNorm, GradientInvariantToInputShift) {
+  // BN output is invariant to a constant shift of a channel, so the input
+  // gradient must sum to ~0 per channel.
+  t::Rng rng(6);
+  auto x = ag::Variable(rng.normal_tensor({2, 2, 3, 3}), true);
+  nn::BatchNorm2d bn(2);
+  auto y = bn.forward(x);
+  ag::sum(ag::square(y)).backward();
+  for (std::int64_t ch = 0; ch < 2; ++ch) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < 2; ++i)
+      for (std::int64_t k = 0; k < 9; ++k) s += x.grad()[(i * 2 + ch) * 9 + k];
+    EXPECT_NEAR(s, 0.0, 1e-9) << "channel " << ch;
+  }
+}

@@ -1,0 +1,117 @@
+// End-to-end closed-loop tests: Algorithm 5 running inside the async
+// simulator on a quadratic bowl, validating the full chain
+// measure -> estimate -> feedback -> applied momentum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "async/async_simulator.hpp"
+#include "tuner/yellowfin.hpp"
+#include "tensor/random.hpp"
+
+namespace async = yf::async;
+namespace ag = yf::autograd;
+namespace t = yf::tensor;
+
+namespace {
+
+struct BowlTask {
+  ag::Variable x;
+  double h;
+  double noise;
+  t::Rng rng{71};
+  BowlTask(std::int64_t dim, double curvature, double noise_std, double x0)
+      : x(t::Tensor({dim}), true), h(curvature), noise(noise_std) {
+    x.value().fill(x0);
+  }
+  double grad() {
+    auto& g = x.node()->ensure_grad();
+    double loss = 0.0;
+    for (std::int64_t j = 0; j < g.size(); ++j) {
+      loss += 0.5 * h * x.value()[j] * x.value()[j];
+      g[j] = h * x.value()[j] + noise * rng.normal();
+    }
+    return loss;
+  }
+};
+
+}  // namespace
+
+TEST(ClosedLoopIntegration, AppliedMomentumDropsBelowTargetUnderStaleness) {
+  BowlTask task(40, 1.0, 0.05, 3.0);
+  auto opt = std::make_shared<yf::tuner::YellowFin>(std::vector<ag::Variable>{task.x});
+  async::AsyncTrainerOptions opts;
+  opts.staleness = 10;
+  opts.closed_loop = true;
+  opts.gamma = 0.02;
+  async::AsyncTrainer trainer(opt, [&] { return task.grad(); }, opts);
+  double applied = 0.0, target = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    const auto s = trainer.step();
+    applied = s.applied_momentum;
+    target = s.target_momentum;
+  }
+  // The controller must have pulled applied momentum below the tuner's
+  // target to cancel asynchrony-induced momentum.
+  EXPECT_LT(applied, target);
+}
+
+TEST(ClosedLoopIntegration, ClosedLoopTracksTargetBetterThanOpenLoop) {
+  auto run = [](bool closed) {
+    BowlTask task(40, 1.0, 0.05, 3.0);
+    auto opt = std::make_shared<yf::tuner::YellowFin>(std::vector<ag::Variable>{task.x});
+    async::AsyncTrainerOptions opts;
+    opts.staleness = 10;
+    opts.closed_loop = closed;
+    async::AsyncTrainer trainer(opt, [&] { return task.grad(); }, opts);
+    double gap_sum = 0.0;
+    int n = 0;
+    for (int i = 0; i < 600; ++i) {
+      const auto s = trainer.step();
+      if (s.mu_hat_total && i > 300) {
+        gap_sum += *s.mu_hat_total - s.target_momentum;
+        ++n;
+      }
+    }
+    return gap_sum / std::max(n, 1);
+  };
+  const double open_gap = run(false);
+  const double closed_gap = run(true);
+  EXPECT_GT(open_gap, 0.02);  // asynchrony-induced excess is visible
+  EXPECT_LT(std::abs(closed_gap), std::abs(open_gap));
+}
+
+TEST(ClosedLoopIntegration, StillConvergesWithFeedback) {
+  BowlTask task(20, 1.0, 0.02, 3.0);
+  auto opt = std::make_shared<yf::tuner::YellowFin>(std::vector<ag::Variable>{task.x});
+  async::AsyncTrainerOptions opts;
+  opts.staleness = 7;
+  opts.closed_loop = true;
+  async::AsyncTrainer trainer(opt, [&] { return task.grad(); }, opts);
+  double last_loss = 0.0;
+  for (int i = 0; i < 1500; ++i) last_loss = trainer.step().loss;
+  EXPECT_LT(last_loss, 1.0);  // from 90 at x0 = 3
+}
+
+TEST(YellowFinOptions, SlowStartItersOverridesWindowRule) {
+  // With a 4-step warm-up, the discount is gone after ~4 steps, unlike the
+  // default 10*window = 200 steps.
+  ag::Variable x(t::Tensor({1}), true);
+  x.value()[0] = 5.0;
+  yf::tuner::YellowFinOptions fast, slow;
+  fast.slow_start_iters = 4;
+  slow.slow_start_iters = 400;
+  ag::Variable y(t::Tensor({1}), true);
+  y.value()[0] = 5.0;
+  yf::tuner::YellowFin opt_fast({x}, fast), opt_slow({y}, slow);
+  for (int i = 0; i < 10; ++i) {
+    x.zero_grad();
+    x.node()->ensure_grad()[0] = x.value()[0];
+    opt_fast.step();
+    y.zero_grad();
+    y.node()->ensure_grad()[0] = y.value()[0];
+    opt_slow.step();
+  }
+  EXPECT_GT(std::abs(x.value()[0] - 5.0), std::abs(y.value()[0] - 5.0));
+}

@@ -1,0 +1,59 @@
+#include "tuner/closed_loop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tuner = yf::tuner;
+
+TEST(ClosedLoopController, MovesTowardTarget) {
+  tuner::ClosedLoopController ctl(0.1, 0.0);
+  // Measured total momentum above target: applied momentum must decrease.
+  const double mu1 = ctl.update(/*target=*/0.5, /*measured=*/0.9);
+  EXPECT_LT(mu1, 0.0 + 1e-12);
+  EXPECT_NEAR(mu1, 0.1 * (0.5 - 0.9), 1e-12);
+}
+
+TEST(ClosedLoopController, IncreasesWhenBelowTarget) {
+  tuner::ClosedLoopController ctl(0.1, 0.0);
+  const double mu1 = ctl.update(0.8, 0.2);
+  EXPECT_GT(mu1, 0.0);
+}
+
+TEST(ClosedLoopController, ConvergesOnStationarySystem) {
+  // Simple plant: total momentum = applied momentum + 0.3 (asynchrony adds
+  // a constant 0.3). The loop must settle near target - 0.3.
+  tuner::ClosedLoopController ctl(0.05, 0.0);
+  const double target = 0.7, async_boost = 0.3;
+  double applied = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    applied = ctl.update(target, applied + async_boost);
+  }
+  EXPECT_NEAR(applied, target - async_boost, 1e-3);
+}
+
+TEST(ClosedLoopController, AllowsNegativeMomentum) {
+  // When asynchrony-induced momentum exceeds the target, the algorithmic
+  // momentum must go negative (Fig. 4 right pane).
+  tuner::ClosedLoopController ctl(0.05, 0.0);
+  const double target = 0.2, async_boost = 0.5;
+  double applied = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    applied = ctl.update(target, applied + async_boost);
+  }
+  EXPECT_NEAR(applied, -0.3, 1e-3);
+  EXPECT_LT(applied, 0.0);
+}
+
+TEST(ClosedLoopController, ClampsToStableRange) {
+  tuner::ClosedLoopController ctl(10.0, 0.0);  // absurd gain
+  double applied = 0.0;
+  for (int i = 0; i < 100; ++i) applied = ctl.update(0.9, -5.0);
+  EXPECT_LE(applied, 0.999);
+  for (int i = 0; i < 100; ++i) applied = ctl.update(-0.9, 5.0);
+  EXPECT_GE(applied, -0.999);
+}
+
+TEST(ClosedLoopController, GammaMatchesAlgorithmFiveDefault) {
+  tuner::ClosedLoopController ctl;
+  EXPECT_NEAR(ctl.gamma(), 0.01, 1e-12);
+  EXPECT_EQ(ctl.applied_momentum(), 0.0);
+}

@@ -1,0 +1,128 @@
+#include "tuner/curvature_range.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.hpp"
+
+#include <cmath>
+
+namespace tuner = yf::tuner;
+
+namespace {
+tuner::CurvatureRangeOptions fast_opts(double beta = 0.0, std::int64_t window = 3,
+                                       bool log_smooth = false, double cap = 0.0) {
+  tuner::CurvatureRangeOptions o;
+  o.beta = beta;  // beta=0 -> EWMA equals the latest observation
+  o.window = window;
+  o.log_smoothing = log_smooth;
+  o.growth_cap = cap;
+  return o;
+}
+}  // namespace
+
+TEST(CurvatureRange, ThrowsBeforeFirstUpdate) {
+  tuner::CurvatureRange cr;
+  EXPECT_THROW(cr.h_max(), std::logic_error);
+  EXPECT_THROW(cr.h_min(), std::logic_error);
+}
+
+TEST(CurvatureRange, RejectsNegativeCurvature) {
+  tuner::CurvatureRange cr;
+  EXPECT_THROW(cr.update(-1.0), std::invalid_argument);
+}
+
+TEST(CurvatureRange, RejectsBadWindow) {
+  tuner::CurvatureRangeOptions o;
+  o.window = 0;
+  EXPECT_THROW(tuner::CurvatureRange{o}, std::invalid_argument);
+}
+
+TEST(CurvatureRange, WindowMinMaxExact) {
+  tuner::CurvatureRange cr(fast_opts());
+  cr.update(5.0);
+  cr.update(2.0);
+  cr.update(9.0);
+  EXPECT_NEAR(cr.h_max(), 9.0, 1e-12);
+  EXPECT_NEAR(cr.h_min(), 2.0, 1e-12);
+}
+
+TEST(CurvatureRange, OldValuesLeaveTheWindow) {
+  tuner::CurvatureRange cr(fast_opts(0.0, 2));
+  cr.update(100.0);
+  cr.update(1.0);
+  cr.update(2.0);  // window is now {1, 2}; the 100 has scrolled out
+  EXPECT_NEAR(cr.h_max(), 2.0, 1e-12);
+  EXPECT_NEAR(cr.h_min(), 1.0, 1e-12);
+}
+
+TEST(CurvatureRange, SingleObservationHasEqualExtremes) {
+  tuner::CurvatureRange cr(fast_opts());
+  cr.update(4.0);
+  EXPECT_NEAR(cr.h_max(), cr.h_min(), 1e-12);
+}
+
+TEST(CurvatureRange, LogSmoothingTracksFastDecay) {
+  // Appendix E: with curvature decaying geometrically, log-space EWMA
+  // tracks much faster than linear-space EWMA.
+  tuner::CurvatureRangeOptions lin = fast_opts(0.99, 1, false);
+  tuner::CurvatureRangeOptions logspace = fast_opts(0.99, 1, true);
+  tuner::CurvatureRange cr_lin(lin), cr_log(logspace);
+  double h = 1e6;
+  for (int i = 0; i < 400; ++i) {
+    cr_lin.update(h);
+    cr_log.update(h);
+    h *= 0.97;
+  }
+  // True current curvature:
+  EXPECT_LT(cr_log.h_max() / h, cr_lin.h_max() / h);
+}
+
+TEST(CurvatureRange, GrowthCapLimitsSpikes) {
+  // Eq. 35: a 1e6x gradient spike must enter the envelope as at most 100x.
+  tuner::CurvatureRange cr(fast_opts(0.0, 1, false, 100.0));
+  cr.update(1.0);
+  cr.update(1e6);
+  EXPECT_LE(cr.h_max(), 100.0 + 1e-9);
+}
+
+TEST(CurvatureRange, NoCapWhenDisabled) {
+  tuner::CurvatureRange cr(fast_opts(0.0, 1, false, 0.0));
+  cr.update(1.0);
+  cr.update(1e6);
+  EXPECT_NEAR(cr.h_max(), 1e6, 1.0);
+}
+
+TEST(CurvatureRange, ZeroCurvatureSurvivesLogSmoothing) {
+  tuner::CurvatureRange cr(fast_opts(0.0, 2, true));
+  cr.update(0.0);  // log(0) would be -inf without the floor
+  EXPECT_TRUE(std::isfinite(cr.h_min()));
+  EXPECT_GE(cr.h_min(), 0.0);
+}
+
+TEST(CurvatureRange, DefaultMatchesPaperParameters) {
+  tuner::CurvatureRange cr;
+  EXPECT_EQ(cr.options().window, 20);
+  EXPECT_NEAR(cr.options().beta, 0.999, 1e-12);
+}
+
+// Parameterized sweep: for stationary inputs in [lo, hi], the smoothed
+// extremes must converge inside [lo, hi].
+class CurvatureStationary : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(CurvatureStationary, ExtremesWithinObservedRange) {
+  const auto [lo, hi] = GetParam();
+  tuner::CurvatureRangeOptions o;
+  o.beta = 0.9;
+  o.window = 20;
+  tuner::CurvatureRange cr(o);
+  yf::tensor::Rng rng(99);
+  for (int i = 0; i < 500; ++i) cr.update(rng.uniform(lo, hi));
+  EXPECT_GE(cr.h_max(), cr.h_min());
+  EXPECT_GE(cr.h_min(), lo * 0.9);
+  EXPECT_LE(cr.h_max(), hi * 1.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, CurvatureStationary,
+                         ::testing::Values(std::make_pair(0.5, 2.0),
+                                           std::make_pair(1e-4, 1e-3),
+                                           std::make_pair(10.0, 1000.0)));

@@ -1,0 +1,149 @@
+#include "sim/eigen_small.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sim = yf::sim;
+
+TEST(SmallMatrix, IdentityAndZero) {
+  auto I = sim::SmallMatrix::identity(3);
+  EXPECT_EQ(I(0, 0), 1.0);
+  EXPECT_EQ(I(0, 1), 0.0);
+  auto Z = sim::SmallMatrix::zero(2);
+  EXPECT_EQ(Z(1, 1), 0.0);
+}
+
+TEST(SmallMatrix, MatmulKnown) {
+  auto a = sim::SmallMatrix::zero(2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  auto b = sim::SmallMatrix::identity(2);
+  auto c = sim::matmul(a, b);
+  EXPECT_EQ(c(0, 1), 2.0);
+  EXPECT_EQ(c(1, 0), 3.0);
+}
+
+TEST(SmallMatrix, MatpowAgreesWithRepeatedMultiply) {
+  auto a = sim::SmallMatrix::zero(2);
+  a(0, 0) = 0.9;
+  a(0, 1) = -0.5;
+  a(1, 0) = 1.0;
+  auto direct = sim::SmallMatrix::identity(2);
+  for (int i = 0; i < 7; ++i) direct = sim::matmul(direct, a);
+  auto fast = sim::matpow(a, 7);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(fast.a[i], direct.a[i], 1e-12);
+}
+
+TEST(SmallMatrix, MatpowZeroIsIdentity) {
+  auto a = sim::SmallMatrix::zero(3);
+  auto p = sim::matpow(a, 0);
+  EXPECT_EQ(p(1, 1), 1.0);
+  EXPECT_EQ(p(0, 1), 0.0);
+}
+
+TEST(SmallMatrix, SolveKnownSystem) {
+  auto a = sim::SmallMatrix::zero(2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto z = sim::solve(a, {5, 10});
+  EXPECT_NEAR(2 * z[0] + z[1], 5.0, 1e-12);
+  EXPECT_NEAR(z[0] + 3 * z[1], 10.0, 1e-12);
+}
+
+TEST(SmallMatrix, SolveSingularThrows) {
+  auto a = sim::SmallMatrix::zero(2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(sim::solve(a, {1, 1}), std::runtime_error);
+}
+
+TEST(Roots, QuadraticRealRoots) {
+  // x^2 - 3x + 2 = 0 -> {1, 2}.
+  const auto r = sim::quadratic_roots(-3.0, 2.0);
+  const double lo = std::min(r[0].real(), r[1].real());
+  const double hi = std::max(r[0].real(), r[1].real());
+  EXPECT_NEAR(lo, 1.0, 1e-12);
+  EXPECT_NEAR(hi, 2.0, 1e-12);
+}
+
+TEST(Roots, QuadraticComplexRoots) {
+  // x^2 + 1 = 0 -> +-i.
+  const auto r = sim::quadratic_roots(0.0, 1.0);
+  EXPECT_NEAR(std::abs(r[0]), 1.0, 1e-12);
+  EXPECT_NEAR(r[0].real(), 0.0, 1e-12);
+}
+
+TEST(Roots, CubicKnownRealRoots) {
+  // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6.
+  const auto roots = sim::cubic_roots(-6.0, 11.0, -6.0);
+  double sum = 0.0, prod = 1.0;
+  for (const auto& z : roots) {
+    EXPECT_NEAR(z.imag(), 0.0, 1e-8);
+    sum += z.real();
+    prod *= z.real();
+  }
+  EXPECT_NEAR(sum, 6.0, 1e-8);
+  EXPECT_NEAR(prod, 6.0, 1e-7);
+}
+
+TEST(Roots, CubicResidualsSmallAcrossSweep) {
+  for (double a2 : {-2.0, 0.0, 3.0}) {
+    for (double a1 : {-5.0, 0.5, 4.0}) {
+      for (double a0 : {-1.0, 0.0, 2.0}) {
+        const auto roots = sim::cubic_roots(a2, a1, a0);
+        for (const auto& z : roots) {
+          const auto resid = z * z * z + a2 * z * z + a1 * z + a0;
+          EXPECT_LT(std::abs(resid), 1e-7)
+              << "a2=" << a2 << " a1=" << a1 << " a0=" << a0;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpectralRadius, DiagonalMatrix) {
+  auto m = sim::SmallMatrix::zero(3);
+  m(0, 0) = -0.5;
+  m(1, 1) = 0.25;
+  m(2, 2) = 0.1;
+  EXPECT_NEAR(sim::spectral_radius(m), 0.5, 1e-12);
+}
+
+TEST(SpectralRadius, RotationHasUnitRadius) {
+  auto m = sim::SmallMatrix::zero(2);
+  m(0, 0) = std::cos(0.7);
+  m(0, 1) = -std::sin(0.7);
+  m(1, 0) = std::sin(0.7);
+  m(1, 1) = std::cos(0.7);
+  EXPECT_NEAR(sim::spectral_radius(m), 1.0, 1e-12);
+}
+
+TEST(SpectralRadius, PowerIterationAgreesWithClosedForm2x2) {
+  auto m = sim::SmallMatrix::zero(2);
+  m(0, 0) = 0.8;
+  m(0, 1) = -0.3;
+  m(1, 0) = 1.0;
+  const double exact = sim::spectral_radius(m);
+  const double power = sim::spectral_radius_power_iteration(m, 4000);
+  EXPECT_NEAR(power, exact, 1e-3);
+}
+
+TEST(SpectralRadius, PowerIterationAgreesWithClosedForm3x3) {
+  auto m = sim::SmallMatrix::zero(3);
+  m(0, 0) = 0.5;
+  m(0, 1) = 0.2;
+  m(0, 2) = -0.1;
+  m(1, 0) = 1.0;
+  m(2, 0) = 0.3;
+  m(2, 2) = -0.4;
+  const double exact = sim::spectral_radius(m);
+  const double power = sim::spectral_radius_power_iteration(m, 4000);
+  EXPECT_NEAR(power, exact, 1e-3);
+}

@@ -1,0 +1,81 @@
+#include "tuner/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tuner = yf::tuner;
+namespace t = yf::tensor;
+
+TEST(Ewma, FirstUpdateIsUnbiased) {
+  // Without debias the first value would be (1-beta)*x; with debias it is x.
+  tuner::Ewma e(0.999);
+  EXPECT_NEAR(e.update(5.0), 5.0, 1e-12);
+}
+
+TEST(Ewma, ValueBeforeAnyUpdateIsZero) {
+  tuner::Ewma e(0.9);
+  EXPECT_EQ(e.value(), 0.0);
+  EXPECT_EQ(e.count(), 0);
+}
+
+TEST(Ewma, ConstantInputIsFixedPoint) {
+  tuner::Ewma e(0.9);
+  for (int i = 0; i < 50; ++i) e.update(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-12);
+}
+
+TEST(Ewma, MatchesManualDebiasedRecurrence) {
+  const double beta = 0.8;
+  tuner::Ewma e(beta);
+  double raw = 0.0;
+  const double xs[4] = {1.0, -2.0, 0.5, 4.0};
+  for (int i = 0; i < 4; ++i) {
+    e.update(xs[i]);
+    raw = beta * raw + (1 - beta) * xs[i];
+    EXPECT_NEAR(e.value(), raw / (1 - std::pow(beta, i + 1)), 1e-12);
+  }
+}
+
+TEST(Ewma, ResetClearsState) {
+  tuner::Ewma e(0.9);
+  e.update(10.0);
+  e.reset();
+  EXPECT_EQ(e.value(), 0.0);
+  EXPECT_NEAR(e.update(2.0), 2.0, 1e-12);
+}
+
+TEST(Ewma, TracksSlowDrift) {
+  tuner::Ewma e(0.9);
+  for (int i = 0; i < 300; ++i) e.update(static_cast<double>(i));
+  // EWMA with beta=0.9 lags the ramp by beta/(1-beta) = 9.
+  EXPECT_NEAR(e.value(), 299.0 - 9.0, 0.5);
+}
+
+TEST(TensorEwma, ThrowsBeforeFirstUpdate) {
+  tuner::TensorEwma e(0.9);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_THROW(e.value(), std::logic_error);
+}
+
+TEST(TensorEwma, FirstUpdateIsUnbiasedElementwise) {
+  tuner::TensorEwma e(0.999);
+  e.update(t::Tensor({2}, {1.0, -4.0}));
+  auto v = e.value();
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], -4.0, 1e-12);
+}
+
+TEST(TensorEwma, ShapeMismatchThrows) {
+  tuner::TensorEwma e(0.9);
+  e.update(t::Tensor({2}));
+  EXPECT_THROW(e.update(t::Tensor({3})), std::invalid_argument);
+}
+
+TEST(TensorEwma, ConstantFixedPoint) {
+  tuner::TensorEwma e(0.7);
+  for (int i = 0; i < 60; ++i) e.update(t::Tensor({2}, {2.0, -1.0}));
+  auto v = e.value();
+  EXPECT_NEAR(v[0], 2.0, 1e-9);
+  EXPECT_NEAR(v[1], -1.0, 1e-9);
+}

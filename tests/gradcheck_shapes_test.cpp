@@ -1,0 +1,161 @@
+// Shape-parameterized gradient checks: the same ops must stay correct
+// across batch sizes, feature widths, and degenerate (size-1) extents.
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace ag = yf::autograd;
+namespace t = yf::tensor;
+
+namespace {
+
+struct ShapeCase {
+  std::int64_t m, k, n;
+};
+
+std::string shape_name(const ::testing::TestParamInfo<ShapeCase>& info) {
+  return std::to_string(info.param.m) + "x" + std::to_string(info.param.k) + "x" +
+         std::to_string(info.param.n);
+}
+
+class MatmulShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(MatmulShapes, Gradcheck) {
+  const auto& [m, k, n] = GetParam();
+  t::Rng rng(11);
+  auto a = ag::Variable(rng.normal_tensor({m, k}), true);
+  auto b = ag::Variable(rng.normal_tensor({k, n}), true);
+  auto fn = [](const std::vector<ag::Variable>& in) {
+    return ag::sum(ag::square(ag::matmul(in[0], in[1])));
+  };
+  const auto result = ag::gradcheck(fn, {a, b});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatmulShapes,
+                         ::testing::Values(ShapeCase{1, 1, 1}, ShapeCase{1, 5, 1},
+                                           ShapeCase{4, 1, 3}, ShapeCase{2, 7, 3},
+                                           ShapeCase{6, 2, 6}),
+                         shape_name);
+
+struct ConvCase {
+  std::int64_t n, c, hw, f, k, stride, pad;
+};
+
+std::string conv_name(const ::testing::TestParamInfo<ConvCase>& info) {
+  const auto& p = info.param;
+  return "n" + std::to_string(p.n) + "c" + std::to_string(p.c) + "hw" + std::to_string(p.hw) +
+         "f" + std::to_string(p.f) + "k" + std::to_string(p.k) + "s" + std::to_string(p.stride) +
+         "p" + std::to_string(p.pad);
+}
+
+class ConvShapes : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvShapes, Gradcheck) {
+  const auto& p = GetParam();
+  t::Rng rng(13);
+  auto x = ag::Variable(rng.normal_tensor({p.n, p.c, p.hw, p.hw}), true);
+  auto w = ag::Variable(rng.normal_tensor({p.f, p.c, p.k, p.k}, 0.0, 0.5), true);
+  auto b = ag::Variable(rng.normal_tensor({p.f}), true);
+  auto fn = [&p](const std::vector<ag::Variable>& in) {
+    return ag::sum(ag::square(ag::conv2d(in[0], in[1], in[2], p.stride, p.pad)));
+  };
+  const auto result = ag::gradcheck(fn, {x, w, b}, 1e-5, 1e-5, 1e-3);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvShapes,
+                         ::testing::Values(ConvCase{1, 1, 3, 1, 1, 1, 0},   // 1x1 conv
+                                           ConvCase{1, 1, 4, 2, 3, 1, 1},   // same-pad 3x3
+                                           ConvCase{2, 2, 4, 2, 3, 2, 1},   // stride 2
+                                           ConvCase{1, 3, 5, 2, 3, 1, 0},   // valid conv
+                                           ConvCase{1, 1, 5, 1, 5, 1, 2}),  // kernel = input
+                         conv_name);
+
+struct BnCase {
+  std::int64_t n, c, hw;
+};
+
+class BnShapes : public ::testing::TestWithParam<BnCase> {};
+
+TEST_P(BnShapes, Gradcheck) {
+  const auto& p = GetParam();
+  t::Rng rng(17);
+  auto x = ag::Variable(rng.normal_tensor({p.n, p.c, p.hw, p.hw}), true);
+  auto gamma = ag::Variable(rng.uniform_tensor({p.c}, 0.5, 1.5), true);
+  auto beta = ag::Variable(rng.normal_tensor({p.c}), true);
+  auto fn = [](const std::vector<ag::Variable>& in) {
+    return ag::sum(ag::square(ag::batch_norm2d(in[0], in[1], in[2])));
+  };
+  const auto result = ag::gradcheck(fn, {x, gamma, beta}, 1e-5, 1e-5, 1e-3);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BnShapes,
+                         ::testing::Values(BnCase{2, 1, 2}, BnCase{2, 3, 2}, BnCase{4, 2, 3}),
+                         [](const ::testing::TestParamInfo<BnCase>& info) {
+                           return "n" + std::to_string(info.param.n) + "c" +
+                                  std::to_string(info.param.c) + "hw" +
+                                  std::to_string(info.param.hw);
+                         });
+
+struct EmbedCase {
+  std::int64_t vocab, dim;
+  std::vector<std::int64_t> indices;
+};
+
+class EmbeddingShapes : public ::testing::TestWithParam<EmbedCase> {};
+
+TEST_P(EmbeddingShapes, Gradcheck) {
+  const auto& p = GetParam();
+  t::Rng rng(19);
+  auto w = ag::Variable(rng.normal_tensor({p.vocab, p.dim}), true);
+  auto fn = [&p](const std::vector<ag::Variable>& in) {
+    return ag::sum(ag::square(ag::embedding(in[0], p.indices)));
+  };
+  const auto result = ag::gradcheck(fn, {w});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EmbeddingShapes,
+    ::testing::Values(EmbedCase{2, 1, {0}}, EmbedCase{3, 2, {2, 2, 2}},  // repeated index
+                      EmbedCase{5, 3, {0, 4, 1, 4}}),
+    [](const ::testing::TestParamInfo<EmbedCase>& info) {
+      return "v" + std::to_string(info.param.vocab) + "d" + std::to_string(info.param.dim) +
+             "b" + std::to_string(info.param.indices.size());
+    });
+
+// Cross-entropy across batch/class extents, including 2-class edge case.
+struct CeCase {
+  std::int64_t batch, classes;
+};
+
+class CrossEntropyShapes : public ::testing::TestWithParam<CeCase> {};
+
+TEST_P(CrossEntropyShapes, Gradcheck) {
+  const auto& p = GetParam();
+  t::Rng rng(23);
+  auto logits = ag::Variable(rng.normal_tensor({p.batch, p.classes}), true);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(p.batch));
+  for (std::int64_t i = 0; i < p.batch; ++i) {
+    labels[static_cast<std::size_t>(i)] = i % p.classes;
+  }
+  auto fn = [&labels](const std::vector<ag::Variable>& in) {
+    return ag::softmax_cross_entropy(in[0], labels);
+  };
+  const auto result = ag::gradcheck(fn, {logits});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrossEntropyShapes,
+                         ::testing::Values(CeCase{1, 2}, CeCase{3, 2}, CeCase{2, 10},
+                                           CeCase{8, 5}),
+                         [](const ::testing::TestParamInfo<CeCase>& info) {
+                           return "b" + std::to_string(info.param.batch) + "c" +
+                                  std::to_string(info.param.classes);
+                         });
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "nn/conv.hpp"
+#include "nn/embedding.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+
+namespace ag = yf::autograd;
+namespace nn = yf::nn;
+namespace t = yf::tensor;
+
+TEST(Linear, ForwardShape) {
+  t::Rng rng(1);
+  nn::Linear lin(4, 3, rng);
+  auto x = ag::Variable(rng.normal_tensor({5, 4}));
+  EXPECT_EQ(lin.forward(x).value().shape(), (t::Shape{5, 3}));
+}
+
+TEST(Linear, NoBiasVariant) {
+  t::Rng rng(1);
+  nn::Linear lin(2, 2, rng, /*with_bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+  auto x = ag::Variable(t::Tensor({1, 2}, {0.0, 0.0}));
+  // Without bias, zero input maps to zero output. (Keep the Variable alive:
+  // value().data() is a span into the op's node.)
+  const auto out = lin.forward(x);
+  for (double v : out.value().data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Linear, KnownComputation) {
+  t::Rng rng(1);
+  nn::Linear lin(2, 1, rng);
+  lin.weight.value().at({0, 0}) = 2.0;
+  lin.weight.value().at({1, 0}) = 3.0;
+  lin.bias.value()[0] = -1.0;
+  auto x = ag::Variable(t::Tensor({1, 2}, {10.0, 100.0}));
+  EXPECT_NEAR(lin.forward(x).value().item(), 2.0 * 10 + 3.0 * 100 - 1.0, 1e-12);
+}
+
+TEST(Linear, GradcheckThroughLayer) {
+  t::Rng rng(2);
+  nn::Linear lin(3, 2, rng);
+  auto x = ag::Variable(rng.normal_tensor({2, 3}), true);
+  std::vector<ag::Variable> inputs = {x, lin.weight, lin.bias};
+  auto fn = [&lin](const std::vector<ag::Variable>& in) {
+    return ag::mean(ag::square(lin.forward(in[0])));
+  };
+  const auto result = ag::gradcheck(fn, inputs);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Conv2dLayer, ForwardShapeAndDownsample) {
+  t::Rng rng(3);
+  nn::Conv2d conv(3, 8, 3, 2, 1, rng);
+  auto x = ag::Variable(rng.normal_tensor({2, 3, 8, 8}));
+  EXPECT_EQ(conv.forward(x).value().shape(), (t::Shape{2, 8, 4, 4}));
+}
+
+TEST(Conv2dLayer, GradcheckSmall) {
+  t::Rng rng(4);
+  nn::Conv2d conv(2, 2, 3, 1, 1, rng);
+  auto x = ag::Variable(rng.normal_tensor({1, 2, 4, 4}), true);
+  std::vector<ag::Variable> inputs = {x, conv.weight, conv.bias};
+  auto fn = [&conv](const std::vector<ag::Variable>& in) {
+    return ag::mean(ag::square(conv.forward(in[0])));
+  };
+  const auto result = ag::gradcheck(fn, inputs, 1e-5, 1e-5, 1e-3);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(EmbeddingLayer, LookupShape) {
+  t::Rng rng(5);
+  nn::Embedding emb(10, 4, rng);
+  auto out = emb.forward({1, 2, 3});
+  EXPECT_EQ(out.value().shape(), (t::Shape{3, 4}));
+}
+
+TEST(EmbeddingLayer, RowsMatchTable) {
+  t::Rng rng(5);
+  nn::Embedding emb(10, 4, rng);
+  auto out = emb.forward({7});
+  for (std::int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(out.value().at({0, j}), emb.weight.value().at({7, j}));
+  }
+}
+
+TEST(Init, XavierUniformBounds) {
+  t::Rng rng(6);
+  auto w = nn::init::xavier_uniform({100, 100}, 100, 100, rng);
+  const double bound = std::sqrt(6.0 / 200.0);
+  for (double v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(Init, HeNormalVariance) {
+  t::Rng rng(7);
+  auto w = nn::init::he_normal({200, 200}, 200, rng);
+  double sq = 0.0;
+  for (double v : w.data()) sq += v * v;
+  const double var = sq / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / 200.0, 2e-3);
+}
+
+TEST(Init, NormalStddev) {
+  t::Rng rng(8);
+  auto w = nn::init::normal({300, 100}, 0.5, rng);
+  double sq = 0.0;
+  for (double v : w.data()) sq += v * v;
+  EXPECT_NEAR(std::sqrt(sq / static_cast<double>(w.size())), 0.5, 0.02);
+}

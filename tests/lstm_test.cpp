@@ -1,0 +1,148 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+
+namespace ag = yf::autograd;
+namespace nn = yf::nn;
+namespace t = yf::tensor;
+
+namespace {
+
+/// Hand-rolled scalar LSTM cell reference (batch 1, hidden 1, input 1).
+struct ScalarLstmRef {
+  // Weight layout mirrors LSTMCell: [i, f, g, o] gates.
+  double wxi, wxf, wxg, wxo;
+  double whi, whf, whg, who;
+  double bi, bf, bg, bo;
+  std::pair<double, double> step(double x, double h, double c) const {
+    auto sig = [](double z) { return 1.0 / (1.0 + std::exp(-z)); };
+    const double i = sig(wxi * x + whi * h + bi);
+    const double f = sig(wxf * x + whf * h + bf);
+    const double g = std::tanh(wxg * x + whg * h + bg);
+    const double o = sig(wxo * x + who * h + bo);
+    const double c_next = f * c + i * g;
+    const double h_next = o * std::tanh(c_next);
+    return {h_next, c_next};
+  }
+};
+
+}  // namespace
+
+TEST(LstmCell, ForgetBiasInitializedToOne) {
+  t::Rng rng(1);
+  nn::LSTMCell cell(3, 4, rng);
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_EQ(cell.b.value()[j], 0.0);        // input gate
+  for (std::int64_t j = 4; j < 8; ++j) EXPECT_EQ(cell.b.value()[j], 1.0);        // forget gate
+  for (std::int64_t j = 8; j < 16; ++j) EXPECT_EQ(cell.b.value()[j], 0.0);       // cell, output
+}
+
+TEST(LstmCell, MatchesScalarReference) {
+  t::Rng rng(2);
+  nn::LSTMCell cell(1, 1, rng);
+  // Copy the random weights into the reference implementation.
+  ScalarLstmRef ref;
+  ref.wxi = cell.w_x.value()[0];
+  ref.wxf = cell.w_x.value()[1];
+  ref.wxg = cell.w_x.value()[2];
+  ref.wxo = cell.w_x.value()[3];
+  ref.whi = cell.w_h.value()[0];
+  ref.whf = cell.w_h.value()[1];
+  ref.whg = cell.w_h.value()[2];
+  ref.who = cell.w_h.value()[3];
+  ref.bi = cell.b.value()[0];
+  ref.bf = cell.b.value()[1];
+  ref.bg = cell.b.value()[2];
+  ref.bo = cell.b.value()[3];
+
+  double h = 0.0, c = 0.0;
+  auto state = cell.zero_state(1);
+  for (double x : {0.3, -0.7, 1.2}) {
+    auto xt = ag::Variable(t::Tensor({1, 1}, {x}));
+    state = cell.forward(xt, state);
+    std::tie(h, c) = ref.step(x, h, c);
+    EXPECT_NEAR(state.h.value().item(), h, 1e-12);
+    EXPECT_NEAR(state.c.value().item(), c, 1e-12);
+  }
+}
+
+TEST(LstmCell, StateShapes) {
+  t::Rng rng(3);
+  nn::LSTMCell cell(5, 7, rng);
+  auto st = cell.zero_state(4);
+  EXPECT_EQ(st.h.value().shape(), (t::Shape{4, 7}));
+  auto x = ag::Variable(rng.normal_tensor({4, 5}));
+  auto next = cell.forward(x, st);
+  EXPECT_EQ(next.h.value().shape(), (t::Shape{4, 7}));
+  EXPECT_EQ(next.c.value().shape(), (t::Shape{4, 7}));
+}
+
+TEST(Lstm, StackOutputsOnePerStep) {
+  t::Rng rng(4);
+  nn::LSTM lstm(3, 6, 2, rng);
+  std::vector<ag::Variable> steps;
+  for (int i = 0; i < 5; ++i) steps.push_back(ag::Variable(rng.normal_tensor({2, 3})));
+  auto outs = lstm.forward(steps, nullptr);
+  ASSERT_EQ(outs.size(), 5u);
+  for (const auto& o : outs) EXPECT_EQ(o.value().shape(), (t::Shape{2, 6}));
+}
+
+TEST(Lstm, StatesCarryAcrossCalls) {
+  t::Rng rng(5);
+  nn::LSTM lstm(2, 4, 1, rng);
+  auto x0 = ag::Variable(rng.normal_tensor({1, 2}));
+  auto x1 = ag::Variable(rng.normal_tensor({1, 2}));
+
+  // One two-step call must equal two one-step calls with threaded state.
+  auto joint = lstm.forward({x0, x1}, nullptr);
+  auto states = lstm.zero_states(1);
+  lstm.forward({x0}, &states);
+  auto split = lstm.forward({x1}, &states);
+  EXPECT_TRUE(t::allclose(joint[1].value(), split[0].value(), 1e-12, 1e-12));
+}
+
+TEST(Lstm, GradcheckThroughTwoSteps) {
+  t::Rng rng(6);
+  nn::LSTMCell cell(2, 2, rng);
+  auto x0 = ag::Variable(rng.normal_tensor({1, 2}), true);
+  auto x1 = ag::Variable(rng.normal_tensor({1, 2}), true);
+  std::vector<ag::Variable> inputs = {x0, x1, cell.w_x, cell.w_h, cell.b};
+  auto fn = [&cell](const std::vector<ag::Variable>& in) {
+    auto st = cell.zero_state(1);
+    st = cell.forward(in[0], st);
+    st = cell.forward(in[1], st);
+    return ag::mean(ag::square(st.h));
+  };
+  const auto result = ag::gradcheck(fn, inputs, 1e-5, 1e-6, 1e-3);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Lstm, BpttGradientsReachEarlySteps) {
+  t::Rng rng(7);
+  nn::LSTM lstm(2, 4, 1, rng);
+  auto x0 = ag::Variable(rng.normal_tensor({1, 2}), true);
+  std::vector<ag::Variable> steps = {x0};
+  for (int i = 0; i < 7; ++i) steps.push_back(ag::Variable(rng.normal_tensor({1, 2})));
+  auto outs = lstm.forward(steps, nullptr);
+  ag::mean(ag::square(outs.back())).backward();
+  double gnorm = 0.0;
+  for (double g : x0.grad().data()) gnorm += g * g;
+  EXPECT_GT(gnorm, 0.0) << "gradient should flow back through 8 unrolled steps";
+}
+
+TEST(Lstm, InitScaleScalesWeights) {
+  t::Rng rng_a(8);
+  t::Rng rng_b(8);
+  nn::LSTMCell small(3, 3, rng_a, 1.0);
+  nn::LSTMCell big(3, 3, rng_b, 3.0);
+  double n_small = 0.0, n_big = 0.0;
+  for (double v : small.w_h.value().data()) n_small += v * v;
+  for (double v : big.w_h.value().data()) n_big += v * v;
+  EXPECT_NEAR(n_big / n_small, 9.0, 1e-9);
+}

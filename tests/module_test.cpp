@@ -1,0 +1,103 @@
+#include "nn/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "nn/lstm.hpp"
+
+namespace nn = yf::nn;
+namespace t = yf::tensor;
+
+namespace {
+
+class TinyNet : public nn::Module {
+ public:
+  explicit TinyNet(t::Rng& rng) {
+    w = register_parameter("w", t::Tensor({2, 2}, {1, 2, 3, 4}));
+    inner_ = std::make_shared<nn::Linear>(2, 3, rng);
+    register_module("inner", inner_);
+  }
+  yf::autograd::Variable w;
+
+ private:
+  std::shared_ptr<nn::Linear> inner_;
+};
+
+}  // namespace
+
+TEST(Module, ParameterCountsAndNames) {
+  t::Rng rng(1);
+  TinyNet net(rng);
+  const auto named = net.named_parameters();
+  ASSERT_EQ(named.size(), 3u);  // w, inner.weight, inner.bias
+  EXPECT_EQ(named[0].first, "w");
+  EXPECT_EQ(named[1].first, "inner.weight");
+  EXPECT_EQ(named[2].first, "inner.bias");
+  EXPECT_EQ(net.parameter_count(), 4 + 6 + 3);
+}
+
+TEST(Module, ParametersShareStorageWithModule) {
+  t::Rng rng(1);
+  TinyNet net(rng);
+  auto params = net.parameters();
+  params[0].value()[0] = 42.0;
+  EXPECT_EQ(net.w.value()[0], 42.0);
+}
+
+TEST(Module, ZeroGradClearsAll) {
+  t::Rng rng(1);
+  TinyNet net(rng);
+  for (auto& p : net.parameters()) p.node()->ensure_grad().fill(5.0);
+  net.zero_grad();
+  for (const auto& p : net.parameters()) {
+    for (double g : p.grad().data()) EXPECT_EQ(g, 0.0);
+  }
+}
+
+TEST(Module, RegisterNullChildThrows) {
+  class Bad : public nn::Module {
+   public:
+    Bad() { register_module("x", nullptr); }
+  };
+  EXPECT_THROW(Bad{}, std::invalid_argument);
+}
+
+TEST(Module, FlattenGradsOrderAndValues) {
+  t::Rng rng(1);
+  TinyNet net(rng);
+  auto params = net.parameters();
+  params[0].node()->ensure_grad().fill(1.0);
+  params[1].node()->ensure_grad().fill(2.0);
+  params[2].node()->ensure_grad().fill(3.0);
+  auto flat = nn::flatten_grads(params);
+  EXPECT_EQ(flat.size(), net.parameter_count());
+  EXPECT_EQ(flat[0], 1.0);
+  EXPECT_EQ(flat[4], 2.0);
+  EXPECT_EQ(flat[4 + 6], 3.0);
+}
+
+TEST(Module, FlattenValuesMatchesParameters) {
+  t::Rng rng(1);
+  TinyNet net(rng);
+  auto flat = nn::flatten_values(net.parameters());
+  EXPECT_EQ(flat[0], 1.0);
+  EXPECT_EQ(flat[3], 4.0);
+}
+
+TEST(Module, GradSqNorm) {
+  t::Rng rng(1);
+  TinyNet net(rng);
+  auto params = net.parameters();
+  for (auto& p : params) p.node()->ensure_grad().fill(2.0);
+  EXPECT_NEAR(nn::grad_sq_norm(params), 4.0 * static_cast<double>(net.parameter_count()),
+              1e-12);
+}
+
+TEST(Module, LstmParameterNamesAreNested) {
+  t::Rng rng(2);
+  nn::LSTM lstm(4, 8, 2, rng);
+  const auto named = lstm.named_parameters();
+  ASSERT_EQ(named.size(), 6u);  // 2 layers x (w_x, w_h, b)
+  EXPECT_EQ(named[0].first, "cell0.w_x");
+  EXPECT_EQ(named[5].first, "cell1.b");
+}

@@ -1,0 +1,106 @@
+#include "sim/momentum_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/robust_region.hpp"
+
+namespace sim = yf::sim;
+
+TEST(MomentumOperator, MatrixLayoutMatchesEq5) {
+  const auto a = sim::momentum_operator(0.1, 0.9, 2.0);
+  EXPECT_NEAR(a(0, 0), 1.0 - 0.1 * 2.0 + 0.9, 1e-12);
+  EXPECT_NEAR(a(0, 1), -0.9, 1e-12);
+  EXPECT_EQ(a(1, 0), 1.0);
+  EXPECT_EQ(a(1, 1), 0.0);
+}
+
+TEST(MomentumOperator, ClosedFormMatchesGenericEigen) {
+  for (double alpha : {0.01, 0.5, 1.5}) {
+    for (double mu : {0.0, 0.3, 0.9}) {
+      for (double h : {0.5, 1.0, 10.0}) {
+        const double closed = sim::momentum_spectral_radius(alpha, mu, h);
+        const double generic = sim::spectral_radius(sim::momentum_operator(alpha, mu, h));
+        EXPECT_NEAR(closed, generic, 1e-10)
+            << "alpha=" << alpha << " mu=" << mu << " h=" << h;
+      }
+    }
+  }
+}
+
+// Lemma 3: inside the robust region rho(A) = sqrt(mu), parameterized sweep.
+struct RobustCase {
+  double mu, h;
+};
+class RobustRadius : public ::testing::TestWithParam<RobustCase> {};
+
+TEST_P(RobustRadius, SqrtMuInsideRegion) {
+  const auto& [mu, h] = GetParam();
+  const auto [lo, hi] = sim::robust_lr_interval(mu, h);
+  // Sample several learning rates across the region, including both
+  // boundaries (where the discriminant is 0 and rounding costs ~sqrt(eps)).
+  for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double alpha = lo + f * (hi - lo);
+    EXPECT_NEAR(sim::momentum_spectral_radius(alpha, mu, h), std::sqrt(mu), 1e-6)
+        << "alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RobustRadius,
+                         ::testing::Values(RobustCase{0.1, 1.0}, RobustCase{0.3, 1.0},
+                                           RobustCase{0.5, 1.0}, RobustCase{0.9, 1.0},
+                                           RobustCase{0.5, 0.01}, RobustCase{0.5, 100.0},
+                                           RobustCase{0.99, 7.0}));
+
+TEST(MomentumOperator, RadiusExceedsSqrtMuOutsideRegion) {
+  const double mu = 0.25, h = 1.0;
+  const auto [lo, hi] = sim::robust_lr_interval(mu, h);
+  EXPECT_GT(sim::momentum_spectral_radius(lo * 0.5, mu, h), std::sqrt(mu) + 1e-6);
+  EXPECT_GT(sim::momentum_spectral_radius(hi * 1.5, mu, h), std::sqrt(mu) + 1e-6);
+}
+
+TEST(MomentumOperator, ZeroMomentumReducesToGradientDescent) {
+  // mu = 0: rho = |1 - alpha h|.
+  for (double alpha : {0.1, 0.5, 1.0, 1.9}) {
+    EXPECT_NEAR(sim::momentum_spectral_radius(alpha, 0.0, 1.0), std::abs(1.0 - alpha), 1e-12);
+  }
+}
+
+TEST(VarianceOperator, MatrixLayoutMatchesEq12) {
+  const double alpha = 0.2, mu = 0.5, h = 3.0;
+  const double m = 1.0 - alpha * h + mu;
+  const auto b = sim::variance_operator(alpha, mu, h);
+  EXPECT_NEAR(b(0, 0), m * m, 1e-12);
+  EXPECT_NEAR(b(0, 1), mu * mu, 1e-12);
+  EXPECT_NEAR(b(0, 2), -2.0 * mu * m, 1e-12);
+  EXPECT_EQ(b(1, 0), 1.0);
+  EXPECT_EQ(b(1, 1), 0.0);
+  EXPECT_NEAR(b(2, 0), m, 1e-12);
+  EXPECT_NEAR(b(2, 2), -mu, 1e-12);
+}
+
+// Lemma 6: rho(B) = mu in the robust region.
+class VarianceRadius : public ::testing::TestWithParam<RobustCase> {};
+
+TEST_P(VarianceRadius, EqualsMuInsideRegion) {
+  const auto& [mu, h] = GetParam();
+  if (mu == 0.0) GTEST_SKIP() << "mu = 0 collapses B";
+  const auto [lo, hi] = sim::robust_lr_interval(mu, h);
+  for (double f : {0.1, 0.5, 0.9}) {
+    const double alpha = lo + f * (hi - lo);
+    EXPECT_NEAR(sim::variance_spectral_radius(alpha, mu, h), mu, 1e-8)
+        << "alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VarianceRadius,
+                         ::testing::Values(RobustCase{0.1, 1.0}, RobustCase{0.5, 1.0},
+                                           RobustCase{0.9, 1.0}, RobustCase{0.5, 20.0},
+                                           RobustCase{0.8, 0.05}));
+
+TEST(VarianceOperator, RadiusAboveMuOutsideRegion) {
+  const double mu = 0.25, h = 1.0;
+  const auto [lo, hi] = sim::robust_lr_interval(mu, h);
+  EXPECT_GT(sim::variance_spectral_radius(hi * 2.0, mu, h), mu + 1e-6);
+}

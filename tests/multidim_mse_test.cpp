@@ -1,0 +1,120 @@
+#include "sim/multidim_mse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/robust_region.hpp"
+#include "tensor/random.hpp"
+#include "tuner/single_step.hpp"
+
+namespace sim = yf::sim;
+
+namespace {
+
+sim::MultidimMseParams three_direction_params() {
+  sim::MultidimMseParams p;
+  p.mu = 0.49;
+  p.alpha = (1.0 - std::sqrt(p.mu)) * (1.0 - std::sqrt(p.mu)) / 1.0 * 1.2;  // inside region
+  p.h = {1.0, 2.0, 4.0};
+  p.c = {0.1, 0.2, 0.05};
+  p.x0 = {1.0, -2.0, 0.5};
+  return p;
+}
+
+}  // namespace
+
+TEST(MultidimMse, RejectsRaggedInputs) {
+  sim::MultidimMseParams p;
+  p.h = {1.0};
+  p.c = {1.0, 2.0};
+  p.x0 = {1.0};
+  EXPECT_THROW(sim::multidim_exact_mse_curve(p, 10), std::invalid_argument);
+}
+
+TEST(MultidimMse, SingleDirectionMatchesScalarLemma5) {
+  sim::MultidimMseParams p;
+  p.alpha = 0.2;
+  p.mu = 0.5;
+  p.h = {1.5};
+  p.c = {0.25};
+  p.x0 = {2.0};
+  const auto multi = sim::multidim_exact_mse_curve(p, 30);
+  const auto scalar = sim::exact_mse_curve({0.2, 0.5, 1.5, 0.25, 2.0}, 30);
+  for (std::size_t t = 0; t < 30; ++t) EXPECT_NEAR(multi[t], scalar[t], 1e-12);
+}
+
+TEST(MultidimMse, DecompositionIsAdditive) {
+  const auto p = three_direction_params();
+  const auto total = sim::multidim_exact_mse_curve(p, 40);
+  double per_direction_sum = 0.0;
+  for (std::size_t d = 0; d < p.h.size(); ++d) {
+    const auto curve = sim::exact_mse_curve({p.alpha, p.mu, p.h[d], p.c[d], p.x0[d]}, 40);
+    per_direction_sum += curve.back();
+  }
+  EXPECT_NEAR(total.back(), per_direction_sum, 1e-12);
+}
+
+TEST(MultidimMse, MonteCarloValidation) {
+  // Simulate momentum SGD on the 3-D diagonal quadratic directly and
+  // compare the sample MSE against the closed form.
+  const auto p = three_direction_params();
+  const std::int64_t steps = 30, trials = 20000;
+  std::vector<double> acc(static_cast<std::size_t>(steps), 0.0);
+  for (std::int64_t trial = 0; trial < trials; ++trial) {
+    yf::tensor::Rng rng(1000 + static_cast<std::uint64_t>(trial));
+    std::vector<double> x = p.x0, xp = p.x0;
+    for (std::int64_t t = 0; t < steps; ++t) {
+      double sq = 0.0;
+      for (std::size_t d = 0; d < x.size(); ++d) {
+        // Two-point gradient noise with variance c[d].
+        const double noise = (rng.bernoulli(0.5) ? 1.0 : -1.0) * std::sqrt(p.c[d]);
+        const double g = p.h[d] * x[d] + noise;
+        const double xn = x[d] - p.alpha * g + p.mu * (x[d] - xp[d]);
+        xp[d] = x[d];
+        x[d] = xn;
+        sq += x[d] * x[d];
+      }
+      acc[static_cast<std::size_t>(t)] += sq;
+    }
+  }
+  for (auto& v : acc) v /= static_cast<double>(trials);
+  const auto exact = sim::multidim_exact_mse_curve(p, steps);
+  for (std::size_t t = 0; t < exact.size(); t += 6) {
+    EXPECT_NEAR(acc[t], exact[t], 0.05 * std::max(exact[t], 0.05)) << "t=" << t;
+  }
+}
+
+TEST(MultidimMse, SurrogateMatchesExactDecayInRobustRegion) {
+  const auto p = three_direction_params();
+  ASSERT_TRUE(sim::all_directions_robust(p));
+  const auto exact = sim::multidim_exact_mse_curve(p, 600);
+  const auto surr = sim::multidim_surrogate_mse_curve(p, 600);
+  // Same steady state order and same asymptotic bias decay scale.
+  EXPECT_GT(surr.back(), 0.2 * exact.back());
+  EXPECT_LT(surr.back(), 5.0 * exact.back());
+}
+
+TEST(MultidimMse, RobustnessPredicate) {
+  auto p = three_direction_params();
+  EXPECT_TRUE(sim::all_directions_robust(p));
+  p.h.push_back(1e6);  // direction far outside the region
+  p.c.push_back(0.0);
+  p.x0.push_back(1.0);
+  EXPECT_FALSE(sim::all_directions_robust(p));
+}
+
+TEST(MultidimMse, SingleStepMinimizesMultidimSurrogateAtTEquals1) {
+  // Section 3.1: SingleStep's (mu, alpha) minimizes the t = 1 surrogate
+  // mu * ||x0||^2 + alpha^2 * C_total subject to the robust constraints.
+  const double hmin = 1.0, hmax = 1.0;
+  const double d_sq = 1.0 + 4.0 + 0.25, c_total = 0.35;
+  const auto tuned = yf::tuner::single_step(hmax, hmin, c_total, std::sqrt(d_sq));
+  const double tuned_obj = tuned.mu * d_sq + tuned.alpha * tuned.alpha * c_total;
+  for (int i = 0; i <= 500; ++i) {
+    const double x = static_cast<double>(i) / 501.0;
+    const double mu = x * x;
+    const double alpha = (1.0 - x) * (1.0 - x) / hmin;
+    EXPECT_GE(mu * d_sq + alpha * alpha * c_total, tuned_obj - 1e-9);
+  }
+}

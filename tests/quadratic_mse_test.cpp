@@ -1,0 +1,136 @@
+#include "sim/quadratic_mse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/momentum_operator.hpp"
+#include "sim/noisy_quadratic.hpp"
+#include "tuner/single_step.hpp"
+
+namespace sim = yf::sim;
+
+TEST(NoisyQuadratic, SymmetricConstruction) {
+  const auto q = sim::NoisyQuadratic::symmetric(2.0, 0.5);
+  EXPECT_EQ(q.curvature(), 2.0);
+  EXPECT_NEAR(q.gradient_variance(), 4.0 * 0.25, 1e-12);
+  EXPECT_NEAR(q.gradient(3.0), 6.0, 1e-12);
+  EXPECT_NEAR(q.loss(3.0), 9.0, 1e-12);
+}
+
+TEST(NoisyQuadratic, OffsetsAreRecentered) {
+  // Components {1, 3} -> recentered {-1, 1}; full-batch gradient unbiased.
+  const sim::NoisyQuadratic q(1.0, {1.0, 3.0});
+  yf::tensor::Rng rng(3);
+  double mean = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) mean += q.stochastic_gradient(0.0, rng);
+  mean /= n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+}
+
+TEST(NoisyQuadratic, StochasticGradientIsUnbiased) {
+  const auto q = sim::NoisyQuadratic::symmetric(3.0, 1.0);
+  yf::tensor::Rng rng(4);
+  const double x = 2.0;
+  double mean = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) mean += q.stochastic_gradient(x, rng);
+  mean /= n;
+  EXPECT_NEAR(mean, q.gradient(x), 0.05);
+}
+
+TEST(NoisyQuadratic, RejectsBadInputs) {
+  EXPECT_THROW(sim::NoisyQuadratic(0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(sim::NoisyQuadratic(1.0, {}), std::invalid_argument);
+}
+
+TEST(ExactMse, NoiselessMatchesDeterministicIterates) {
+  // With C = 0 the exact MSE is just the squared deterministic trajectory.
+  sim::MseParams p{0.3, 0.4, 1.0, 0.0, 2.0};
+  const auto curve = sim::exact_mse_curve(p, 30);
+  double x_prev = p.x0, x = p.x0;
+  for (int t = 0; t < 30; ++t) {
+    const double x_next = x - p.alpha * p.h * x + p.mu * (x - x_prev);
+    x_prev = x;
+    x = x_next;
+    EXPECT_NEAR(curve[static_cast<std::size_t>(t)], x * x, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(ExactMse, MatchesMonteCarloOnNoisyQuadratic) {
+  // Lemma 5 validation: the closed-form recurrence equals the sample
+  // average over many momentum-SGD runs.
+  sim::MseParams p{0.2, 0.5, 1.0, 0.25, 1.5};
+  const auto exact = sim::exact_mse_curve(p, 40);
+  const auto mc = sim::monte_carlo_mse_curve(p, 40, 40000, 777);
+  for (std::size_t t = 0; t < exact.size(); t += 5) {
+    const double tol = 0.05 * std::max(exact[t], 0.02);
+    EXPECT_NEAR(mc[t], exact[t], tol) << "t=" << t;
+  }
+}
+
+TEST(ExactMse, SteadyStateMatchesLinearSolve) {
+  // The variance recurrence's fixed point is (I - B)^{-1} [alpha^2 C,0,0]:
+  // the exact curve must converge to its first component.
+  const double mu = 0.49, h = 1.0;
+  const double alpha = (1.0 - std::sqrt(mu)) * (1.0 - std::sqrt(mu)) / h * 2.0;  // inside region
+  sim::MseParams p{alpha, mu, h, 1.0, 0.0};  // zero bias: x0 = 0
+  const auto curve = sim::exact_mse_curve(p, 4000);
+  const auto b = sim::variance_operator(alpha, mu, h);
+  const auto i_minus_b = sim::sub(sim::SmallMatrix::identity(3), b);
+  const auto fixed = sim::solve(i_minus_b, {alpha * alpha * p.c, 0.0, 0.0});
+  EXPECT_NEAR(curve.back(), fixed[0], 1e-9);
+  // And Eq. 14's robust-region surrogate limit alpha^2 C/(1-mu) is an
+  // upper bound of the same order.
+  const double surrogate_limit = alpha * alpha * p.c / (1.0 - mu);
+  EXPECT_GT(surrogate_limit, 0.2 * fixed[0]);
+  EXPECT_LT(surrogate_limit, 5.0 * fixed[0]);
+}
+
+TEST(Surrogate, RobustFormMatchesGenericInRobustRegion) {
+  const double mu = 0.36, h = 2.0;
+  const double alpha = 1.0 / h;  // ah = 1 in [(1-.6)^2, (1+.6)^2] = [0.16, 2.56]
+  sim::MseParams p{alpha, mu, h, 0.5, 3.0};
+  const auto generic = sim::surrogate_mse_curve(p, 50);
+  const auto robust = sim::robust_surrogate_mse_curve(p, 50);
+  for (std::size_t t = 0; t < 50; ++t) {
+    EXPECT_NEAR(generic[t], robust[t], 1e-9 * std::max(1.0, generic[t])) << "t=" << t;
+  }
+}
+
+TEST(Surrogate, TracksExactDecayRate) {
+  // The surrogate is asymptotic: its bias decay rate (mu per MSE step)
+  // should match the exact bias decay in the robust region. Use the lower
+  // boundary alpha = (1-sqrt(mu))^2/h (critically damped, real repeated
+  // eigenvalue) so the exact curve decays without oscillation.
+  const double mu = 0.25, h = 1.0;
+  const double alpha = (1.0 - std::sqrt(mu)) * (1.0 - std::sqrt(mu)) / h;
+  sim::MseParams p{alpha, mu, h, 0.0, 1.0};
+  const auto exact = sim::exact_mse_curve(p, 60);
+  const auto surr = sim::robust_surrogate_mse_curve(p, 60);
+  const double exact_rate = std::pow(exact[50] / exact[40], 0.1);
+  const double surr_rate = std::pow(surr[50] / surr[40], 0.1);
+  // Exact decay carries a polynomial t^2 factor (repeated eigenvalue); over
+  // ten steps at t ~ 45 that is a ~5% correction.
+  EXPECT_NEAR(exact_rate, surr_rate, 0.06);
+}
+
+TEST(SingleStepObjective, Formula) {
+  EXPECT_NEAR(sim::single_step_objective(0.5, 0.1, 2.0, 3.0), 0.5 * 4.0 + 0.01 * 3.0, 1e-12);
+}
+
+TEST(SingleStepObjective, TunedBeatsGridOnSurrogate) {
+  // The SingleStep closed form must (weakly) dominate a dense grid over
+  // feasible (mu, alpha) pairs on the Eq. 15 objective.
+  const double hmin = 1.0, hmax = 1.0, c = 2.0, d = 1.5;
+  const auto tuned = yf::tuner::single_step(hmax, hmin, c, d);
+  const double tuned_obj = sim::single_step_objective(tuned.mu, tuned.alpha, d, c);
+  for (int i = 0; i <= 1000; ++i) {
+    const double x = static_cast<double>(i) / 1001.0;  // sqrt(mu)
+    const double mu = x * x;
+    const double alpha = (1.0 - x) * (1.0 - x) / hmin;
+    const double obj = sim::single_step_objective(mu, alpha, d, c);
+    EXPECT_GE(obj, tuned_obj - 1e-9);
+  }
+}

@@ -1,0 +1,80 @@
+#include "tensor/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace t = yf::tensor;
+
+TEST(Rng, DeterministicPerSeed) {
+  t::Rng a(42), b(42), c(43);
+  const double va = a.normal(), vb = b.normal(), vc = c.normal();
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Rng, UniformRange) {
+  t::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, IndexRange) {
+  t::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto idx = rng.index(7);
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 7);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  t::Rng rng(3);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(1.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, NormalTensorShape) {
+  t::Rng rng(4);
+  auto x = rng.normal_tensor({3, 4});
+  EXPECT_EQ(x.size(), 12);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  t::Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  t::Rng rng(6);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.categorical(w))];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  t::Rng rng(7);
+  const std::vector<double> neg = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(neg), std::invalid_argument);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), std::invalid_argument);
+}

@@ -1,0 +1,52 @@
+#include "train/reporting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace train = yf::train;
+
+TEST(Reporting, FmtBasics) {
+  EXPECT_EQ(train::fmt(1.5), "1.5");
+  EXPECT_EQ(train::fmt(0.123456, 3), "0.123");
+  EXPECT_EQ(train::fmt_speedup(1.931), "1.93x");
+  EXPECT_EQ(train::fmt_speedup(0.5), "0.50x");
+}
+
+TEST(Reporting, WriteCsvRoundTrip) {
+  const std::string path = "/tmp/yf_reporting_test.csv";
+  train::write_csv(path, {"a", "b"}, {{1.0, 2.0, 3.0}, {10.0}});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,10");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,");  // ragged columns leave trailing cells empty
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,");
+  std::remove(path.c_str());
+}
+
+TEST(Reporting, WriteCsvSizeMismatchThrows) {
+  EXPECT_THROW(train::write_csv("/tmp/x.csv", {"a"}, {{1.0}, {2.0}}), std::invalid_argument);
+}
+
+TEST(Reporting, WriteCsvBadPathThrows) {
+  EXPECT_THROW(train::write_csv("/nonexistent_dir_zz/x.csv", {"a"}, {{1.0}}),
+               std::runtime_error);
+}
+
+TEST(Reporting, PrintHelpersDoNotThrow) {
+  // Smoke tests: console printers must handle edge cases without crashing.
+  train::print_table("t", {{"h1", "h2"}, {"a", "b"}, {"longer-cell"}});
+  train::print_table("empty", {});
+  train::print_series("s", {1.0, 2.0, 3.0}, 2);
+  train::print_series("one", {42.0});
+  train::print_series("empty", {});
+  SUCCEED();
+}

@@ -1,0 +1,93 @@
+#include "sim/robust_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sim = yf::sim;
+
+TEST(RobustRegion, BoundaryInclusive) {
+  const double mu = 0.25;  // sqrt(mu) = 0.5
+  EXPECT_TRUE(sim::in_robust_region(0.25, mu, 1.0));   // (1-0.5)^2 = 0.25
+  EXPECT_TRUE(sim::in_robust_region(2.25, mu, 1.0));   // (1+0.5)^2 = 2.25
+  EXPECT_FALSE(sim::in_robust_region(0.2499, mu, 1.0));
+  EXPECT_FALSE(sim::in_robust_region(2.2501, mu, 1.0));
+}
+
+TEST(RobustRegion, NegativeMomentumRejected) {
+  EXPECT_FALSE(sim::in_robust_region(1.0, -0.1, 1.0));
+}
+
+TEST(RobustRegion, IntervalMatchesPredicate) {
+  for (double mu : {0.0, 0.1, 0.5, 0.9}) {
+    for (double h : {0.5, 1.0, 4.0}) {
+      const auto [lo, hi] = sim::robust_lr_interval(mu, h);
+      EXPECT_TRUE(sim::in_robust_region(lo, mu, h));
+      EXPECT_TRUE(sim::in_robust_region(hi, mu, h));
+      const double mid = 0.5 * (lo + hi);
+      EXPECT_TRUE(sim::in_robust_region(mid, mu, h));
+    }
+  }
+}
+
+TEST(RobustRegion, IntervalWidensWithMomentum) {
+  // Fig. 2's key message: higher momentum tolerates a wider lr range.
+  double prev_width = -1.0;
+  for (double mu : {0.0, 0.1, 0.3, 0.5, 0.9}) {
+    const auto [lo, hi] = sim::robust_lr_interval(mu, 1.0);
+    const double width = hi - lo;
+    EXPECT_GT(width, prev_width);
+    prev_width = width;
+  }
+}
+
+TEST(RobustRegion, IntervalRejectsNonPositiveCurvature) {
+  EXPECT_THROW(sim::robust_lr_interval(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(OptimalMomentum, MatchesEq2) {
+  // kappa = 1 -> 0; closed form for a few values.
+  EXPECT_NEAR(sim::optimal_momentum(1.0), 0.0, 1e-12);
+  const double k = 9.0;  // sqrt = 3 -> ((3-1)/(3+1))^2 = 0.25
+  EXPECT_NEAR(sim::optimal_momentum(k), 0.25, 1e-12);
+  EXPECT_THROW(sim::optimal_momentum(0.5), std::invalid_argument);
+}
+
+TEST(OptimalMomentum, IncreasesWithConditioning) {
+  double prev = -1.0;
+  for (double k : {1.0, 2.0, 10.0, 100.0, 1000.0}) {
+    const double mu = sim::optimal_momentum(k);
+    EXPECT_GT(mu, prev);
+    prev = mu;
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(TuneNoiseless, CoversWholeCurvatureRange) {
+  // Eq. 9: the tuned (mu, alpha) must place every h in [hmin, hmax] inside
+  // the robust region -- the heart of the tuning rule.
+  for (double ratio : {1.0, 10.0, 1000.0}) {
+    const double hmin = 0.3, hmax = hmin * ratio;
+    const auto t = sim::tune_noiseless(hmin, hmax);
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const double h = hmin + f * (hmax - hmin);
+      EXPECT_TRUE(sim::in_robust_region(t.alpha, t.mu, h))
+          << "ratio=" << ratio << " h=" << h;
+    }
+  }
+}
+
+TEST(TuneNoiseless, MuIsMinimalForCoverage) {
+  // Slightly smaller momentum must break coverage at one of the extremes.
+  const double hmin = 1.0, hmax = 100.0;
+  const auto t = sim::tune_noiseless(hmin, hmax);
+  const double mu_small = t.mu * 0.95;
+  const double s = 1.0 - std::sqrt(mu_small);
+  const double alpha_small = s * s / hmin;  // keep lower constraint tight
+  EXPECT_FALSE(sim::in_robust_region(alpha_small, mu_small, hmax));
+}
+
+TEST(TuneNoiseless, RejectsBadRange) {
+  EXPECT_THROW(sim::tune_noiseless(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(sim::tune_noiseless(2.0, 1.0), std::invalid_argument);
+}

@@ -1,0 +1,147 @@
+#include "tuner/single_step.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/robust_region.hpp"
+
+namespace tuner = yf::tuner;
+
+namespace {
+
+/// Brute-force minimizer of p(x) = x^2 D^2 + (1-x)^4 C / hmin^2 on [0, 1).
+double brute_force_sqrt_mu(double d, double c, double hmin) {
+  double best_x = 0.0, best_v = 1e300;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = static_cast<double>(i) / 200000.0;
+    const double q = (1.0 - x) * (1.0 - x);
+    const double v = x * x * d * d + q * q * c / (hmin * hmin);
+    if (v < best_v) {
+      best_v = v;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+}  // namespace
+
+TEST(CubicSolver, RejectsNonPositiveP) {
+  EXPECT_THROW(tuner::solve_cubic_sqrt_mu(0.0), std::invalid_argument);
+  EXPECT_THROW(tuner::solve_cubic_sqrt_mu(-1.0), std::invalid_argument);
+}
+
+TEST(CubicSolver, RootSatisfiesCubic) {
+  for (double p : {1e-6, 1e-3, 0.1, 1.0, 10.0, 1e3, 1e6}) {
+    const double x = tuner::solve_cubic_sqrt_mu(p);
+    const double y = x - 1.0;
+    // y^3 + p y + p = 0, normalized by the dominant magnitude.
+    const double resid = std::abs(y * y * y + p * y + p) / std::max(1.0, p);
+    EXPECT_LT(resid, 1e-9) << "p = " << p;
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(CubicSolver, MonotoneDecreasingInP) {
+  // p = D^2 h_min^2 / (2C). Larger p (bias-dominated regime: large distance
+  // or little noise) => the one-step objective favors *smaller* momentum
+  // with a larger step; smaller p (noise-dominated) pushes momentum to 1.
+  // This is also why YellowFin anneals: as D shrinks late in training,
+  // p falls and momentum rises while the lr drops.
+  double prev = 2.0;
+  for (double p : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    const double x = tuner::solve_cubic_sqrt_mu(p);
+    EXPECT_LT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(SingleStep, RejectsBadInputs) {
+  EXPECT_THROW(tuner::single_step(1.0, 0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tuner::single_step(0.5, 1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tuner::single_step(1.0, 1.0, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tuner::single_step(1.0, 1.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(SingleStep, NoiselessLimitUsesGcnBound) {
+  const auto r = tuner::single_step(100.0, 1.0, 0.0, 1.0);
+  const double expected = yf::sim::optimal_momentum(100.0);
+  EXPECT_NEAR(r.mu, expected, 1e-12);
+  EXPECT_EQ(r.mu_unconstrained, 0.0);
+}
+
+TEST(SingleStep, FlatCurvatureNoiselessGivesZeroMomentum) {
+  const auto r = tuner::single_step(2.0, 2.0, 0.0, 1.0);
+  EXPECT_NEAR(r.mu, 0.0, 1e-12);
+  EXPECT_NEAR(r.alpha, 1.0 / 2.0, 1e-12);  // (1-0)^2 / hmin
+}
+
+TEST(SingleStep, AlphaAlwaysOnConstraint) {
+  for (double c : {0.0, 0.1, 10.0}) {
+    for (double d : {0.1, 1.0, 10.0}) {
+      const auto r = tuner::single_step(50.0, 0.5, c, d);
+      const double s = 1.0 - std::sqrt(r.mu);
+      EXPECT_NEAR(r.alpha, s * s / 0.5, 1e-12);
+    }
+  }
+}
+
+TEST(SingleStep, ResultAlwaysInRobustRegionForBothExtremes) {
+  // The constraints of Eq. 15 must place both h_min and h_max inside the
+  // robust region of Lemma 3.
+  for (double ratio : {1.0, 2.0, 10.0, 1000.0}) {
+    for (double c : {0.01, 1.0, 100.0}) {
+      const double hmin = 0.7, hmax = hmin * ratio;
+      const auto r = tuner::single_step(hmax, hmin, c, 2.0);
+      EXPECT_TRUE(yf::sim::in_robust_region(r.alpha, r.mu, hmin))
+          << "hmin, ratio=" << ratio << " c=" << c;
+      EXPECT_TRUE(yf::sim::in_robust_region(r.alpha, r.mu, hmax))
+          << "hmax, ratio=" << ratio << " c=" << c;
+    }
+  }
+}
+
+// Parameterized property: the closed form matches brute-force minimization
+// of the substituted objective across (D, C, hmin).
+struct SingleStepCase {
+  double d, c, hmin;
+};
+
+class SingleStepBruteForce : public ::testing::TestWithParam<SingleStepCase> {};
+
+TEST_P(SingleStepBruteForce, ClosedFormMatchesGrid) {
+  const auto& [d, c, hmin] = GetParam();
+  const auto r = tuner::single_step(hmin, hmin, c, d);  // ratio 1: bound is 0
+  const double brute = brute_force_sqrt_mu(d, c, hmin);
+  EXPECT_NEAR(std::sqrt(r.mu), brute, 2e-5)
+      << "d=" << d << " c=" << c << " hmin=" << hmin;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SingleStepBruteForce,
+    ::testing::Values(SingleStepCase{1.0, 1.0, 1.0}, SingleStepCase{10.0, 1.0, 1.0},
+                      SingleStepCase{0.1, 1.0, 1.0}, SingleStepCase{1.0, 100.0, 1.0},
+                      SingleStepCase{1.0, 0.01, 1.0}, SingleStepCase{5.0, 2.0, 0.1},
+                      SingleStepCase{5.0, 2.0, 10.0}, SingleStepCase{0.5, 50.0, 3.0}));
+
+TEST(SingleStep, MoreNoiseRaisesMomentumAndLowersLr) {
+  // Noise-dominated regime: the alpha^2 C term dominates, so the optimizer
+  // shrinks alpha by pushing momentum toward 1 (alpha is tied to mu by the
+  // robust-region constraint).
+  const auto low_noise = tuner::single_step(10.0, 1.0, 0.01, 1.0);
+  const auto high_noise = tuner::single_step(10.0, 1.0, 100.0, 1.0);
+  EXPECT_LE(low_noise.mu, high_noise.mu);
+  EXPECT_GE(low_noise.alpha, high_noise.alpha);
+}
+
+TEST(SingleStep, LargerDistanceLowersMomentumRaisesLr) {
+  // Bias-dominated regime: far from the optimum the mu D^2 term dominates,
+  // so the optimizer takes bigger steps (small mu, large alpha). As D
+  // decays during training this is what anneals YellowFin's lr.
+  const auto near = tuner::single_step(10.0, 1.0, 1.0, 0.1);
+  const auto far = tuner::single_step(10.0, 1.0, 1.0, 10.0);
+  EXPECT_LE(far.mu, near.mu);
+  EXPECT_GE(far.alpha, near.alpha);
+}

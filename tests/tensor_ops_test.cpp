@@ -1,0 +1,116 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace t = yf::tensor;
+
+namespace {
+t::Tensor vec(std::vector<double> v) {
+  const auto n = static_cast<std::int64_t>(v.size());
+  return t::Tensor({n}, std::move(v));
+}
+}  // namespace
+
+TEST(TensorOps, ElementwiseBinary) {
+  auto a = vec({1, 2, 3});
+  auto b = vec({4, 5, 6});
+  EXPECT_TRUE(t::allclose(t::add(a, b), vec({5, 7, 9})));
+  EXPECT_TRUE(t::allclose(t::sub(a, b), vec({-3, -3, -3})));
+  EXPECT_TRUE(t::allclose(t::mul(a, b), vec({4, 10, 18})));
+  EXPECT_TRUE(t::allclose(t::div(b, a), vec({4, 2.5, 2})));
+}
+
+TEST(TensorOps, BinaryShapeMismatchThrows) {
+  EXPECT_THROW(t::add(vec({1}), vec({1, 2})), std::invalid_argument);
+}
+
+TEST(TensorOps, ScalarBroadcast) {
+  auto a = vec({1, 2});
+  EXPECT_TRUE(t::allclose(t::add_scalar(a, 1.0), vec({2, 3})));
+  EXPECT_TRUE(t::allclose(t::mul_scalar(a, -2.0), vec({-2, -4})));
+}
+
+TEST(TensorOps, UnaryMath) {
+  auto a = vec({-1, 0, 2});
+  EXPECT_TRUE(t::allclose(t::neg(a), vec({1, 0, -2})));
+  EXPECT_TRUE(t::allclose(t::abs(a), vec({1, 0, 2})));
+  EXPECT_TRUE(t::allclose(t::square(a), vec({1, 0, 4})));
+  EXPECT_TRUE(t::allclose(t::relu(a), vec({0, 0, 2})));
+  EXPECT_NEAR(t::exp(vec({1}))[0], std::exp(1.0), 1e-12);
+  EXPECT_NEAR(t::log(vec({std::exp(2.0)}))[0], 2.0, 1e-12);
+  EXPECT_NEAR(t::sqrt(vec({9}))[0], 3.0, 1e-12);
+  EXPECT_NEAR(t::tanh(vec({0.5}))[0], std::tanh(0.5), 1e-12);
+  EXPECT_NEAR(t::sigmoid(vec({0}))[0], 0.5, 1e-12);
+}
+
+TEST(TensorOps, MapApplies) {
+  auto out = t::map(vec({1, 2, 3}), [](double x) { return 10 * x; });
+  EXPECT_TRUE(t::allclose(out, vec({10, 20, 30})));
+}
+
+TEST(TensorOps, Reductions) {
+  auto a = vec({1, -2, 3});
+  EXPECT_EQ(t::sum(a), 2.0);
+  EXPECT_NEAR(t::mean(a), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(t::max(a), 3.0);
+  EXPECT_EQ(t::min(a), -2.0);
+  EXPECT_NEAR(t::norm(a), std::sqrt(14.0), 1e-12);
+  EXPECT_EQ(t::dot(a, vec({1, 1, 1})), 2.0);
+}
+
+TEST(TensorOps, ReductionsRejectEmpty) {
+  t::Tensor empty({0});
+  EXPECT_THROW(t::mean(empty), std::invalid_argument);
+  EXPECT_THROW(t::max(empty), std::invalid_argument);
+  EXPECT_THROW(t::min(empty), std::invalid_argument);
+}
+
+TEST(TensorOps, MatmulKnownValues) {
+  t::Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  t::Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  auto c = t::matmul(a, b);
+  EXPECT_EQ(c.shape(), (t::Shape{2, 2}));
+  EXPECT_EQ(c.at({0, 0}), 58.0);
+  EXPECT_EQ(c.at({0, 1}), 64.0);
+  EXPECT_EQ(c.at({1, 0}), 139.0);
+  EXPECT_EQ(c.at({1, 1}), 154.0);
+}
+
+TEST(TensorOps, MatmulInnerMismatchThrows) {
+  EXPECT_THROW(t::matmul(t::Tensor({2, 3}), t::Tensor({2, 2})), std::invalid_argument);
+}
+
+TEST(TensorOps, MatmulRequires2D) {
+  EXPECT_THROW(t::matmul(t::Tensor({3}), t::Tensor({3, 2})), std::invalid_argument);
+}
+
+TEST(TensorOps, TransposeRoundTrip) {
+  t::Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto at = t::transpose(a);
+  EXPECT_EQ(at.shape(), (t::Shape{3, 2}));
+  EXPECT_EQ(at.at({0, 1}), 4.0);
+  EXPECT_TRUE(t::allclose(t::transpose(at), a));
+}
+
+TEST(TensorOps, AddRowBroadcast) {
+  t::Tensor a({2, 2}, {1, 2, 3, 4});
+  auto out = t::add_row_broadcast(a, vec({10, 20}));
+  EXPECT_EQ(out.at({0, 0}), 11.0);
+  EXPECT_EQ(out.at({1, 1}), 24.0);
+}
+
+TEST(TensorOps, SumRows) {
+  t::Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(t::allclose(t::sum_rows(a), vec({5, 7, 9})));
+}
+
+TEST(TensorOps, MaxAbsDiffAndAllclose) {
+  auto a = vec({1.0, 2.0});
+  auto b = vec({1.0, 2.0 + 1e-10});
+  EXPECT_NEAR(t::max_abs_diff(a, b), 1e-10, 1e-14);
+  EXPECT_TRUE(t::allclose(a, b));
+  EXPECT_FALSE(t::allclose(a, vec({1.0, 3.0})));
+  EXPECT_FALSE(t::allclose(a, vec({1.0})));  // shape mismatch is just false
+}

@@ -1,0 +1,129 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace t = yf::tensor;
+
+TEST(TensorShape, NumelBasics) {
+  EXPECT_EQ(t::numel({}), 1);
+  EXPECT_EQ(t::numel({0}), 0);
+  EXPECT_EQ(t::numel({3}), 3);
+  EXPECT_EQ(t::numel({2, 3, 4}), 24);
+}
+
+TEST(TensorShape, NumelRejectsNegative) {
+  EXPECT_THROW(t::numel({2, -1}), std::invalid_argument);
+}
+
+TEST(TensorShape, ToString) { EXPECT_EQ(t::to_string({2, 3}), "[2, 3]"); }
+
+TEST(Tensor, DefaultIsEmpty) {
+  t::Tensor x;
+  EXPECT_EQ(x.size(), 0);
+  EXPECT_EQ(x.ndim(), 1);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  t::Tensor x({2, 3});
+  EXPECT_EQ(x.size(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(x[i], 0.0);
+}
+
+TEST(Tensor, ConstructFromData) {
+  t::Tensor x({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(x.at({0, 0}), 1.0);
+  EXPECT_EQ(x.at({0, 1}), 2.0);
+  EXPECT_EQ(x.at({1, 0}), 3.0);
+  EXPECT_EQ(x.at({1, 1}), 4.0);
+}
+
+TEST(Tensor, ConstructSizeMismatchThrows) {
+  EXPECT_THROW(t::Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ScalarFactory) {
+  auto s = t::Tensor::scalar(3.5);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.item(), 3.5);
+}
+
+TEST(Tensor, ItemThrowsOnNonScalar) {
+  t::Tensor x({2});
+  EXPECT_THROW(x.item(), std::invalid_argument);
+}
+
+TEST(Tensor, FullAndOnes) {
+  auto f = t::Tensor::full({3}, 2.5);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(f[i], 2.5);
+  auto o = t::Tensor::ones({2, 2});
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(o[i], 1.0);
+}
+
+TEST(Tensor, Arange) {
+  auto a = t::Tensor::arange(4);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(a[i], static_cast<double>(i));
+}
+
+TEST(Tensor, CloneIsDeep) {
+  t::Tensor x({2}, {1, 2});
+  auto y = x.clone();
+  y[0] = 99;
+  EXPECT_EQ(x[0], 1.0);
+  EXPECT_FALSE(x.shares_storage_with(y));
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  t::Tensor x({2, 3});
+  auto y = x.reshape({3, 2});
+  EXPECT_TRUE(x.shares_storage_with(y));
+  y[0] = 7.0;
+  EXPECT_EQ(x[0], 7.0);
+}
+
+TEST(Tensor, ReshapeWrongCountThrows) {
+  t::Tensor x({2, 3});
+  EXPECT_THROW(x.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, DimNegativeAxis) {
+  t::Tensor x({2, 3, 4});
+  EXPECT_EQ(x.dim(-1), 4);
+  EXPECT_EQ(x.dim(-3), 2);
+  EXPECT_THROW(x.dim(3), std::out_of_range);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  t::Tensor x({2, 2});
+  EXPECT_THROW(x.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(x.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, AddInPlaceWithScale) {
+  t::Tensor x({2}, {1, 2});
+  t::Tensor y({2}, {10, 20});
+  x.add_(y, 0.5);
+  EXPECT_EQ(x[0], 6.0);
+  EXPECT_EQ(x[1], 12.0);
+}
+
+TEST(Tensor, AddInPlaceShapeMismatchThrows) {
+  t::Tensor x({2});
+  t::Tensor y({3});
+  EXPECT_THROW(x.add_(y), std::invalid_argument);
+}
+
+TEST(Tensor, MulAndZeroInPlace) {
+  t::Tensor x({2}, {3, 4});
+  x.mul_(2.0);
+  EXPECT_EQ(x[0], 6.0);
+  x.zero_();
+  EXPECT_EQ(x[1], 0.0);
+}
+
+TEST(Tensor, FillSetsAll) {
+  t::Tensor x({3});
+  x.fill(1.25);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(x[i], 1.25);
+}

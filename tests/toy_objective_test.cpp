@@ -1,0 +1,130 @@
+#include "sim/toy_objectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/robust_region.hpp"
+
+namespace sim = yf::sim;
+
+TEST(TwoCurvature, GeneralizedCurvatureIsExactlyPiecewise) {
+  const auto obj = sim::two_curvature_objective(1.0, 1000.0, 1.0);
+  for (double x : {-15.0, -3.0, -1.5, 2.0, 20.0}) {
+    EXPECT_EQ(obj.gcurv(x), 1.0) << "x=" << x;
+  }
+  for (double x : {-0.9, -0.2, 0.3, 0.99}) {
+    EXPECT_EQ(obj.gcurv(x), 1000.0) << "x=" << x;
+  }
+  // Definition 2: f'(x) = h(x) (x - x*), x* = 0.
+  for (double x : {-5.0, -0.5, 0.7, 12.0}) {
+    EXPECT_NEAR(obj.grad(x), obj.gcurv(x) * x, 1e-12);
+  }
+}
+
+TEST(TwoCurvature, ObjectiveContinuousAtKnee) {
+  const auto obj = sim::two_curvature_objective(2.0, 50.0, 0.5);
+  const double eps = 1e-7;
+  EXPECT_NEAR(obj.f(0.5 - eps), obj.f(0.5 + eps), 1e-4);
+  EXPECT_NEAR(obj.f(-0.5 - eps), obj.f(-0.5 + eps), 1e-4);
+  EXPECT_GE(obj.f(3.0), obj.f(0.0));
+}
+
+TEST(TwoCurvature, GcnEqualsCurvatureRatio) {
+  const auto obj = sim::two_curvature_objective(1.0, 1000.0, 1.0);
+  EXPECT_NEAR(sim::generalized_condition_number(obj, -20.0, 20.0), 1000.0, 1e-9);
+}
+
+TEST(TwoCurvature, RejectsBadParameters) {
+  EXPECT_THROW(sim::two_curvature_objective(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(sim::two_curvature_objective(1.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(DoubleWell, IsNonConvexWithTwoMinima) {
+  const auto obj = sim::double_well_objective(1.0, 1.0, 2.0);
+  EXPECT_NEAR(obj.f(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(obj.f(-2.0), 0.0, 1e-12);
+  EXPECT_GT(obj.f(0.0), 0.0);  // bump between the wells
+  EXPECT_NEAR(obj.distance(1.9), 0.1, 1e-12);
+  EXPECT_NEAR(obj.distance(-2.5), 0.5, 1e-12);
+}
+
+TEST(DoubleWell, RejectsBadParameters) {
+  EXPECT_THROW(sim::double_well_objective(1.0, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Fig3b, TuningRuleGivesSqrtMuRate) {
+  // The centerpiece of Section 2.2: on the double well with curvatures
+  // {1, 1000} (GCN 1000), tuning by Eq. 9 empirically yields linear
+  // convergence at rate ~ sqrt(mu*).
+  const auto obj = sim::double_well_objective(1.0, 1000.0, 1.0);
+  const auto tuning = sim::tune_noiseless(1.0, 1000.0);
+  const auto dist = sim::run_momentum_gd(obj, -15.0, tuning.alpha, tuning.mu, 500);
+  EXPECT_LT(dist.back(), 1e-8);  // converged
+  EXPECT_NEAR(sim::empirical_rate(dist), std::sqrt(tuning.mu), 0.01);
+}
+
+TEST(Fig3b, RateRobustToStartingWell) {
+  // Starting near the steep well or in the flat well: both trajectories
+  // converge linearly (robustness to which minimum is approached).
+  const auto obj = sim::double_well_objective(1.0, 1000.0, 1.0);
+  const auto tuning = sim::tune_noiseless(1.0, 1000.0);
+  for (double x0 : {-15.0, 15.0, 1.05, 0.9}) {
+    const auto dist = sim::run_momentum_gd(obj, x0, tuning.alpha, tuning.mu, 500);
+    EXPECT_LT(dist.back(), 1e-8) << "x0=" << x0;
+    EXPECT_NEAR(sim::empirical_rate(dist), std::sqrt(tuning.mu), 0.015) << "x0=" << x0;
+  }
+}
+
+TEST(Fig3b, RateRobustToLearningRateInsideRegion) {
+  // Robustness to lr misspecification: any alpha inside the robust region
+  // (for both curvatures) gives approximately the same sqrt(mu) rate.
+  const auto obj = sim::double_well_objective(1.0, 1000.0, 1.0);
+  const double mu = 0.95;  // above mu* ~ 0.881
+  const double lo = (1.0 - std::sqrt(mu)) * (1.0 - std::sqrt(mu)) / 1.0;     // h = 1
+  const double hi = (1.0 + std::sqrt(mu)) * (1.0 + std::sqrt(mu)) / 1000.0;  // h = 1000
+  ASSERT_LT(lo, hi);  // region non-empty since mu >= mu*
+  for (double f : {0.05, 0.5, 0.95}) {
+    const double alpha = lo + f * (hi - lo);
+    const auto dist = sim::run_momentum_gd(obj, -15.0, alpha, mu, 700);
+    EXPECT_NEAR(sim::empirical_rate(dist), std::sqrt(mu), 0.02) << "alpha=" << alpha;
+  }
+}
+
+TEST(Fig3b, UndertunedMomentumIsSlower) {
+  // Below mu* the robust region cannot cover both curvatures: a safe lr
+  // for the steep well leaves the flat well crawling.
+  const auto obj = sim::double_well_objective(1.0, 1000.0, 1.0);
+  const auto good = sim::tune_noiseless(1.0, 1000.0);
+  const double mu_bad = 0.2;
+  const double alpha_bad = (1.0 - std::sqrt(mu_bad)) * (1.0 - std::sqrt(mu_bad)) / 1000.0;
+  const auto dist_good = sim::run_momentum_gd(obj, -15.0, good.alpha, good.mu, 300);
+  const auto dist_bad = sim::run_momentum_gd(obj, -15.0, alpha_bad, mu_bad, 300);
+  EXPECT_LT(dist_good.back(), dist_bad.back() * 1e-3);
+}
+
+TEST(EmpiricalRate, ExactGeometricCurve) {
+  std::vector<double> curve;
+  double d = 1.0;
+  for (int i = 0; i < 64; ++i) {
+    curve.push_back(d);
+    d *= 0.8;
+  }
+  EXPECT_NEAR(sim::empirical_rate(curve), 0.8, 1e-9);
+}
+
+TEST(EmpiricalRate, HandlesUnderflowTail) {
+  std::vector<double> curve(32, 0.0);
+  for (int i = 0; i < 16; ++i) curve[static_cast<std::size_t>(i)] = std::pow(0.5, i);
+  // Second half is all zeros; rate must not divide by zero.
+  EXPECT_GE(sim::empirical_rate(curve), 0.0);
+}
+
+TEST(EmpiricalRate, RejectsShortCurves) {
+  EXPECT_THROW(sim::empirical_rate({1.0, 0.5}), std::invalid_argument);
+}
+
+TEST(Gcn, RejectsBadGrid) {
+  const auto obj = sim::two_curvature_objective(1.0, 10.0, 1.0);
+  EXPECT_THROW(sim::generalized_condition_number(obj, 2.0, 1.0), std::invalid_argument);
+}

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/random.hpp"
+#include "tuner/distance_to_opt.hpp"
+#include "tuner/gradient_variance.hpp"
+
+namespace tuner = yf::tuner;
+namespace t = yf::tensor;
+
+TEST(GradientVariance, ZeroBeforeAnyUpdate) {
+  tuner::GradientVariance gv;
+  EXPECT_EQ(gv.variance(), 0.0);
+  EXPECT_FALSE(gv.initialized());
+}
+
+TEST(GradientVariance, DeterministicGradientHasZeroVariance) {
+  tuner::GradientVariance gv(0.9);
+  for (int i = 0; i < 100; ++i) gv.update(t::Tensor({3}, {1.0, -2.0, 0.5}));
+  EXPECT_NEAR(gv.variance(), 0.0, 1e-12);
+}
+
+TEST(GradientVariance, RecoversKnownVariance) {
+  // g_i ~ N(mu_i, sigma^2) iid: total variance = dim * sigma^2.
+  tuner::GradientVariance gv(0.999);
+  t::Rng rng(5);
+  const double sigma = 0.5;
+  const std::int64_t dim = 10;
+  for (int i = 0; i < 20000; ++i) {
+    gv.update(rng.normal_tensor({dim}, 1.0, sigma));
+  }
+  EXPECT_NEAR(gv.variance(), static_cast<double>(dim) * sigma * sigma, 0.4);
+}
+
+TEST(GradientVariance, ClampsEarlyNegativeEstimates) {
+  tuner::GradientVariance gv(0.5);
+  gv.update(t::Tensor({1}, {1.0}));
+  EXPECT_GE(gv.variance(), 0.0);
+}
+
+TEST(GradientVariance, TwoPointDistributionExact) {
+  // Alternating +1/-1 gradient: mean -> 0, second moment -> 1, variance -> 1.
+  tuner::GradientVariance gv(0.99);
+  for (int i = 0; i < 4000; ++i) {
+    gv.update(t::Tensor({1}, {i % 2 == 0 ? 1.0 : -1.0}));
+  }
+  EXPECT_NEAR(gv.variance(), 1.0, 0.05);
+}
+
+TEST(DistanceToOpt, RejectsNegativeNorm) {
+  tuner::DistanceToOpt d;
+  EXPECT_THROW(d.update(-1.0), std::invalid_argument);
+}
+
+TEST(DistanceToOpt, MatchesCurvatureProxyFormula) {
+  // f(x) = (h/2) x^2 at fixed x: ||g|| = h|x| and the Algorithm 4 curvature
+  // proxy is h_est = ||g||^2, so the stationary estimate is
+  // D = ||g|| / ||g||^2 = 1/(h|x|).
+  const double h = 4.0;
+  const double x = 0.25;
+  tuner::DistanceToOpt d(0.9);
+  for (int i = 0; i < 200; ++i) d.update(h * std::abs(x));
+  EXPECT_NEAR(d.distance(), 1.0 / (h * std::abs(x)), 1e-9);
+}
+
+TEST(DistanceToOpt, ScalesInverselyWithGradientNorm) {
+  tuner::DistanceToOpt small(0.9), large(0.9);
+  for (int i = 0; i < 200; ++i) {
+    small.update(0.1);
+    large.update(10.0);
+  }
+  // D = ||g||/||g||^2 = 1/||g||.
+  EXPECT_NEAR(small.distance(), 10.0, 1e-6);
+  EXPECT_NEAR(large.distance(), 0.1, 1e-6);
+}
+
+TEST(DistanceToOpt, SmoothedAcrossVaryingNorms) {
+  tuner::DistanceToOpt d(0.99);
+  t::Rng rng(6);
+  for (int i = 0; i < 5000; ++i) d.update(std::abs(rng.normal(1.0, 0.1)));
+  // E||g|| ~ 1, E||g||^2 ~ 1.01 -> D ~ 0.99.
+  EXPECT_NEAR(d.distance(), 0.99, 0.05);
+}
