@@ -59,6 +59,33 @@ void BM_YellowFinStep(benchmark::State& state) {
 }
 BENCHMARK(BM_YellowFinStep)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// Step-only variants: the gradient is filled once, so the measured cost is
+// the optimizer/tuner step itself rather than the rng fill that dominates
+// the benchmarks above. The gap between BM_YellowFinStepOnly and
+// BM_MomentumSgdStepOnly is the tuner's per-step overhead (the paper's
+// "negligible" claim); both run as fused arena sweeps.
+void BM_MomentumSgdStepOnly(benchmark::State& state) {
+  auto p = make_param(state.range(0));
+  yf::optim::MomentumSGD opt({p}, 1e-8, 0.9);
+  yf::tensor::Rng rng(5);
+  fill_grad(p, rng);
+  for (auto _ : state) opt.step();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MomentumSgdStepOnly)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_YellowFinStepOnly(benchmark::State& state) {
+  auto p = make_param(state.range(0));
+  yf::tuner::YellowFinOptions opts;
+  opts.lr0 = 1e-8;
+  yf::tuner::YellowFin opt({p}, opts);
+  yf::tensor::Rng rng(6);
+  fill_grad(p, rng);
+  for (auto _ : state) opt.step();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_YellowFinStepOnly)->Arg(1000)->Arg(10000)->Arg(100000);
+
 void BM_SingleStepClosedForm(benchmark::State& state) {
   double d = 1.5, c = 0.3;
   for (auto _ : state) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/kernels.hpp"
 #include "nn/module.hpp"
 
 namespace yf::async {
@@ -37,9 +38,9 @@ AsyncStepStats AsyncTrainer::step() {
   if (delayed) {
     std::int64_t off = 0;
     for (auto& p : params) {
-      auto& g = p.node()->ensure_grad();
-      for (std::int64_t i = 0; i < g.size(); ++i) g[i] = (*delayed)[off + i];
-      off += g.size();
+      auto g = p.node()->ensure_grad().data();
+      core::copy(g, delayed->data().subspan(static_cast<std::size_t>(off), g.size()));
+      off += static_cast<std::int64_t>(g.size());
     }
     // Closed-loop momentum control (Algorithm 5): adjust applied momentum
     // before the update so mu_hat_T tracks the tuner's target.

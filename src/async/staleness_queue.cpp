@@ -1,3 +1,80 @@
 #include "async/staleness_queue.hpp"
 
-// Header-only template; TU anchors the target in the build graph.
+#include <string>
+
+namespace yf::async::detail {
+
+ChannelSync::ChannelSync(std::int64_t staleness, std::int64_t capacity)
+    : staleness_(staleness), capacity_(capacity) {
+  if (staleness < 0) {
+    throw std::invalid_argument("BlockingStalenessQueue: staleness must be >= 0");
+  }
+  if (capacity <= staleness) {
+    throw std::invalid_argument(
+        "BlockingStalenessQueue: capacity must exceed staleness (capacity " +
+        std::to_string(capacity) + " vs staleness " + std::to_string(staleness) + ")");
+  }
+}
+
+bool ChannelSync::begin_push() {
+  std::unique_lock lock(mu_);
+  slot_free_.wait(lock, [&] { return closed_ || reserved_ < capacity_; });
+  if (closed_) return false;
+  ++reserved_;
+  return true;
+}
+
+void ChannelSync::commit_push() {
+  {
+    std::scoped_lock lock(mu_);
+    ++committed_;
+  }
+  entry_ready_.notify_one();
+}
+
+bool ChannelSync::begin_pop() {
+  std::unique_lock lock(mu_);
+  // After close, drain every entry -- including pushes that reserved a
+  // slot before close but have not committed yet (reserved_ > committed_):
+  // their push() will return true, so the value must reach a consumer.
+  entry_ready_.wait(lock, [&] {
+    if (closed_) return committed_ > 0 || reserved_ == 0;
+    return committed_ > staleness_;
+  });
+  if (committed_ == 0) return false;  // closed and fully drained
+  --committed_;
+  return true;
+}
+
+void ChannelSync::commit_pop() {
+  {
+    std::scoped_lock lock(mu_);
+    --reserved_;
+  }
+  slot_free_.notify_one();
+  // Other consumers may be waiting out the closed-drain predicate
+  // (committed_ > 0 || reserved_ == 0): reaching reserved_ == 0 here is
+  // their wake-up signal, not just the producers'.
+  entry_ready_.notify_all();
+}
+
+void ChannelSync::close() {
+  {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  slot_free_.notify_all();
+  entry_ready_.notify_all();
+}
+
+std::int64_t ChannelSync::size() const {
+  std::scoped_lock lock(mu_);
+  return committed_;
+}
+
+bool ChannelSync::closed() const {
+  std::scoped_lock lock(mu_);
+  return closed_;
+}
+
+}  // namespace yf::async::detail

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <future>
 #include <mutex>
 #include <thread>
 
 #include "async/total_momentum.hpp"
+#include "core/parallel.hpp"
 
 namespace yf::async {
 
@@ -53,12 +55,18 @@ ThreadedTrainerResult run_threaded_training(const tensor::Tensor& x0, const Grad
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(opts.workers));
+  // Run the workers on the shared pool instead of spawning threads per
+  // call. Hogwild workers rendezvous on `mu`, so every worker needs its
+  // own pool thread to make progress concurrently.
+  auto& pool = core::ThreadPool::instance();
+  pool.ensure_workers(static_cast<std::size_t>(opts.workers));
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(opts.workers));
   for (std::int64_t w = 0; w < opts.workers; ++w) {
-    threads.emplace_back(worker_fn, opts.seed + static_cast<std::uint64_t>(w) * 7919 + 1);
+    const std::uint64_t seed = opts.seed + static_cast<std::uint64_t>(w) * 7919 + 1;
+    futures.push_back(pool.submit([&worker_fn, seed] { worker_fn(seed); }));
   }
-  for (auto& t : threads) t.join();
+  for (auto& f : futures) f.get();
 
   // Post-hoc Eq. 37 measurement: for each gradient evaluated at iterate j,
   // mu_hat_T = median_k ( (x_{j+1} - x_j + alpha g_j)_k / (x_j - x_{j-1})_k ).

@@ -1,0 +1,204 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace yf::core {
+
+namespace {
+
+void check_same_size(std::span<const double> a, std::span<const double> b, const char* op) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(op) + ": span size mismatch " +
+                                std::to_string(a.size()) + " vs " + std::to_string(b.size()));
+  }
+}
+
+}  // namespace
+
+void fill(std::span<double> x, double v) {
+  map(x, x, [v](double) { return v; });
+}
+
+void copy(std::span<double> dst, std::span<const double> src) {
+  check_same_size(dst, src, "copy");
+  map(dst, src, [](double s) { return s; });
+}
+
+void scale(std::span<double> x, double a) {
+  map(x, x, [a](double v) { return v * a; });
+}
+
+void axpy(std::span<double> y, std::span<const double> x, double a) {
+  check_same_size(y, x, "axpy");
+  binary(y, y, x, [a](double yi, double xi) { return yi + a * xi; });
+}
+
+double sum(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s;
+}
+
+double squared_norm(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  check_same_size(a, b, "dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double max_abs(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void ewma_update(std::span<double> avg, std::span<const double> x, double beta) {
+  check_same_size(avg, x, "ewma_update");
+  const double om = 1.0 - beta;
+  binary(avg, avg, x, [beta, om](double a, double v) {
+    a = a * beta;
+    a += om * v;
+    return a;
+  });
+}
+
+void ewma_update_moments(std::span<double> m1, std::span<double> m2, std::span<const double> x,
+                         double beta) {
+  check_same_size(m1, x, "ewma_update_moments");
+  check_same_size(m2, x, "ewma_update_moments");
+  const double om = 1.0 - beta;
+  const auto n = static_cast<std::int64_t>(x.size());
+  double* p1 = m1.data();
+  double* p2 = m2.data();
+  const double* px = x.data();
+  parallel_for(n, kDefaultGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double g = px[i];
+      double a = p1[i] * beta;
+      a += om * g;
+      p1[i] = a;
+      double b = p2[i] * beta;
+      b += om * (g * g);
+      p2[i] = b;
+    }
+  });
+}
+
+double debiased_variance_sum(std::span<const double> m1_raw, std::span<const double> m2_raw,
+                             double inv1, double inv2) {
+  check_same_size(m1_raw, m2_raw, "debiased_variance_sum");
+  double c = 0.0;
+  for (std::size_t i = 0; i < m1_raw.size(); ++i) {
+    const double m = m1_raw[i] * inv1;
+    const double m2 = m2_raw[i] * inv2;
+    c += m2 - m * m;
+  }
+  return c;
+}
+
+double clip_scale(std::span<double> x, double max_norm) {
+  if (max_norm <= 0.0) throw std::invalid_argument("clip_scale: max_norm must be positive");
+  const double norm = std::sqrt(squared_norm(x));
+  if (norm > max_norm) scale(x, max_norm / norm);
+  return norm;
+}
+
+void sgd_step(std::span<double> x, std::span<const double> g, double lr) {
+  axpy(x, g, -lr);
+}
+
+void momentum_step(std::span<double> x, std::span<double> v, std::span<const double> g,
+                   double lr, double mu, bool nesterov) {
+  check_same_size(x, g, "momentum_step");
+  check_same_size(x, v, "momentum_step");
+  const auto n = static_cast<std::int64_t>(x.size());
+  double* px = x.data();
+  double* pv = v.data();
+  const double* pg = g.data();
+  parallel_for(n, kDefaultGrain, [&](std::int64_t lo, std::int64_t hi) {
+    if (nesterov) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        double vi = pv[i] * mu;
+        vi += -lr * pg[i];
+        pv[i] = vi;
+        px[i] += mu * vi;
+        px[i] += -lr * pg[i];
+      }
+    } else {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        double vi = pv[i] * mu;
+        vi += -lr * pg[i];
+        pv[i] = vi;
+        px[i] += vi;
+      }
+    }
+  });
+}
+
+void adam_step(std::span<double> x, std::span<double> m, std::span<double> v,
+               std::span<const double> g, double lr, double beta1, double beta2, double bc1,
+               double bc2, double eps) {
+  check_same_size(x, g, "adam_step");
+  check_same_size(x, m, "adam_step");
+  check_same_size(x, v, "adam_step");
+  const auto n = static_cast<std::int64_t>(x.size());
+  double* px = x.data();
+  double* pm = m.data();
+  double* pv = v.data();
+  const double* pg = g.data();
+  parallel_for(n, kDefaultGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double gi = pg[i];
+      pm[i] = beta1 * pm[i] + (1.0 - beta1) * gi;
+      pv[i] = beta2 * pv[i] + (1.0 - beta2) * gi * gi;
+      const double mhat = pm[i] / bc1;
+      const double vhat = pv[i] / bc2;
+      px[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  });
+}
+
+void adagrad_step(std::span<double> x, std::span<double> accum, std::span<const double> g,
+                  double lr, double eps) {
+  check_same_size(x, g, "adagrad_step");
+  check_same_size(x, accum, "adagrad_step");
+  const auto n = static_cast<std::int64_t>(x.size());
+  double* px = x.data();
+  double* pa = accum.data();
+  const double* pg = g.data();
+  parallel_for(n, kDefaultGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double gi = pg[i];
+      pa[i] += gi * gi;
+      px[i] -= lr * gi / (std::sqrt(pa[i]) + eps);
+    }
+  });
+}
+
+void rmsprop_step(std::span<double> x, std::span<double> sq, std::span<const double> g,
+                  double lr, double decay, double eps) {
+  check_same_size(x, g, "rmsprop_step");
+  check_same_size(x, sq, "rmsprop_step");
+  const auto n = static_cast<std::int64_t>(x.size());
+  double* px = x.data();
+  double* ps = sq.data();
+  const double* pg = g.data();
+  parallel_for(n, kDefaultGrain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double gi = pg[i];
+      ps[i] = decay * ps[i] + (1.0 - decay) * gi * gi;
+      px[i] -= lr * gi / (std::sqrt(ps[i]) + eps);
+    }
+  });
+}
+
+}  // namespace yf::core

@@ -1,0 +1,78 @@
+// Shared thread pool and grain-size-aware parallel_for (DESIGN.md §4).
+//
+// One process-wide pool serves every layer that wants concurrency: the
+// span kernels (core/kernels.hpp) partition large elementwise sweeps over
+// it, tensor::matmul parallelises over output rows, and the hogwild
+// trainer (async/threaded_trainer) runs its workers on it instead of
+// spawning fresh OS threads per call.
+//
+// Determinism contract: parallel_for only ever partitions *independent*
+// index ranges; callers that need a deterministic reduction order keep the
+// reduction sequential (see kernels.hpp). Nested calls from inside a pool
+// worker run inline, so the pool never deadlocks on itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+
+namespace yf::core {
+
+/// Default elementwise grain: below this many scalars a sweep is not worth
+/// dispatching to the pool.
+inline constexpr std::int64_t kDefaultGrain = 1 << 14;
+
+class ThreadPool {
+ public:
+  /// Process-wide pool. Initial worker count is YF_THREADS when set, else
+  /// hardware_concurrency. With fewer than two workers, parallel_for runs
+  /// inline (a lone worker cannot beat the calling thread).
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const;
+
+  /// Grow the pool to at least `n` workers (never shrinks; idle workers
+  /// block on a condition variable). Callers that submit
+  /// mutually-blocking task sets (e.g. hogwild workers that rendezvous on
+  /// a lock) must ensure one worker per task first. Growing the pool this
+  /// way does NOT raise the elementwise fan-out cap -- blocking task sets
+  /// need threads, not data-parallel chunks, and fanning 64 hogwild
+  /// threads' worth of chunks onto 4 cores would oversubscribe them.
+  void ensure_workers(std::size_t n);
+
+  /// Number of chunks parallel_for may dispatch (excluding the calling
+  /// thread). Defaults to the initial worker count (YF_THREADS or
+  /// hardware_concurrency) and is unaffected by ensure_workers.
+  std::size_t fanout() const;
+
+  /// Raise the fan-out cap (grows the pool to match). For tests and
+  /// experiments that want data-parallel chunking beyond the detected
+  /// core count.
+  void set_fanout(std::size_t n);
+
+  /// Enqueue a task; the future rethrows any exception it raised.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// True when called from inside a pool worker (used to run nested
+  /// parallel constructs inline).
+  static bool on_worker_thread();
+
+ private:
+  ThreadPool();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Run `body(lo, hi)` over a partition of [0, n). Ranges are disjoint,
+/// cover [0, n) exactly, and are at least `grain` long (except possibly
+/// the last), so per-element work is identical to a sequential sweep.
+/// Runs inline when n <= grain, the pool is unavailable, or the caller is
+/// itself a pool worker.
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace yf::core

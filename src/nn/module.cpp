@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/kernels.hpp"
+
 namespace yf::nn {
 
 std::vector<autograd::Variable> Module::parameters() const {
@@ -54,7 +56,7 @@ tensor::Tensor flatten_grads(const std::vector<autograd::Variable>& params) {
   std::int64_t off = 0;
   for (const auto& p : params) {
     const auto& g = p.grad();
-    for (std::int64_t i = 0; i < g.size(); ++i) flat[off + i] = g[i];
+    core::copy(flat.data().subspan(static_cast<std::size_t>(off), g.data().size()), g.data());
     off += g.size();
   }
   return flat;
@@ -67,7 +69,7 @@ tensor::Tensor flatten_values(const std::vector<autograd::Variable>& params) {
   std::int64_t off = 0;
   for (const auto& p : params) {
     const auto& v = p.value();
-    for (std::int64_t i = 0; i < v.size(); ++i) flat[off + i] = v[i];
+    core::copy(flat.data().subspan(static_cast<std::size_t>(off), v.data().size()), v.data());
     off += v.size();
   }
   return flat;
@@ -75,9 +77,7 @@ tensor::Tensor flatten_values(const std::vector<autograd::Variable>& params) {
 
 double grad_sq_norm(const std::vector<autograd::Variable>& params) {
   double s = 0.0;
-  for (const auto& p : params) {
-    for (double g : p.grad().data()) s += g * g;
-  }
+  for (const auto& p : params) s += core::squared_norm(p.grad().data());
   return s;
 }
 

@@ -1,25 +1,16 @@
 #include "optim/adagrad.hpp"
 
-#include <cmath>
+#include "core/kernels.hpp"
 
 namespace yf::optim {
 
 AdaGrad::AdaGrad(std::vector<autograd::Variable> params, double lr, double eps)
     : Optimizer(std::move(params)), lr_(lr), eps_(eps) {
-  accum_.reserve(params_.size());
-  for (const auto& p : params_) accum_.push_back(tensor::Tensor::zeros(p.value().shape()));
+  accum_ = arena_.make_buffer();
 }
 
 void AdaGrad::step() {
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& a = accum_[i];
-    const auto& g = params_[i].grad();
-    auto& x = params_[i].value();
-    for (std::int64_t j = 0; j < g.size(); ++j) {
-      a[j] += g[j] * g[j];
-      x[j] -= lr_ * g[j] / (std::sqrt(a[j]) + eps_);
-    }
-  }
+  core::adagrad_step(arena_.values(), accum_.data(), arena_.grads(), lr_, eps_);
   ++iteration_;
 }
 

@@ -17,7 +17,7 @@ class AdaGrad : public Optimizer {
 
  private:
   double lr_, eps_;
-  std::vector<tensor::Tensor> accum_;
+  tensor::Tensor accum_;  ///< flat accumulator aligned with the arena
 };
 
 }  // namespace yf::optim

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels.hpp"
+
 namespace yf::optim {
 
 Adam::Adam(std::vector<autograd::Variable> params, double lr, double beta1, double beta2,
@@ -10,31 +12,16 @@ Adam::Adam(std::vector<autograd::Variable> params, double lr, double beta1, doub
     : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
   if (beta1 <= -1.0 || beta1 >= 1.0) throw std::invalid_argument("Adam: beta1 must be in (-1,1)");
   if (beta2 <= 0.0 || beta2 >= 1.0) throw std::invalid_argument("Adam: beta2 must be in (0,1)");
-  m_.reserve(params_.size());
-  v_.reserve(params_.size());
-  for (const auto& p : params_) {
-    m_.push_back(tensor::Tensor::zeros(p.value().shape()));
-    v_.push_back(tensor::Tensor::zeros(p.value().shape()));
-  }
+  m_ = arena_.make_buffer();
+  v_ = arena_.make_buffer();
 }
 
 void Adam::step() {
   const auto t = static_cast<double>(iteration_ + 1);
   const double bc1 = 1.0 - std::pow(beta1_, t);
   const double bc2 = 1.0 - std::pow(beta2_, t);
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& m = m_[i];
-    auto& v = v_[i];
-    const auto& g = params_[i].grad();
-    auto& x = params_[i].value();
-    for (std::int64_t j = 0; j < g.size(); ++j) {
-      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
-      const double mhat = m[j] / bc1;
-      const double vhat = v[j] / bc2;
-      x[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
-  }
+  core::adam_step(arena_.values(), m_.data(), v_.data(), arena_.grads(), lr_, beta1_, beta2_,
+                  bc1, bc2, eps_);
   ++iteration_;
 }
 

@@ -24,7 +24,7 @@ class Adam : public Optimizer {
 
  private:
   double lr_, beta1_, beta2_, eps_;
-  std::vector<tensor::Tensor> m_, v_;
+  tensor::Tensor m_, v_;  ///< flat moment buffers aligned with the arena
 };
 
 }  // namespace yf::optim

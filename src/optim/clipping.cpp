@@ -3,13 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels.hpp"
+
 namespace yf::optim {
 
 double global_grad_norm(const std::vector<autograd::Variable>& params) {
   double sq = 0.0;
-  for (const auto& p : params) {
-    for (double g : p.grad().data()) sq += g * g;
-  }
+  for (const auto& p : params) sq += core::squared_norm(p.grad().data());
   return std::sqrt(sq);
 }
 
@@ -20,8 +20,7 @@ double clip_grad_norm(std::vector<autograd::Variable>& params, double max_norm) 
     const double scale = max_norm / norm;
     for (auto& p : params) {
       // grad() is const-ref; mutate via node to keep the public API const-safe.
-      auto g = p.node()->ensure_grad().data();
-      for (auto& x : g) x *= scale;
+      core::scale(p.node()->ensure_grad().data(), scale);
     }
   }
   return norm;

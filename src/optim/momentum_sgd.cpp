@@ -1,28 +1,24 @@
 #include "optim/momentum_sgd.hpp"
 
+#include "core/kernels.hpp"
+
 namespace yf::optim {
 
 MomentumSGD::MomentumSGD(std::vector<autograd::Variable> params, double lr, double momentum,
                          bool nesterov)
     : Optimizer(std::move(params)), lr_(lr), momentum_(momentum), nesterov_(nesterov) {
-  velocity_.reserve(params_.size());
-  for (const auto& p : params_) velocity_.push_back(tensor::Tensor::zeros(p.value().shape()));
+  velocity_ = arena_.make_buffer();
+  // One view per parameter-list entry, so velocity(i) indexes like the
+  // historical per-entry buffers; tied duplicates share a slot's view.
+  velocity_views_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_views_.push_back(arena_.view(velocity_, arena_.slot_index(p)));
+  }
 }
 
 void MomentumSGD::step() {
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& v = velocity_[i];
-    const auto& g = params_[i].grad();
-    v.mul_(momentum_);
-    v.add_(g, -lr_);
-    if (nesterov_) {
-      // Nesterov look-ahead: x += mu*v - lr*g (v already holds the new velocity).
-      params_[i].value().add_(v, momentum_);
-      params_[i].value().add_(g, -lr_);
-    } else {
-      params_[i].value().add_(v);
-    }
-  }
+  core::momentum_step(arena_.values(), velocity_.data(), arena_.grads(), lr_, momentum_,
+                      nesterov_);
   ++iteration_;
 }
 

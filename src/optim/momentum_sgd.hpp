@@ -25,14 +25,16 @@ class MomentumSGD : public Optimizer {
   double momentum() const { return momentum_; }
   void set_momentum(double mu) { momentum_ = mu; }
 
-  /// Velocity buffer for parameter slot i (tests & async introspection).
-  const tensor::Tensor& velocity(std::size_t i) const { return velocity_[i]; }
+  /// Velocity view for parameter slot i (tests & async introspection);
+  /// aliases the flat velocity buffer, shaped like the parameter.
+  const tensor::Tensor& velocity(std::size_t i) const { return velocity_views_[i]; }
 
  private:
   double lr_;
   double momentum_;
   bool nesterov_;
-  std::vector<tensor::Tensor> velocity_;
+  tensor::Tensor velocity_;  ///< flat, aligned with the arena layout
+  std::vector<tensor::Tensor> velocity_views_;
 };
 
 }  // namespace yf::optim

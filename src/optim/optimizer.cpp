@@ -4,17 +4,23 @@
 
 namespace yf::optim {
 
-Optimizer::Optimizer(std::vector<autograd::Variable> params) : params_(std::move(params)) {
-  if (params_.empty()) throw std::invalid_argument("Optimizer: empty parameter list");
-  for (const auto& p : params_) {
+namespace {
+
+const std::vector<autograd::Variable>& validated(const std::vector<autograd::Variable>& params) {
+  if (params.empty()) throw std::invalid_argument("Optimizer: empty parameter list");
+  for (const auto& p : params) {
     if (!p.requires_grad()) {
       throw std::invalid_argument("Optimizer: parameter does not require grad");
     }
   }
+  return params;
 }
 
-void Optimizer::zero_grad() {
-  for (auto& p : params_) p.zero_grad();
-}
+}  // namespace
+
+Optimizer::Optimizer(std::vector<autograd::Variable> params)
+    : params_(std::move(params)), arena_(validated(params_)) {}
+
+void Optimizer::zero_grad() { arena_.zero_grads(); }
 
 }  // namespace yf::optim

@@ -3,12 +3,26 @@
 // All optimizers in this library (including YellowFin) share this
 // interface, so experiment harnesses can swap them freely -- the "drop-in
 // replacement" property the paper's released implementations advertise.
+//
+// Construction flattens the parameters into a core::ParamArena
+// (DESIGN.md §4): every concrete step() is a single fused sweep over the
+// contiguous value/gradient buffers instead of a per-parameter tensor
+// walk, and zero_grad() is one pass over the gradient buffer. Parameter
+// handles remain valid -- they become views into the arena.
+//
+// Several optimizers may be constructed over the *same parameter list*:
+// later arenas adopt the first one's buffers, so all stay live. But
+// constructing an optimizer over a reordered or partial subset of
+// already-flattened parameters migrates them into new buffers and
+// detaches any earlier optimizer still holding the old arena -- destroy
+// the old optimizer first in that case.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "autograd/variable.hpp"
+#include "core/arena.hpp"
 
 namespace yf::optim {
 
@@ -34,11 +48,15 @@ class Optimizer {
 
   const std::vector<autograd::Variable>& params() const { return params_; }
 
+  /// Flat parameter/gradient storage backing this optimizer.
+  const core::ParamArena& arena() const { return arena_; }
+
   /// Number of step() calls so far.
   std::int64_t iteration() const { return iteration_; }
 
  protected:
   std::vector<autograd::Variable> params_;
+  core::ParamArena arena_;
   std::int64_t iteration_ = 0;
 };
 

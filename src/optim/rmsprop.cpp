@@ -1,25 +1,16 @@
 #include "optim/rmsprop.hpp"
 
-#include <cmath>
+#include "core/kernels.hpp"
 
 namespace yf::optim {
 
 RMSProp::RMSProp(std::vector<autograd::Variable> params, double lr, double decay, double eps)
     : Optimizer(std::move(params)), lr_(lr), decay_(decay), eps_(eps) {
-  sq_.reserve(params_.size());
-  for (const auto& p : params_) sq_.push_back(tensor::Tensor::zeros(p.value().shape()));
+  sq_ = arena_.make_buffer();
 }
 
 void RMSProp::step() {
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& s = sq_[i];
-    const auto& g = params_[i].grad();
-    auto& x = params_[i].value();
-    for (std::int64_t j = 0; j < g.size(); ++j) {
-      s[j] = decay_ * s[j] + (1.0 - decay_) * g[j] * g[j];
-      x[j] -= lr_ * g[j] / (std::sqrt(s[j]) + eps_);
-    }
-  }
+  core::rmsprop_step(arena_.values(), sq_.data(), arena_.grads(), lr_, decay_, eps_);
   ++iteration_;
 }
 

@@ -18,7 +18,7 @@ class RMSProp : public Optimizer {
 
  private:
   double lr_, decay_, eps_;
-  std::vector<tensor::Tensor> sq_;
+  tensor::Tensor sq_;  ///< flat second-moment buffer aligned with the arena
 };
 
 }  // namespace yf::optim

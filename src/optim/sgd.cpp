@@ -1,12 +1,14 @@
 #include "optim/sgd.hpp"
 
+#include "core/kernels.hpp"
+
 namespace yf::optim {
 
 SGD::SGD(std::vector<autograd::Variable> params, double lr)
     : Optimizer(std::move(params)), lr_(lr) {}
 
 void SGD::step() {
-  for (auto& p : params_) p.value().add_(p.grad(), -lr_);
+  core::sgd_step(arena_.values(), arena_.grads(), lr_);
   ++iteration_;
 }
 

@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/kernels.hpp"
+#include "core/parallel.hpp"
+
 namespace yf::tensor {
 namespace {
 
@@ -12,19 +15,14 @@ template <typename F>
 Tensor zip(const Tensor& a, const Tensor& b, const char* op, F&& f) {
   check_same_shape(a, b, op);
   Tensor out(a.shape());
-  auto oa = a.data();
-  auto ob = b.data();
-  auto oo = out.data();
-  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = f(oa[i], ob[i]);
+  core::binary(out.data(), a.data(), b.data(), std::forward<F>(f));
   return out;
 }
 
 template <typename F>
 Tensor unary(const Tensor& a, F&& f) {
   Tensor out(a.shape());
-  auto ia = a.data();
-  auto oo = out.data();
-  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = f(ia[i]);
+  core::map(out.data(), a.data(), std::forward<F>(f));
   return out;
 }
 
@@ -79,14 +77,15 @@ Tensor relu(const Tensor& a) {
 }
 
 Tensor map(const Tensor& a, const std::function<double(double)>& fn) {
-  return unary(a, [&fn](double x) { return fn(x); });
+  // std::function is too opaque to prove thread-safe; keep it sequential.
+  Tensor out(a.shape());
+  auto ia = a.data();
+  auto oo = out.data();
+  for (std::size_t i = 0; i < oo.size(); ++i) oo[i] = fn(ia[i]);
+  return out;
 }
 
-double sum(const Tensor& a) {
-  double s = 0.0;
-  for (double x : a.data()) s += x;
-  return s;
-}
+double sum(const Tensor& a) { return core::sum(a.data()); }
 
 double mean(const Tensor& a) {
   if (a.size() == 0) throw std::invalid_argument("mean: empty tensor");
@@ -107,19 +106,11 @@ double min(const Tensor& a) {
   return m;
 }
 
-double norm(const Tensor& a) {
-  double s = 0.0;
-  for (double x : a.data()) s += x * x;
-  return std::sqrt(s);
-}
+double norm(const Tensor& a) { return std::sqrt(core::squared_norm(a.data())); }
 
 double dot(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "dot");
-  double s = 0.0;
-  auto ia = a.data();
-  auto ib = b.data();
-  for (std::size_t i = 0; i < ia.size(); ++i) s += ia[i] * ib[i];
-  return s;
+  return core::dot(a.data(), b.data());
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -136,16 +127,30 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const auto* pa = a.data().data();
   const auto* pb = b.data().data();
   auto* pc = c.data().data();
-  // i-k-j loop order: streams through B and C rows for cache friendliness.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const double aik = pa[i * k + kk];
-      if (aik == 0.0) continue;
-      const double* brow = pb + kk * n;
+  // Each output row is an independent i-k-j accumulation (streams through
+  // B and C rows), so rows parallelise without changing any element's
+  // accumulation order. Column blocks keep the active B/C working set in
+  // L1 when n is large; within a block the kk-ascending order per output
+  // element is unchanged.
+  constexpr std::int64_t kColBlock = 256;
+  const std::int64_t flops_per_row = k * n;
+  const std::int64_t row_grain =
+      std::max<std::int64_t>(1, core::kDefaultGrain * 4 / std::max<std::int64_t>(1, flops_per_row));
+  core::parallel_for(m, row_grain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
       double* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      const double* arow = pa + i * k;
+      for (std::int64_t jb = 0; jb < n; jb += kColBlock) {
+        const std::int64_t je = std::min(n, jb + kColBlock);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const double aik = arow[kk];
+          if (aik == 0.0) continue;
+          const double* brow = pb + kk * n;
+          for (std::int64_t j = jb; j < je; ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -172,8 +177,14 @@ Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
   const auto* pa = a.data().data();
   const auto* pb = bias.data().data();
   auto* po = out.data().data();
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pb[j];
+  // Parallel over rows: each chunk streams whole rows, so the inner loop
+  // stays a plain add with no per-element index arithmetic.
+  const std::int64_t row_grain =
+      std::max<std::int64_t>(1, core::kDefaultGrain / std::max<std::int64_t>(1, n));
+  core::parallel_for(m, row_grain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      for (std::int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pb[j];
+  });
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/kernels.hpp"
+
 namespace yf::tensor {
 
 std::int64_t numel(const Shape& shape) {
@@ -61,8 +63,25 @@ Tensor Tensor::arange(std::int64_t n) {
   return t;
 }
 
+Tensor Tensor::view_of(const Tensor& base, std::int64_t offset, Shape shape) {
+  const auto n = numel(shape);
+  const auto storage_size = static_cast<std::int64_t>(base.storage_->size());
+  if (offset < 0 || base.offset_ + offset + n > storage_size) {
+    throw std::invalid_argument("Tensor::view_of: window [" + std::to_string(offset) + ", " +
+                                std::to_string(offset + n) + ") from base offset " +
+                                std::to_string(base.offset_) + " exceeds shared storage of size " +
+                                std::to_string(storage_size));
+  }
+  Tensor t = base;  // shares storage_
+  t.shape_ = std::move(shape);
+  t.size_ = n;
+  t.offset_ = base.offset_ + offset;
+  return t;
+}
+
 Tensor Tensor::clone() const {
-  return Tensor(shape_, std::vector<double>(*storage_));
+  const auto s = data();
+  return Tensor(shape_, std::vector<double>(s.begin(), s.end()));
 }
 
 std::int64_t Tensor::dim(std::int64_t i) const {
@@ -95,11 +114,11 @@ std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
 }
 
 double& Tensor::at(std::initializer_list<std::int64_t> idx) {
-  return (*storage_)[static_cast<std::size_t>(flat_index(idx))];
+  return (*storage_)[static_cast<std::size_t>(offset_ + flat_index(idx))];
 }
 
 double Tensor::at(std::initializer_list<std::int64_t> idx) const {
-  return (*storage_)[static_cast<std::size_t>(flat_index(idx))];
+  return (*storage_)[static_cast<std::size_t>(offset_ + flat_index(idx))];
 }
 
 Tensor Tensor::reshape(Shape new_shape) const {
@@ -117,28 +136,24 @@ double Tensor::item() const {
     throw std::invalid_argument("Tensor::item: tensor has " + std::to_string(size_) +
                                 " elements, expected 1");
   }
-  return (*storage_)[0];
+  return (*storage_)[static_cast<std::size_t>(offset_)];
 }
 
-void Tensor::fill(double value) {
-  for (auto& x : *storage_) x = value;
-}
+void Tensor::fill(double value) { core::fill(data(), value); }
 
 Tensor& Tensor::add_(const Tensor& other, double scale) {
   check_same_shape(*this, other, "add_");
-  auto* dst = storage_->data();
-  const auto* src = other.storage_->data();
-  for (std::int64_t i = 0; i < size_; ++i) dst[i] += scale * src[i];
+  core::axpy(data(), other.data(), scale);
   return *this;
 }
 
 Tensor& Tensor::mul_(double s) {
-  for (auto& x : *storage_) x *= s;
+  core::scale(data(), s);
   return *this;
 }
 
 Tensor& Tensor::zero_() {
-  for (auto& x : *storage_) x = 0.0;
+  core::fill(data(), 0.0);
   return *this;
 }
 

@@ -6,8 +6,10 @@
 //    for finite-difference gradient checks.
 //  * Storage is shared (`std::shared_ptr<std::vector<double>>`), so
 //    `reshape` is O(1) and copies are explicit via `clone()`.
-//  * No stride/view machinery: ops that would need views (slicing) copy.
-//    This keeps the op implementations obviously correct.
+//  * The only view machinery is a contiguous offset window (`view_of`),
+//    which is what lets core::ParamArena flatten every parameter into one
+//    buffer while each parameter keeps an O(1)-reshape handle onto its
+//    slice (DESIGN.md §4). Strided/sliced views still copy.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +53,13 @@ class Tensor {
   /// [0, 1, ..., n-1] as a rank-1 tensor.
   static Tensor arange(std::int64_t n);
 
+  /// Contiguous window into `base`'s *shared storage*, starting `offset`
+  /// elements after `base`'s own start. Writes through either handle are
+  /// visible in both. Note the bound is the storage, not `base`'s extent:
+  /// a view of an arena slot may legitimately widen back out to the whole
+  /// arena buffer (see core::ParamArena adoption).
+  static Tensor view_of(const Tensor& base, std::int64_t offset, Shape shape);
+
   /// Deep copy (fresh storage).
   Tensor clone() const;
 
@@ -60,15 +69,19 @@ class Tensor {
   /// Extent along axis `i` (supports negative axes Python-style).
   std::int64_t dim(std::int64_t i) const;
 
-  std::span<double> data() { return {storage_->data(), storage_->size()}; }
+  std::span<double> data() {
+    return {storage_->data() + offset_, static_cast<std::size_t>(size_)};
+  }
   std::span<const double> data() const {
-    return {storage_->data(), storage_->size()};
+    return {storage_->data() + offset_, static_cast<std::size_t>(size_)};
   }
 
   /// Flat element access.
-  double& operator[](std::int64_t i) { return (*storage_)[static_cast<std::size_t>(i)]; }
+  double& operator[](std::int64_t i) {
+    return (*storage_)[static_cast<std::size_t>(offset_ + i)];
+  }
   double operator[](std::int64_t i) const {
-    return (*storage_)[static_cast<std::size_t>(i)];
+    return (*storage_)[static_cast<std::size_t>(offset_ + i)];
   }
 
   /// Multi-index access; the index list length must equal ndim().
@@ -78,10 +91,15 @@ class Tensor {
   /// O(1) reshape sharing storage; total element count must be preserved.
   Tensor reshape(Shape new_shape) const;
 
-  /// True when the two tensors share the same underlying storage.
+  /// True when the two tensors share the same underlying storage (a view
+  /// and its base buffer share storage even at different offsets).
   bool shares_storage_with(const Tensor& other) const {
     return storage_ == other.storage_;
   }
+
+  /// Offset of this tensor's first element within the shared storage
+  /// (non-zero only for view_of results).
+  std::int64_t storage_offset() const { return offset_; }
 
   /// Value of a 1-element tensor; throws otherwise.
   double item() const;
@@ -99,6 +117,7 @@ class Tensor {
 
   Shape shape_;
   std::int64_t size_ = 0;
+  std::int64_t offset_ = 0;  ///< first element within storage_ (views only)
   std::shared_ptr<std::vector<double>> storage_;
 };
 

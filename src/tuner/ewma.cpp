@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/kernels.hpp"
+
 namespace yf::tuner {
 
 double Ewma::update(double x) {
@@ -27,8 +29,7 @@ void TensorEwma::update(const tensor::Tensor& x) {
     raw_ = tensor::Tensor::zeros(x.shape());
   }
   tensor::check_same_shape(raw_, x, "TensorEwma::update");
-  raw_.mul_(beta_);
-  raw_.add_(x, 1.0 - beta_);
+  core::ewma_update(raw_.data(), x.data(), beta_);
   ++count_;
 }
 

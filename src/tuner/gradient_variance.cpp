@@ -1,24 +1,30 @@
 #include "tuner/gradient_variance.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
-#include "tensor/ops.hpp"
+#include "core/kernels.hpp"
 
 namespace yf::tuner {
 
-void GradientVariance::update(const tensor::Tensor& grad) {
-  g_avg_.update(grad);
-  g2_avg_.update(tensor::square(grad));
+void GradientVariance::update(std::span<const double> grad) {
+  if (count_ == 0) {
+    const auto n = static_cast<std::int64_t>(grad.size());
+    m1_raw_ = tensor::Tensor(tensor::Shape{n});
+    m2_raw_ = tensor::Tensor(tensor::Shape{n});
+  } else if (grad.size() != m1_raw_.data().size()) {
+    throw std::invalid_argument("GradientVariance::update: gradient size changed");
+  }
+  core::ewma_update_moments(m1_raw_.data(), m2_raw_.data(), grad, beta_);
+  ++count_;
 }
 
 double GradientVariance::variance() const {
-  if (!g_avg_.initialized()) return 0.0;
-  const auto mean = g_avg_.value();
-  const auto mean_sq = g2_avg_.value();
-  double c = 0.0;
-  auto m = mean.data();
-  auto m2 = mean_sq.data();
-  for (std::size_t i = 0; i < m.size(); ++i) c += m2[i] - m[i] * m[i];
+  if (count_ == 0) return 0.0;
+  const double debias = 1.0 - std::pow(beta_, static_cast<double>(count_));
+  const double inv = 1.0 / debias;
+  const double c = core::debiased_variance_sum(m1_raw_.data(), m2_raw_.data(), inv, inv);
   return std::max(c, 0.0);
 }
 

@@ -4,27 +4,39 @@
 // zero-debiased EWMAs; the variance estimate is
 //   C = 1^T (E[g^2] - E[g]^2) = sum_i Var(g_i),
 // the total gradient variance over all coordinates (the `C` in Eq. 15).
+//
+// The two moment updates run as one fused kernel sweep over the raw
+// gradient span (core::ewma_update_moments), so observing an arena
+// gradient costs a single pass and zero temporaries.
 #pragma once
 
-#include "tuner/ewma.hpp"
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
 
 namespace yf::tuner {
 
 class GradientVariance {
  public:
-  explicit GradientVariance(double beta = 0.999) : g_avg_(beta), g2_avg_(beta) {}
+  explicit GradientVariance(double beta = 0.999) : beta_(beta) {}
 
-  /// Observe a flattened gradient.
-  void update(const tensor::Tensor& grad);
+  /// Observe a flattened gradient (zero-copy span form).
+  void update(std::span<const double> grad);
+
+  /// Observe a flattened gradient tensor.
+  void update(const tensor::Tensor& grad) { update(std::span<const double>(grad.data())); }
 
   /// Current total-variance estimate; clamped at 0 (the EWMA difference can
   /// go slightly negative early on).
   double variance() const;
 
-  bool initialized() const { return g_avg_.initialized(); }
+  bool initialized() const { return count_ > 0; }
 
  private:
-  TensorEwma g_avg_, g2_avg_;
+  double beta_;
+  tensor::Tensor m1_raw_, m2_raw_;  ///< biased EWMA accumulators
+  std::int64_t count_ = 0;
 };
 
 }  // namespace yf::tuner

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/kernels.hpp"
+
 namespace yf::tuner {
 
 YellowFin::YellowFin(std::vector<autograd::Variable> params, const YellowFinOptions& opts)
@@ -17,51 +19,31 @@ YellowFin::YellowFin(std::vector<autograd::Variable> params, const YellowFinOpti
       alpha_(opts.lr0),
       target_mu_(opts.mu0),
       target_alpha_(opts.lr0) {
-  velocity_.reserve(params_.size());
-  for (const auto& p : params_) velocity_.push_back(tensor::Tensor::zeros(p.value().shape()));
+  velocity_ = arena_.make_buffer();
 }
 
-void YellowFin::measure(const tensor::Tensor& flat_grad) {
-  double sq = 0.0;
-  for (double g : flat_grad.data()) sq += g * g;
+void YellowFin::measure(std::span<const double> flat_grad) {
+  const double sq = core::squared_norm(flat_grad);
   curvature_.update(sq);
   variance_.update(flat_grad);
   distance_.update(std::sqrt(sq));
 }
 
 void YellowFin::step() {
-  // Flatten the gradient once; all measurements run on this view.
-  std::int64_t total = 0;
-  for (const auto& p : params_) total += p.value().size();
-  tensor::Tensor flat(tensor::Shape{total});
-  std::int64_t off = 0;
-  for (const auto& p : params_) {
-    const auto& g = p.grad();
-    for (std::int64_t i = 0; i < g.size(); ++i) flat[off + i] = g[i];
-    off += g.size();
-  }
+  // The arena gradient buffer *is* the flattened gradient: measurements
+  // and clipping run on it directly, no per-step copy.
+  auto grads = arena_.grads();
 
   // -- Adaptive clipping (Appendix F): threshold sqrt(h_max). ---------------
   last_step_clipped_ = false;
   if (opts_.adaptive_clipping && curvature_.count() > 0) {
     last_clip_threshold_ = std::sqrt(curvature_.h_max());
-    double norm_sq = 0.0;
-    for (double g : flat.data()) norm_sq += g * g;
-    const double norm = std::sqrt(norm_sq);
-    if (norm > last_clip_threshold_ && norm > 0.0) {
-      const double scale = last_clip_threshold_ / norm;
-      flat.mul_(scale);
-      // Also scale the gradients in place so the update below sees them.
-      for (auto& p : params_) {
-        auto g = p.node()->ensure_grad().data();
-        for (auto& x : g) x *= scale;
-      }
-      last_step_clipped_ = true;
-    }
+    const double norm = core::clip_scale(grads, last_clip_threshold_);
+    last_step_clipped_ = norm > last_clip_threshold_;
   }
 
-  // -- Measurements (Algorithms 2-4). ---------------------------------------
-  measure(flat);
+  // -- Measurements (Algorithms 2-4), one fused pass each. ------------------
+  measure(grads);
 
   // -- SingleStep closed form (Eq. 15). --------------------------------------
   const double hmax = curvature_.h_max();
@@ -91,13 +73,8 @@ void YellowFin::step() {
   double mu = opts_.force_momentum.value_or(mu_);
   if (applied_mu_override_) mu = *applied_mu_override_;
 
-  // -- Momentum SGD update. ----------------------------------------------------
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& v = velocity_[i];
-    v.mul_(mu);
-    v.add_(params_[i].grad(), -lr);
-    params_[i].value().add_(v);
-  }
+  // -- Momentum SGD update: one fused sweep over the arena. ------------------
+  core::momentum_step(arena_.values(), velocity_.data(), grads, lr, mu, /*nesterov=*/false);
   ++iteration_;
 }
 

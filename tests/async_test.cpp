@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "async/async_simulator.hpp"
 #include "async/staleness_queue.hpp"
@@ -30,6 +34,137 @@ TEST(StalenessQueue, DelaysByExactlyTau) {
 
 TEST(StalenessQueue, RejectsNegativeStaleness) {
   EXPECT_THROW(async::StalenessQueue<int>(-1), std::invalid_argument);
+}
+
+TEST(BlockingStalenessQueue, RejectsCapacityNotAboveStaleness) {
+  EXPECT_THROW(async::BlockingStalenessQueue<int>(3, 3), std::invalid_argument);
+  EXPECT_THROW(async::BlockingStalenessQueue<int>(-1, 4), std::invalid_argument);
+}
+
+TEST(BlockingStalenessQueue, PopDelaysByStaleness) {
+  async::BlockingStalenessQueue<int> q(2, 8);
+  EXPECT_TRUE(q.push(0));
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));  // now 3 > staleness: entry 0 is old enough
+  EXPECT_EQ(q.pop().value(), 0);
+  EXPECT_EQ(q.pending(), 2);
+}
+
+TEST(BlockingStalenessQueue, PopBlocksUntilEntryOldEnough) {
+  async::BlockingStalenessQueue<int> q(1, 4);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    const auto v = q.pop();  // blocks: queue empty
+    popped = true;
+    EXPECT_EQ(v.value(), 10);
+  });
+  q.push(10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped) << "one entry is not older than staleness 1";
+  q.push(11);  // second entry ages the first past the bound
+  consumer.join();
+  EXPECT_TRUE(popped);
+}
+
+TEST(BlockingStalenessQueue, PushBlocksAtCapacity) {
+  async::BlockingStalenessQueue<int> q(0, 2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(3));  // blocks: pipeline full
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed) << "capacity 2 must hold the producer";
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed);
+}
+
+TEST(BlockingStalenessQueue, CloseDrainsThenSignalsEnd) {
+  async::BlockingStalenessQueue<int> q(2, 8);
+  q.push(1);
+  q.push(2);  // both younger than staleness 2: only reachable by draining
+  q.close();
+  EXPECT_FALSE(q.push(99)) << "push after close is rejected";
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value()) << "closed and drained";
+}
+
+TEST(BlockingStalenessQueue, CloseUnblocksWaitingConsumer) {
+  async::BlockingStalenessQueue<int> q(4, 8);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(BlockingStalenessQueue, TwoConsumersBothReturnOnClosedDrain) {
+  // Closed queue, one entry, two consumers: one gets the entry, the
+  // other must observe the drained close and return -- commit_pop has to
+  // wake consumers waiting on reserved_ == 0, not only producers.
+  async::BlockingStalenessQueue<int> q(2, 8);
+  q.push(42);
+  q.close();
+  std::atomic<int> got{0}, empty{0};
+  std::thread c1([&] { q.pop().has_value() ? got++ : empty++; });
+  std::thread c2([&] { q.pop().has_value() ? got++ : empty++; });
+  c1.join();
+  c2.join();
+  EXPECT_EQ(got.load(), 1);
+  EXPECT_EQ(empty.load(), 1);
+}
+
+TEST(BlockingStalenessQueue, CloseRacingPushNeverLosesAcceptedItems) {
+  // A push() that returns true must reach a consumer even when close()
+  // lands between the producer's slot reservation and its commit.
+  for (int round = 0; round < 20; ++round) {
+    async::BlockingStalenessQueue<int> q(1, 4);
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&q, &accepted, p] {
+        for (int i = 0; i < 25; ++i) {
+          if (q.push(p * 25 + i)) accepted++;
+        }
+      });
+    }
+    std::atomic<int> received{0};
+    std::thread consumer([&] {
+      while (q.pop()) received++;
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    q.close();
+    for (auto& p : producers) p.join();
+    consumer.join();
+    EXPECT_EQ(received.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(BlockingStalenessQueue, ManyProducersOneConsumerDeliversEverything) {
+  async::BlockingStalenessQueue<int> q(3, 5);
+  constexpr int kProducers = 4, kPerProducer = 50;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  int received = 0;
+  std::thread consumer([&] {
+    while (auto v = q.pop()) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(*v)]);
+      seen[static_cast<std::size_t>(*v)] = true;
+      ++received;
+    }
+  });
+  for (auto& p : producers) p.join();
+  q.close();
+  consumer.join();
+  EXPECT_EQ(received, kProducers * kPerProducer);
 }
 
 TEST(Median, OddAndEven) {

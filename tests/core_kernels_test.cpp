@@ -1,0 +1,221 @@
+#include "core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace core = yf::core;
+
+namespace {
+
+std::vector<double> random_vec(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+}  // namespace
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  core::ThreadPool::instance().set_fanout(4);
+  const std::int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  // grain 1 forces the maximum chunk count: every worker gets a slice.
+  core::parallel_for(n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ParallelFor, InlineBelowGrain) {
+  std::vector<int> order;
+  core::parallel_for(10, 100, [&](std::int64_t lo, std::int64_t hi) {
+    // Single inline chunk: safe to touch unsynchronized state.
+    for (std::int64_t i = lo; i < hi; ++i) order.push_back(static_cast<int>(i));
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  core::ThreadPool::instance().set_fanout(4);
+  EXPECT_THROW(core::parallel_for(100000, 1,
+                                  [&](std::int64_t lo, std::int64_t) {
+                                    if (lo > 0) throw std::runtime_error("worker boom");
+                                  }),
+               std::runtime_error);
+}
+
+TEST(Kernels, MapMatchesSerialAboveGrain) {
+  // Big enough that core::map dispatches chunks to the pool.
+  const auto n = static_cast<std::size_t>(core::kDefaultGrain * 4 + 37);
+  core::ThreadPool::instance().set_fanout(4);
+  const auto src = random_vec(n, 1);
+  std::vector<double> dst(n, 0.0);
+  core::map(dst, src, [](double x) { return std::tanh(x) + 0.5 * x; });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(dst[i], std::tanh(src[i]) + 0.5 * src[i]) << i;
+  }
+}
+
+TEST(Kernels, AxpyMatchesNaive) {
+  const std::size_t n = 1000;
+  auto y = random_vec(n, 2);
+  const auto x = random_vec(n, 3);
+  auto expect = y;
+  for (std::size_t i = 0; i < n; ++i) expect[i] += -0.37 * x[i];
+  core::axpy(y, x, -0.37);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y[i], expect[i]);
+}
+
+TEST(Kernels, ReductionsMatchNaive) {
+  const std::size_t n = 4097;
+  const auto a = random_vec(n, 4);
+  const auto b = random_vec(n, 5);
+  double s = 0.0, sq = 0.0, d = 0.0, ma = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += a[i];
+    sq += a[i] * a[i];
+    d += a[i] * b[i];
+    ma = std::max(ma, std::abs(a[i]));
+  }
+  EXPECT_EQ(core::sum(a), s);
+  EXPECT_EQ(core::squared_norm(a), sq);
+  EXPECT_EQ(core::dot(a, b), d);
+  EXPECT_EQ(core::max_abs(a), ma);
+}
+
+TEST(Kernels, ReductionDeterministicAcrossWorkerCounts) {
+  // Reductions are sequential by contract: growing the pool must not
+  // change a single bit of the result.
+  const auto n = static_cast<std::size_t>(core::kDefaultGrain * 8);
+  const auto a = random_vec(n, 6);
+  const double before = core::squared_norm(a);
+  core::ThreadPool::instance().set_fanout(8);
+  EXPECT_EQ(core::squared_norm(a), before);
+}
+
+TEST(Kernels, EwmaUpdateMatchesTwoStepForm) {
+  const std::size_t n = 512;
+  const double beta = 0.97;
+  auto avg = random_vec(n, 7);
+  const auto x = random_vec(n, 8);
+  auto expect = avg;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = expect[i] * beta;
+    expect[i] += (1.0 - beta) * x[i];
+  }
+  core::ewma_update(avg, x, beta);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(avg[i], expect[i]);
+}
+
+TEST(Kernels, FusedMomentsMatchSeparateSweeps) {
+  const std::size_t n = 2048;
+  const double beta = 0.995;
+  auto m1 = random_vec(n, 9);
+  auto m2 = random_vec(n, 10);
+  const auto g = random_vec(n, 11);
+  auto e1 = m1, e2 = m2;
+  // Reference: the historical square() temporary plus two EWMA sweeps.
+  std::vector<double> g2(n);
+  for (std::size_t i = 0; i < n; ++i) g2[i] = g[i] * g[i];
+  core::ewma_update(e1, g, beta);
+  core::ewma_update(e2, g2, beta);
+  core::ewma_update_moments(m1, m2, g, beta);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(m1[i], e1[i]);
+    EXPECT_EQ(m2[i], e2[i]);
+  }
+}
+
+TEST(Kernels, ClipScaleOnlyAboveThreshold) {
+  std::vector<double> v = {3.0, 4.0};
+  EXPECT_NEAR(core::clip_scale(v, 10.0), 5.0, 1e-12);
+  EXPECT_EQ(v[0], 3.0);  // untouched below threshold
+  EXPECT_NEAR(core::clip_scale(v, 1.0), 5.0, 1e-12);
+  EXPECT_NEAR(std::sqrt(core::squared_norm(v)), 1.0, 1e-12);
+  EXPECT_THROW(core::clip_scale(v, 0.0), std::invalid_argument);
+}
+
+TEST(Kernels, MomentumStepMatchesThreePassReference) {
+  const std::size_t n = 777;
+  const double lr = 0.03, mu = 0.9;
+  for (bool nesterov : {false, true}) {
+    auto x = random_vec(n, 12);
+    auto v = random_vec(n, 13);
+    const auto g = random_vec(n, 14);
+    auto ex = x, ev = v;
+    // Reference: the historical per-tensor sequence (mul_, add_, add_).
+    for (std::size_t i = 0; i < n; ++i) ev[i] *= mu;
+    for (std::size_t i = 0; i < n; ++i) ev[i] += -lr * g[i];
+    if (nesterov) {
+      for (std::size_t i = 0; i < n; ++i) ex[i] += mu * ev[i];
+      for (std::size_t i = 0; i < n; ++i) ex[i] += -lr * g[i];
+    } else {
+      for (std::size_t i = 0; i < n; ++i) ex[i] += ev[i];
+    }
+    core::momentum_step(x, v, g, lr, mu, nesterov);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x[i], ex[i]) << (nesterov ? "nesterov" : "polyak") << " x@" << i;
+      EXPECT_EQ(v[i], ev[i]) << (nesterov ? "nesterov" : "polyak") << " v@" << i;
+    }
+  }
+}
+
+TEST(Kernels, AdamStepMatchesScalarReference) {
+  const std::size_t n = 333;
+  const double lr = 0.001, b1 = 0.9, b2 = 0.999, eps = 1e-8;
+  auto x = random_vec(n, 15);
+  auto m = random_vec(n, 16);
+  auto v = random_vec(n, 17);
+  for (auto& vi : v) vi = std::abs(vi);
+  const auto g = random_vec(n, 18);
+  const double bc1 = 1.0 - std::pow(b1, 3.0), bc2 = 1.0 - std::pow(b2, 3.0);
+  auto ex = x, em = m, ev = v;
+  for (std::size_t i = 0; i < n; ++i) {
+    em[i] = b1 * em[i] + (1.0 - b1) * g[i];
+    ev[i] = b2 * ev[i] + (1.0 - b2) * g[i] * g[i];
+    ex[i] -= lr * (em[i] / bc1) / (std::sqrt(ev[i] / bc2) + eps);
+  }
+  core::adam_step(x, m, v, g, lr, b1, b2, bc1, bc2, eps);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(x[i], ex[i]);
+    EXPECT_EQ(m[i], em[i]);
+    EXPECT_EQ(v[i], ev[i]);
+  }
+}
+
+TEST(Kernels, ParallelSweepMatchesInlineSweep) {
+  // The fused optimizer sweeps must give identical results whether they
+  // run inline or partitioned over the pool.
+  const auto n = static_cast<std::size_t>(core::kDefaultGrain * 3 + 11);
+  core::ThreadPool::instance().set_fanout(4);
+  auto x_par = random_vec(n, 19);
+  auto v_par = random_vec(n, 20);
+  const auto g = random_vec(n, 21);
+  auto x_seq = x_par, v_seq = v_par;
+  core::momentum_step(x_par, v_par, g, 0.01, 0.95, false);  // above grain: parallel
+  for (std::size_t i = 0; i < n; ++i) {  // inline scalar reference
+    v_seq[i] = v_seq[i] * 0.95;
+    v_seq[i] += -0.01 * g[i];
+    x_seq[i] += v_seq[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(x_par[i], x_seq[i]);
+    EXPECT_EQ(v_par[i], v_seq[i]);
+  }
+}
+
+TEST(Kernels, SizeMismatchThrows) {
+  std::vector<double> a(4), b(5);
+  EXPECT_THROW(core::axpy(a, b, 1.0), std::invalid_argument);
+  EXPECT_THROW(core::dot(a, b), std::invalid_argument);
+  EXPECT_THROW(core::ewma_update(a, b, 0.9), std::invalid_argument);
+}
