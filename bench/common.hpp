@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "async/param_server.hpp"
 #include "autograd/ops.hpp"
 #include "data/bracket_lang.hpp"
 #include "data/copy_translate.hpp"
@@ -36,6 +37,33 @@ namespace yfb {
 inline bool full_mode() {
   const char* env = std::getenv("YF_FULL");
   return env != nullptr && std::string(env) == "1";
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection: the same bench configs drive either the synchronous
+// trainer ("sync", default) or the sharded parameter server ("server",
+// real threads; YF_WORKERS worker replicas over YF_SHARDS shards). With
+// one worker the server path reproduces the synchronous trajectory, so
+// Table 2 numbers are directly comparable across engines.
+// ---------------------------------------------------------------------------
+
+inline std::string engine() {
+  const char* env = std::getenv("YF_ENGINE");
+  return env != nullptr ? std::string(env) : std::string("sync");
+}
+
+inline std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoll(env) : fallback;
+}
+
+inline std::int64_t server_workers() { return std::max<std::int64_t>(1, env_int("YF_WORKERS", 1)); }
+inline std::int64_t server_shards() { return std::max<std::int64_t>(1, env_int("YF_SHARDS", 4)); }
+
+inline std::string engine_banner() {
+  if (engine() != "server") return "engine: sync";
+  return "engine: server (workers " + std::to_string(server_workers()) + ", shards " +
+         std::to_string(server_shards()) + ")";
 }
 
 /// Iteration budget helper: quick vs full.
@@ -318,11 +346,45 @@ inline std::shared_ptr<yf::optim::Optimizer> make_optimizer(
   throw std::invalid_argument("make_optimizer: unknown optimizer " + name);
 }
 
+/// Train through the sharded parameter server: the master optimizer owns
+/// one task's parameters; each worker gets its own replica task (same
+/// fixed dataset, per-worker minibatch stream) and pushes gradients. The
+/// loss curve is in server apply order, padded to `iterations` entries.
+inline std::vector<double> run_one_server(
+    const std::function<ModelTask(std::uint64_t)>& make_task, const std::string& opt_name,
+    double lr, std::int64_t iterations, std::uint64_t seed) {
+  auto master = make_task(seed);
+  auto opt = make_optimizer(opt_name, master.params, lr);
+  yf::async::ParamServerOptions sopts;
+  sopts.shards = server_shards();
+  sopts.measure = false;  // loss-curve runs don't pay for measurement
+  yf::async::ShardedParamServer server(opt, sopts);
+
+  const std::int64_t workers = server_workers();
+  std::vector<yf::async::ServerWorker> worker_tasks;
+  worker_tasks.reserve(static_cast<std::size_t>(workers));
+  for (std::int64_t w = 0; w < workers; ++w) {
+    auto task = make_task(seed + 100000 * static_cast<std::uint64_t>(w + 1));
+    worker_tasks.push_back({std::move(task.params), std::move(task.grad_fn)});
+  }
+  yf::async::ServerRunOptions ropts;
+  ropts.steps_per_worker = std::max<std::int64_t>(1, iterations / workers);
+  const auto result = yf::train::train_server(server, worker_tasks, ropts, 1e4);
+  auto losses = result.losses;
+  while (static_cast<std::int64_t>(losses.size()) < iterations) {
+    losses.push_back(losses.empty() ? 1e4 : losses.back());
+  }
+  losses.resize(static_cast<std::size_t>(iterations));
+  return losses;
+}
+
 /// Train a freshly-built task with a named optimizer; returns the raw loss
-/// curve (padded with divergence_bound if the run diverges).
+/// curve (padded with divergence_bound if the run diverges). Dispatches on
+/// YF_ENGINE: "sync" (default) or "server" (sharded parameter server).
 inline std::vector<double> run_one(const std::function<ModelTask(std::uint64_t)>& make_task,
                                    const std::string& opt_name, double lr,
                                    std::int64_t iterations, std::uint64_t seed) {
+  if (engine() == "server") return run_one_server(make_task, opt_name, lr, iterations, seed);
   auto task = make_task(seed);
   auto opt = make_optimizer(opt_name, task.params, lr);
   yf::train::TrainOptions topts;

@@ -9,6 +9,13 @@
 // Expected shape: momentum SGD and YellowFin >= 1x vs Adam on the CNN,
 // char-LM and parsing tasks; YF ~ tuned momentum SGD everywhere; the
 // word-LM ("PTB") may favor Adam (paper: 0.77x).
+//
+// Engine: the same workload/grid config drives either the synchronous
+// trainer (default) or the sharded parameter server — set YF_ENGINE=server
+// (plus YF_WORKERS / YF_SHARDS) to train every run through real-thread
+// pushes. With YF_WORKERS=1 the server reproduces the synchronous
+// trajectories, so the table is directly comparable across engines; with
+// more workers it becomes the paper's async evaluation on this table.
 #include <cstdio>
 #include <map>
 
@@ -33,8 +40,9 @@ struct Workload {
 int main() {
   const std::int64_t iterations = yfb::iters(600, 6000);
   const std::int64_t window = yfb::iters(50, 400);
-  std::printf("Table 2 / Fig. 5 / Fig. 8: synchronous speedups (%lld iters/run, %s mode)\n",
-              static_cast<long long>(iterations), yfb::full_mode() ? "FULL" : "quick");
+  std::printf("Table 2 / Fig. 5 / Fig. 8: synchronous speedups (%lld iters/run, %s mode, %s)\n",
+              static_cast<long long>(iterations), yfb::full_mode() ? "FULL" : "quick",
+              yfb::engine_banner().c_str());
 
   std::vector<Workload> workloads = {
       {"CIFAR10-sub", [](std::uint64_t s) { return yfb::make_cifar_task(10, s); },

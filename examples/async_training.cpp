@@ -7,6 +7,7 @@
 
 #include "async/async_simulator.hpp"
 #include "autograd/ops.hpp"
+#include "example_common.hpp"
 #include "data/synth_cifar.hpp"
 #include "nn/resnet.hpp"
 #include "tuner/yellowfin.hpp"
@@ -16,7 +17,7 @@ namespace t = yf::tensor;
 
 namespace {
 
-void run(bool closed_loop) {
+void run(bool closed_loop, int iters) {
   yf::data::SynthCifarConfig dcfg;
   dcfg.classes = 4;
   dcfg.height = 8;
@@ -50,7 +51,7 @@ void run(bool closed_loop) {
               closed_loop ? "Closed-loop" : "Open-loop");
   double smoothed_total = 0.0, smoothed_loss = 0.0;
   bool init = false;
-  for (int it = 0; it < 600; ++it) {
+  for (int it = 0; it < iters; ++it) {
     const auto stats = trainer.step();
     if (!init) {
       smoothed_loss = stats.loss;
@@ -60,7 +61,7 @@ void run(bool closed_loop) {
     if (stats.mu_hat_total) {
       smoothed_total = 0.95 * smoothed_total + 0.05 * (*stats.mu_hat_total);
     }
-    if (it % 100 == 0 || it == 599) {
+    if (it % 100 == 0 || it == iters - 1) {
       std::printf("  iter %4d loss %.4f | target mu %.3f measured total mu %.3f "
                   "algorithmic mu %+.3f\n",
                   it, smoothed_loss, stats.target_momentum, smoothed_total,
@@ -74,8 +75,9 @@ void run(bool closed_loop) {
 
 int main() {
   std::printf("Asynchrony begets momentum -- and closed-loop YellowFin compensates.\n\n");
-  run(/*closed_loop=*/false);
-  run(/*closed_loop=*/true);
+  const int iters = yfx::example_iters(600);
+  run(/*closed_loop=*/false, iters);
+  run(/*closed_loop=*/true, iters);
   std::printf("Expected: open loop shows measured total momentum above the target;\n"
               "closed loop pushes algorithmic momentum down (even negative) until the\n"
               "measured total momentum tracks the target.\n");

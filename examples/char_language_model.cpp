@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "data/markov_text.hpp"
+#include "example_common.hpp"
 #include "nn/language_model.hpp"
 #include "tuner/yellowfin.hpp"
 
@@ -35,7 +36,8 @@ int main() {
 
   const std::int64_t batch = 8, seq_plus1 = 21;
   double smoothed_loss = 0.0;
-  for (int it = 0; it < 800; ++it) {
+  const int iters = yfx::example_iters(800);
+  for (int it = 0; it < iters; ++it) {
     optimizer.zero_grad();
     const auto tokens = dataset.sample_batch(batch, seq_plus1, rng);
     auto loss = model.loss(tokens, batch, seq_plus1);
@@ -43,7 +45,7 @@ int main() {
     optimizer.step();
     smoothed_loss = it == 0 ? loss.value().item()
                             : 0.98 * smoothed_loss + 0.02 * loss.value().item();
-    if (it % 100 == 0 || it == 799) {
+    if (it % 100 == 0 || it == iters - 1) {
       std::printf("iter %4d  loss %.4f (ppl %6.2f) | tuned lr %.5f momentum %.3f  "
                   "grad var %.3e  dist-to-opt %.3e\n",
                   it, smoothed_loss, std::exp(smoothed_loss), optimizer.lr(),

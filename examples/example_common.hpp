@@ -1,0 +1,17 @@
+// Shared example knob: YF_EXAMPLE_ITERS overrides each example's main
+// iteration budget so CI can smoke-run every example in seconds (the
+// CMake-registered example_*_smoke tests set it to a small value).
+#pragma once
+
+#include <cstdlib>
+
+namespace yfx {
+
+inline int example_iters(int default_iters) {
+  const char* env = std::getenv("YF_EXAMPLE_ITERS");
+  if (env == nullptr) return default_iters;
+  const int v = std::atoi(env);
+  return v > 0 ? v : default_iters;
+}
+
+}  // namespace yfx

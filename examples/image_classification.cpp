@@ -6,6 +6,7 @@
 
 #include "autograd/ops.hpp"
 #include "data/synth_cifar.hpp"
+#include "example_common.hpp"
 #include "nn/resnet.hpp"
 #include "optim/adam.hpp"
 #include "optim/momentum_sgd.hpp"
@@ -76,7 +77,7 @@ Run train_with(const std::string& which, int iterations) {
 }  // namespace
 
 int main() {
-  const int iterations = 400;
+  const int iterations = yfx::example_iters(400);
   std::printf("Residual CNN on SynthCIFAR (5 classes), %d iterations per optimizer\n\n",
               iterations);
   for (const char* which : {"adam", "momentum_sgd", "yellowfin"}) {

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "autograd/ops.hpp"
+#include "example_common.hpp"
 #include "nn/linear.hpp"
 #include "nn/module.hpp"
 #include "tensor/random.hpp"
@@ -65,7 +66,8 @@ int main() {
   yf::tuner::YellowFin optimizer(model.parameters());
 
   t::Rng data_rng(1);
-  for (int it = 0; it < 600; ++it) {
+  const int iters = yfx::example_iters(600);
+  for (int it = 0; it < iters; ++it) {
     t::Tensor x;
     std::vector<std::int64_t> y;
     sample_moons(32, data_rng, x, y);
@@ -75,7 +77,7 @@ int main() {
     loss.backward();
     optimizer.step();
 
-    if (it % 100 == 0 || it == 599) {
+    if (it % 100 == 0 || it == iters - 1) {
       std::printf("iter %4d  loss %.4f  | tuned lr %.5f  momentum %.3f  "
                   "(h_min %.2e, h_max %.2e)\n",
                   it, loss.value().item(), optimizer.lr(), optimizer.momentum(),

@@ -1,24 +1,35 @@
 #include "async/async_simulator.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/kernels.hpp"
 #include "nn/module.hpp"
 
 namespace yf::async {
 
+namespace {
+
+optim::Optimizer& checked(const std::shared_ptr<optim::Optimizer>& optimizer, const char* who) {
+  if (!optimizer) throw std::invalid_argument(std::string(who) + ": null optimizer");
+  return *optimizer;
+}
+
+}  // namespace
+
 AsyncTrainer::AsyncTrainer(std::shared_ptr<optim::Optimizer> optimizer, GradFn grad_fn,
                            const AsyncTrainerOptions& opts)
     : optimizer_(std::move(optimizer)),
-      yellowfin_(dynamic_cast<tuner::YellowFin*>(optimizer_.get())),
+      control_(checked(optimizer_, "AsyncTrainer"), opts.mu_target),
       grad_fn_(std::move(grad_fn)),
       opts_(opts),
       queue_(opts.staleness),
       estimator_(opts.staleness),
       controller_(opts.gamma) {
-  if (!optimizer_) throw std::invalid_argument("AsyncTrainer: null optimizer");
-  if (opts_.closed_loop && !yellowfin_) {
-    throw std::invalid_argument("AsyncTrainer: closed loop requires a YellowFin optimizer");
+  if (opts_.closed_loop) {
+    control_.require_closed_loop_support("AsyncTrainer");
+    // Start the feedback from the currently applied momentum.
+    controller_ = tuner::ClosedLoopController(opts_.gamma, control_.applied());
   }
 }
 
@@ -43,21 +54,18 @@ AsyncStepStats AsyncTrainer::step() {
       off += static_cast<std::int64_t>(g.size());
     }
     // Closed-loop momentum control (Algorithm 5): adjust applied momentum
-    // before the update so mu_hat_T tracks the tuner's target.
+    // before the update so mu_hat_T tracks the target.
     stats.mu_hat_total = estimator_.estimate();
     if (opts_.closed_loop && stats.mu_hat_total) {
-      const double mu = controller_.update(yellowfin_->momentum(), *stats.mu_hat_total);
-      yellowfin_->set_applied_momentum(mu);
+      control_.set_applied(controller_.update(control_.target(), *stats.mu_hat_total));
     }
     optimizer_->step();
     stats.applied_update = true;
   }
 
-  if (yellowfin_) {
-    stats.target_momentum = yellowfin_->momentum();
-    stats.applied_momentum =
-        opts_.closed_loop ? controller_.applied_momentum() : yellowfin_->momentum();
-  }
+  stats.target_momentum = control_.target();
+  stats.applied_momentum =
+      opts_.closed_loop ? controller_.applied_momentum() : control_.applied();
   return stats;
 }
 

@@ -30,8 +30,13 @@ using GradFn = std::function<double()>;
 
 struct AsyncTrainerOptions {
   std::int64_t staleness = 15;  ///< tau = workers - 1
-  bool closed_loop = false;     ///< Algorithm 5 (requires YellowFin optimizer)
-  double gamma = 0.01;          ///< feedback gain
+  /// Algorithm 5. Requires a YellowFin optimizer (target = its tuned
+  /// momentum) or a MomentumSGD plus an explicit `mu_target` — the same
+  /// contract as the sharded parameter server (async/param_server).
+  bool closed_loop = false;
+  double gamma = 0.01;  ///< feedback gain
+  /// Fixed total-momentum target; overrides the tuner's target when set.
+  std::optional<double> mu_target;
 };
 
 struct AsyncStepStats {
@@ -55,7 +60,9 @@ class AsyncTrainer {
 
  private:
   std::shared_ptr<optim::Optimizer> optimizer_;
-  tuner::YellowFin* yellowfin_;  ///< non-null when optimizer_ is a YellowFin
+  /// Resolves the Algorithm 5 knobs (target / applied momentum) — the
+  /// same tuner::MomentumControl contract as the sharded server.
+  tuner::MomentumControl control_;
   GradFn grad_fn_;
   AsyncTrainerOptions opts_;
   StalenessQueue<tensor::Tensor> queue_;

@@ -1,0 +1,258 @@
+#include "async/param_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "async/total_momentum.hpp"
+#include "core/kernels.hpp"
+#include "core/parallel.hpp"
+
+namespace yf::async {
+
+namespace {
+
+optim::Optimizer& checked(const std::shared_ptr<optim::Optimizer>& optimizer, const char* who) {
+  if (!optimizer) throw std::invalid_argument(std::string(who) + ": null optimizer");
+  return *optimizer;
+}
+
+}  // namespace
+
+ShardedParamServer::ShardedParamServer(std::shared_ptr<optim::Optimizer> optimizer,
+                                       const ParamServerOptions& opts)
+    : optimizer_(std::move(optimizer)),
+      control_(checked(optimizer_, "ShardedParamServer"), opts.mu_target),
+      opts_(opts),
+      controller_(opts.gamma) {
+  if (opts_.measure && opts_.history < 3) {
+    throw std::invalid_argument(
+        "ShardedParamServer: measurement needs history >= 3 (x_{j-1}, x_j, x_{j+1})");
+  }
+  if (opts_.closed_loop) {
+    if (!opts_.measure) {
+      throw std::invalid_argument("ShardedParamServer: closed loop requires measurement");
+    }
+    control_.require_closed_loop_support("ShardedParamServer");
+    // Start the feedback loop from the currently applied momentum so the
+    // first updates nudge rather than jump.
+    controller_ = tuner::ClosedLoopController(opts_.gamma, control_.applied());
+  }
+
+  size_ = optimizer_->arena().size();
+  const std::int64_t k = std::clamp<std::int64_t>(opts_.shards, 1, size_);
+  const std::int64_t base = size_ / k;
+  const std::int64_t extra = size_ % k;  // first `extra` shards get one more
+  std::int64_t offset = 0;
+  for (std::int64_t i = 0; i < k; ++i) {
+    Shard& shard = shards_.emplace_back();
+    shard.lo = offset;
+    shard.hi = offset + base + (i < extra ? 1 : 0);
+    offset = shard.hi;
+    if (opts_.measure) {
+      const auto values = optimizer_->arena().values();
+      shard.history.emplace_back(values.begin() + shard.lo, values.begin() + shard.hi);
+    }
+  }
+}
+
+std::pair<std::int64_t, std::int64_t> ShardedParamServer::shard_range(std::size_t k) const {
+  return {shards_.at(k).lo, shards_.at(k).hi};
+}
+
+std::int64_t ShardedParamServer::shard_version(std::size_t k) const {
+  const Shard& shard = shards_.at(k);
+  std::scoped_lock lock(shard.mu);
+  return shard.version;
+}
+
+tensor::Tensor ShardedParamServer::shard_values(std::size_t k) const {
+  const Shard& shard = shards_.at(k);
+  return optimizer_->arena().values_window(shard.lo, shard.hi - shard.lo);
+}
+
+PullTicket ShardedParamServer::pull(std::span<double> dst) const {
+  if (static_cast<std::int64_t>(dst.size()) != size_) {
+    throw std::invalid_argument("ShardedParamServer::pull: destination size mismatch");
+  }
+  PullTicket ticket;
+  ticket.versions.reserve(shards_.size());
+  const auto values = optimizer_->arena().values();
+  for (const Shard& shard : shards_) {
+    const auto n = static_cast<std::size_t>(shard.hi - shard.lo);
+    const auto lo = static_cast<std::size_t>(shard.lo);
+    std::scoped_lock lock(shard.mu);
+    core::copy(dst.subspan(lo, n), values.subspan(lo, n));
+    ticket.versions.push_back(shard.version);
+  }
+  return ticket;
+}
+
+ApplyStats ShardedParamServer::push(std::span<double> grad, const PullTicket& ticket) {
+  if (static_cast<std::int64_t>(grad.size()) != size_) {
+    throw std::invalid_argument("ShardedParamServer::push: gradient size mismatch");
+  }
+  if (ticket.versions.size() != shards_.size()) {
+    throw std::invalid_argument("ShardedParamServer::push: ticket does not match shards");
+  }
+
+  // Global stage: measurement / tuning on the full (worker-side) gradient.
+  optim::ApplyPlan plan;
+  {
+    std::scoped_lock lock(stage_mu_);
+    plan = optimizer_->begin_apply(grad);
+  }
+
+  // Per-shard stage: stage the gradient window, fused sweep, version bump,
+  // history snapshot, and the Eq. 37 ratio contributions — all under that
+  // shard's lock only, so disjoint shards proceed in parallel.
+  std::vector<double> ratios;
+  auto& arena = optimizer_->arena();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& shard = shards_[k];
+    const auto lo = static_cast<std::size_t>(shard.lo);
+    const auto n = static_cast<std::size_t>(shard.hi - shard.lo);
+    std::scoped_lock lock(shard.mu);
+    core::copy(arena.grads().subspan(lo, n), grad.subspan(lo, n));
+    optimizer_->step_span(plan, shard.lo, shard.hi);
+    ++shard.version;
+    if (!opts_.measure) continue;
+    const auto values = arena.values();
+    shard.history.emplace_back(values.begin() + shard.lo, values.begin() + shard.hi);
+    while (static_cast<std::int64_t>(shard.history.size()) > opts_.history) {
+      shard.history.pop_front();
+      ++shard.history_base;
+    }
+    // This gradient was computed at shard iterate x_j; with x_{j+1} now
+    // guaranteed to exist (we just applied an update), solve Eq. 16 for
+    // mu_T elementwise wherever the history still covers j-1 .. j+1.
+    const std::int64_t j = ticket.versions[k];
+    if (j < 1) continue;
+    auto lookup = [&shard](std::int64_t version) -> const std::vector<double>* {
+      const std::int64_t idx = version - shard.history_base;
+      if (idx < 0 || idx >= static_cast<std::int64_t>(shard.history.size())) return nullptr;
+      return &shard.history[static_cast<std::size_t>(idx)];
+    };
+    const auto* x_prev = lookup(j - 1);
+    const auto* x_read = lookup(j);
+    const auto* x_next = lookup(j + 1);
+    if (!x_prev || !x_read || !x_next) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double den = (*x_read)[i] - (*x_prev)[i];
+      if (std::abs(den) < opts_.denom_eps) continue;
+      const double num = (*x_next)[i] - (*x_read)[i] + plan.lr * grad[lo + i];
+      ratios.push_back(num / den);
+    }
+  }
+
+  // Closing global stage: advance the optimizer, fold the estimate into
+  // the smoothed total momentum, and run the Algorithm 5 feedback.
+  ApplyStats stats;
+  stats.applied_momentum = plan.mu;
+  {
+    std::scoped_lock lock(stage_mu_);
+    optimizer_->end_apply(plan);
+    stats.update_index = updates_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!ratios.empty()) {
+      const double estimate = median(std::move(ratios));
+      stats.mu_hat_total = estimate;
+      smoothed_ = smoothed_init_
+                      ? opts_.smooth_beta * smoothed_ + (1.0 - opts_.smooth_beta) * estimate
+                      : estimate;
+      smoothed_init_ = true;
+      if (opts_.closed_loop) {
+        control_.set_applied(controller_.update(control_.target(), estimate));
+      }
+    }
+    stats.target_momentum = control_.target();
+  }
+  return stats;
+}
+
+double ShardedParamServer::smoothed_total_momentum() const {
+  std::scoped_lock lock(stage_mu_);
+  return smoothed_;
+}
+
+ServerRunResult run_workers(ShardedParamServer& server,
+                            const std::vector<ServerWorker>& workers,
+                            const ServerRunOptions& opts) {
+  if (workers.empty()) throw std::invalid_argument("run_workers: no workers");
+  struct PerWorker {
+    std::vector<ApplyStats> stats;
+    std::vector<double> losses;
+  };
+  std::vector<PerWorker> collected(workers.size());
+
+  // Like the hogwild trainer before it: one pool thread per worker, since
+  // workers rendezvous on the shard locks and must progress concurrently.
+  auto& pool = core::ThreadPool::instance();
+  pool.ensure_workers(workers.size());
+  const auto& master_values = server.optimizer().arena().values_tensor();
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers.size());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    futures.push_back(pool.submit([&server, &workers, &collected, &opts, &master_values, w] {
+      core::ParamArena replica(workers[w].params);
+      if (replica.size() != server.size()) {
+        throw std::invalid_argument("run_workers: replica size != master size");
+      }
+      if (replica.values_tensor().shares_storage_with(master_values)) {
+        throw std::invalid_argument("run_workers: worker params alias the master arena");
+      }
+      collected[w].stats.reserve(static_cast<std::size_t>(opts.steps_per_worker));
+      collected[w].losses.reserve(static_cast<std::size_t>(opts.steps_per_worker));
+      for (std::int64_t s = 0; s < opts.steps_per_worker; ++s) {
+        const PullTicket ticket = server.pull(replica.values());
+        replica.zero_grads();
+        const double loss = workers[w].grad_fn();
+        if (opts.compute_delay_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(opts.compute_delay_us));
+        }
+        collected[w].stats.push_back(server.push(replica.grads(), ticket));
+        collected[w].losses.push_back(loss);
+      }
+    }));
+  }
+  // Drain every future before letting an exception unwind: an abandoned
+  // std::future does not block in its destructor, so rethrowing from the
+  // middle of the loop would destroy `collected` (and the caller's
+  // server/workers references) while pool tasks still write to them.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  std::vector<std::pair<ApplyStats, double>> merged;
+  for (const auto& per : collected) {
+    for (std::size_t i = 0; i < per.stats.size(); ++i) {
+      merged.emplace_back(per.stats[i], per.losses[i]);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
+    return a.first.update_index < b.first.update_index;
+  });
+
+  ServerRunResult result;
+  result.stats.reserve(merged.size());
+  result.losses.reserve(merged.size());
+  for (auto& [stats, loss] : merged) {
+    result.stats.push_back(stats);
+    result.losses.push_back(loss);
+  }
+  result.total_updates = server.updates();
+  return result;
+}
+
+}  // namespace yf::async

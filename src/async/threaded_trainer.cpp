@@ -1,91 +1,55 @@
 #include "async/threaded_trainer.hpp"
 
-#include <chrono>
-#include <cmath>
-#include <future>
-#include <mutex>
-#include <thread>
+#include <algorithm>
+#include <memory>
 
-#include "async/total_momentum.hpp"
-#include "core/parallel.hpp"
+#include "async/param_server.hpp"
+#include "core/kernels.hpp"
+#include "optim/momentum_sgd.hpp"
 
 namespace yf::async {
 
 ThreadedTrainerResult run_threaded_training(const tensor::Tensor& x0, const GradOracle& oracle,
                                             const ThreadedTrainerOptions& opts) {
-  ThreadedTrainerResult result;
-  tensor::Tensor x = x0.clone();
-  tensor::Tensor v = tensor::Tensor::zeros(x.shape());
-  std::mutex mu;
+  autograd::Variable master(x0.clone(), /*requires_grad=*/true);
+  auto optimizer = std::make_shared<optim::MomentumSGD>(
+      std::vector<autograd::Variable>{master}, opts.lr, opts.momentum);
 
-  // Iterate history: iterates[k] is the model after k updates. Each worker
-  // gradient is evaluated at the exact iterate it snapshotted, so gradient
-  // records carry that index -- the pairing Eq. 37 needs.
-  std::vector<tensor::Tensor> iterates;
-  iterates.push_back(x.clone());
-  struct GradRecord {
-    std::size_t read_index;
-    tensor::Tensor g;
-    double alpha;
-  };
-  std::vector<GradRecord> records;
+  ParamServerOptions server_opts;
+  server_opts.shards = opts.shards;
+  server_opts.measure = true;
+  // Emergent staleness is bounded by the worker count in practice; keep
+  // enough history that even a badly delayed push can still be paired.
+  server_opts.history = std::max<std::int64_t>(64, 4 * opts.workers);
+  ShardedParamServer server(optimizer, server_opts);
 
-  auto worker_fn = [&](std::uint64_t seed) {
-    tensor::Rng rng(seed);
-    for (std::int64_t s = 0; s < opts.steps_per_worker; ++s) {
-      tensor::Tensor snapshot;
-      std::size_t read_index;
-      {
-        std::scoped_lock lock(mu);
-        snapshot = x.clone();
-        read_index = iterates.size() - 1;
-      }
-      tensor::Tensor g = oracle(snapshot, rng);  // slow part: outside the lock
-      if (opts.compute_delay_us > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(opts.compute_delay_us));
-      }
-      {
-        std::scoped_lock lock(mu);
-        records.push_back({read_index, g.clone(), opts.lr});
-        v.mul_(opts.momentum);
-        v.add_(g, -opts.lr);
-        x.add_(v);
-        iterates.push_back(x.clone());
-      }
-    }
-  };
-
-  // Run the workers on the shared pool instead of spawning threads per
-  // call. Hogwild workers rendezvous on `mu`, so every worker needs its
-  // own pool thread to make progress concurrently.
-  auto& pool = core::ThreadPool::instance();
-  pool.ensure_workers(static_cast<std::size_t>(opts.workers));
-  std::vector<std::future<void>> futures;
-  futures.reserve(static_cast<std::size_t>(opts.workers));
+  std::vector<ServerWorker> workers;
+  workers.reserve(static_cast<std::size_t>(opts.workers));
   for (std::int64_t w = 0; w < opts.workers; ++w) {
-    const std::uint64_t seed = opts.seed + static_cast<std::uint64_t>(w) * 7919 + 1;
-    futures.push_back(pool.submit([&worker_fn, seed] { worker_fn(seed); }));
-  }
-  for (auto& f : futures) f.get();
-
-  // Post-hoc Eq. 37 measurement: for each gradient evaluated at iterate j,
-  // mu_hat_T = median_k ( (x_{j+1} - x_j + alpha g_j)_k / (x_j - x_{j-1})_k ).
-  for (const auto& rec : records) {
-    const std::size_t j = rec.read_index;
-    if (j == 0 || j + 1 >= iterates.size()) continue;
-    std::vector<double> ratios;
-    ratios.reserve(static_cast<std::size_t>(rec.g.size()));
-    for (std::int64_t k = 0; k < rec.g.size(); ++k) {
-      const double den = iterates[j][k] - iterates[j - 1][k];
-      if (std::abs(den) < 1e-10) continue;
-      const double num = iterates[j + 1][k] - iterates[j][k] + rec.alpha * rec.g[k];
-      ratios.push_back(num / den);
-    }
-    if (!ratios.empty()) result.total_momentum_estimates.push_back(median(std::move(ratios)));
+    autograd::Variable replica(x0.clone(), /*requires_grad=*/true);
+    auto rng = std::make_shared<tensor::Rng>(opts.seed + static_cast<std::uint64_t>(w) * 7919 + 1);
+    ServerWorker worker;
+    worker.params = {replica};
+    worker.grad_fn = [replica, rng, &oracle] {
+      const tensor::Tensor g = oracle(replica.value(), *rng);
+      core::copy(replica.node()->ensure_grad().data(), g.data());
+      return 0.0;  // the oracle protocol carries no loss
+    };
+    workers.push_back(std::move(worker));
   }
 
-  result.final_x = std::move(x);
-  result.total_updates = static_cast<std::int64_t>(iterates.size()) - 1;
+  ServerRunOptions run_opts;
+  run_opts.steps_per_worker = opts.steps_per_worker;
+  run_opts.compute_delay_us = opts.compute_delay_us;
+  const ServerRunResult run = run_workers(server, workers, run_opts);
+
+  ThreadedTrainerResult result;
+  result.final_x = master.value().clone();
+  result.total_updates = run.total_updates;
+  result.total_momentum_estimates.reserve(run.stats.size());
+  for (const auto& stats : run.stats) {
+    if (stats.mu_hat_total) result.total_momentum_estimates.push_back(*stats.mu_hat_total);
+  }
   return result;
 }
 

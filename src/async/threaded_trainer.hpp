@@ -1,10 +1,14 @@
-// Real multi-threaded hogwild-style trainer over a flat parameter vector.
+// Real multi-threaded trainer over a flat parameter vector: a thin
+// adapter over the sharded parameter server (async/param_server).
 //
-// Complements the deterministic AsyncTrainer: here genuine OS threads race
-// on a mutex-guarded parameter server, so staleness is emergent rather
-// than scripted. Used by the integration tests to confirm the
-// "asynchrony begets momentum" effect (total momentum above algorithmic
-// momentum) on a real concurrent system, not just the round-robin model.
+// Complements the deterministic AsyncTrainer: genuine OS threads race on
+// the server's shard locks, so staleness is emergent rather than
+// scripted. Each worker holds its own replica of the parameter vector,
+// pulls the master values, evaluates the gradient oracle against the
+// snapshot, and pushes the result; the server measures total momentum
+// (Eq. 37) on every push. Used by the integration tests to confirm the
+// "asynchrony begets momentum" effect on a real concurrent system, not
+// just the round-robin model.
 #pragma once
 
 #include <cstdint>
@@ -30,18 +34,22 @@ struct ThreadedTrainerOptions {
   /// updates serialize and no staleness arises; a small delay restores the
   /// read-compute-write overlap of a real training system.
   std::int64_t compute_delay_us = 0;
+  /// Server shards. 1 reproduces the historical single-lock hogwild
+  /// server; more shards let pulls and pushes interleave per window.
+  std::int64_t shards = 1;
 };
 
 struct ThreadedTrainerResult {
   tensor::Tensor final_x;
-  /// Per-update mu_hat_T estimates (skipping warm-up); empty if dim too
-  /// small for reliable medians.
+  /// Per-push mu_hat_T estimates in server apply order (skipping pushes
+  /// whose shard history was insufficient or whose denominators
+  /// underflowed).
   std::vector<double> total_momentum_estimates;
   std::int64_t total_updates = 0;
 };
 
-/// Run hogwild momentum SGD from `x0`; returns final iterate and the
-/// total-momentum measurements taken at the server.
+/// Run sharded-server momentum SGD from `x0`; returns the final iterate
+/// and the total-momentum measurements taken at the server.
 ThreadedTrainerResult run_threaded_training(const tensor::Tensor& x0, const GradOracle& oracle,
                                             const ThreadedTrainerOptions& opts);
 

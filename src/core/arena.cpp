@@ -73,6 +73,28 @@ std::size_t ParamArena::slot_index(const autograd::Variable& p) const {
   throw std::invalid_argument("ParamArena::slot_index: variable not in this arena");
 }
 
+namespace {
+
+tensor::Tensor window_into(const tensor::Tensor& buffer, std::int64_t offset, std::int64_t len,
+                           std::int64_t total) {
+  if (offset < 0 || len < 0 || offset + len > total) {
+    throw std::out_of_range("ParamArena: window [" + std::to_string(offset) + ", " +
+                            std::to_string(offset + len) + ") outside arena of size " +
+                            std::to_string(total));
+  }
+  return tensor::Tensor::view_of(buffer, offset, tensor::Shape{len});
+}
+
+}  // namespace
+
+tensor::Tensor ParamArena::values_window(std::int64_t offset, std::int64_t len) const {
+  return window_into(values_, offset, len, total_);
+}
+
+tensor::Tensor ParamArena::grads_window(std::int64_t offset, std::int64_t len) const {
+  return window_into(grads_, offset, len, total_);
+}
+
 void ParamArena::zero_grads() { core::fill(grads(), 0.0); }
 
 tensor::Tensor ParamArena::make_buffer() const { return tensor::Tensor(tensor::Shape{total_}); }

@@ -9,9 +9,10 @@ AdaGrad::AdaGrad(std::vector<autograd::Variable> params, double lr, double eps)
   accum_ = arena_.make_buffer();
 }
 
-void AdaGrad::step() {
-  core::adagrad_step(arena_.values(), accum_.data(), arena_.grads(), lr_, eps_);
-  ++iteration_;
+void AdaGrad::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) {
+  const auto a = static_cast<std::size_t>(lo), n = static_cast<std::size_t>(hi - lo);
+  core::adagrad_step(arena_.values().subspan(a, n), accum_.data().subspan(a, n),
+                     arena_.grads().subspan(a, n), plan.lr, eps_);
 }
 
 }  // namespace yf::optim

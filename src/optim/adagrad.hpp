@@ -10,7 +10,7 @@ class AdaGrad : public Optimizer {
  public:
   AdaGrad(std::vector<autograd::Variable> params, double lr, double eps = 1e-10);
 
-  void step() override;
+  void step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) override;
   std::string name() const override { return "adagrad"; }
   double lr() const override { return lr_; }
   void set_lr(double lr) override { lr_ = lr; }

@@ -16,13 +16,14 @@ Adam::Adam(std::vector<autograd::Variable> params, double lr, double beta1, doub
   v_ = arena_.make_buffer();
 }
 
-void Adam::step() {
-  const auto t = static_cast<double>(iteration_ + 1);
+void Adam::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) {
+  const auto t = static_cast<double>(plan.t + 1);
   const double bc1 = 1.0 - std::pow(beta1_, t);
   const double bc2 = 1.0 - std::pow(beta2_, t);
-  core::adam_step(arena_.values(), m_.data(), v_.data(), arena_.grads(), lr_, beta1_, beta2_,
-                  bc1, bc2, eps_);
-  ++iteration_;
+  const auto a = static_cast<std::size_t>(lo), n = static_cast<std::size_t>(hi - lo);
+  core::adam_step(arena_.values().subspan(a, n), m_.data().subspan(a, n),
+                  v_.data().subspan(a, n), arena_.grads().subspan(a, n), plan.lr, beta1_,
+                  beta2_, bc1, bc2, eps_);
 }
 
 }  // namespace yf::optim

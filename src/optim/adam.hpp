@@ -14,7 +14,7 @@ class Adam : public Optimizer {
   Adam(std::vector<autograd::Variable> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
 
-  void step() override;
+  void step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) override;
   std::string name() const override { return "adam"; }
   double lr() const override { return lr_; }
   void set_lr(double lr) override { lr_ = lr; }

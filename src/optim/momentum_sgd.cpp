@@ -16,10 +16,14 @@ MomentumSGD::MomentumSGD(std::vector<autograd::Variable> params, double lr, doub
   }
 }
 
-void MomentumSGD::step() {
-  core::momentum_step(arena_.values(), velocity_.data(), arena_.grads(), lr_, momentum_,
-                      nesterov_);
-  ++iteration_;
+optim::ApplyPlan MomentumSGD::begin_apply(std::span<double> /*grad*/) {
+  return {iteration_, lr_, momentum_};
+}
+
+void MomentumSGD::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) {
+  const auto a = static_cast<std::size_t>(lo), n = static_cast<std::size_t>(hi - lo);
+  core::momentum_step(arena_.values().subspan(a, n), velocity_.data().subspan(a, n),
+                      arena_.grads().subspan(a, n), plan.lr, plan.mu, nesterov_);
 }
 
 }  // namespace yf::optim

@@ -17,7 +17,8 @@ class MomentumSGD : public Optimizer {
   MomentumSGD(std::vector<autograd::Variable> params, double lr, double momentum,
               bool nesterov = false);
 
-  void step() override;
+  ApplyPlan begin_apply(std::span<double> grad) override;
+  void step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) override;
   std::string name() const override { return nesterov_ ? "nesterov_sgd" : "momentum_sgd"; }
   double lr() const override { return lr_; }
   void set_lr(double lr) override { lr_ = lr; }

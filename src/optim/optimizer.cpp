@@ -21,6 +21,16 @@ const std::vector<autograd::Variable>& validated(const std::vector<autograd::Var
 Optimizer::Optimizer(std::vector<autograd::Variable> params)
     : params_(std::move(params)), arena_(validated(params_)) {}
 
+void Optimizer::step() {
+  const ApplyPlan plan = begin_apply(arena_.grads());
+  step_span(plan, 0, arena_.size());
+  end_apply(plan);
+}
+
+ApplyPlan Optimizer::begin_apply(std::span<double> /*grad*/) { return {iteration_, lr(), 0.0}; }
+
+void Optimizer::end_apply(const ApplyPlan& /*plan*/) { ++iteration_; }
+
 void Optimizer::zero_grad() { arena_.zero_grads(); }
 
 }  // namespace yf::optim

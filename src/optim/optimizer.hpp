@@ -16,8 +16,31 @@
 // already-flattened parameters migrates them into new buffers and
 // detaches any earlier optimizer still holding the old arena -- destroy
 // the old optimizer first in that case.
+//
+// Sharded application protocol (async/param_server, DESIGN.md §5): one
+// gradient application decomposes into
+//
+//   plan = begin_apply(grad)        global stage: measurement / tuning on
+//                                   the full gradient (YellowFin clips and
+//                                   tunes here); captures everything the
+//                                   span sweeps need into an ApplyPlan
+//   step_span(plan, lo, hi)         fused update sweep over arena span
+//                                   [lo, hi); safe to run concurrently for
+//                                   DISJOINT spans of the same plan or of
+//                                   different plans -- all mutable per-span
+//                                   state (values, velocity, moments) is
+//                                   indexed by the span
+//   end_apply(plan)                 global stage: advance the iteration
+//
+// step() is exactly begin_apply(arena grads) + step_span over the whole
+// arena + end_apply, so a sharded application with one worker reproduces
+// the synchronous trajectory bit for bit (tests/param_server_test.cpp).
+// begin_apply/end_apply must be externally serialized (the parameter
+// server runs them under its global stage lock); hyperparameter setters
+// (set_lr, set_momentum, ...) count as global-stage calls too.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +49,14 @@
 
 namespace yf::optim {
 
+/// Everything a span sweep needs from the global stage, captured by value
+/// so concurrent sweeps never read mutating optimizer state.
+struct ApplyPlan {
+  std::int64_t t = 0;  ///< iteration index the update math uses (0-based)
+  double lr = 0.0;     ///< effective learning rate of this application
+  double mu = 0.0;     ///< effective momentum (momentum-family optimizers)
+};
+
 class Optimizer {
  public:
   explicit Optimizer(std::vector<autograd::Variable> params);
@@ -33,8 +64,22 @@ class Optimizer {
   Optimizer(const Optimizer&) = delete;
   Optimizer& operator=(const Optimizer&) = delete;
 
-  /// Apply one update using the gradients currently stored on the params.
-  virtual void step() = 0;
+  /// Apply one update using the gradients currently stored on the params:
+  /// begin_apply + one whole-arena step_span + end_apply.
+  void step();
+
+  /// Global stage of one gradient application. `grad` is the flattened
+  /// gradient about to be applied (the arena gradient buffer in the
+  /// synchronous path, a worker's own buffer at the parameter server) and
+  /// may be modified in place (YellowFin's adaptive clipping).
+  virtual ApplyPlan begin_apply(std::span<double> grad);
+
+  /// Fused update sweep over arena span [lo, hi) using the captured plan.
+  /// The gradient for the span must already be in the arena buffer.
+  virtual void step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) = 0;
+
+  /// Closing global stage; advances the iteration counter.
+  virtual void end_apply(const ApplyPlan& plan);
 
   /// Human-readable optimizer name for reports ("adam", "yellowfin", ...).
   virtual std::string name() const = 0;
@@ -48,8 +93,12 @@ class Optimizer {
 
   const std::vector<autograd::Variable>& params() const { return params_; }
 
-  /// Flat parameter/gradient storage backing this optimizer.
+  /// Flat parameter/gradient storage backing this optimizer. The mutable
+  /// overload serves engines that stage gradients into the arena
+  /// themselves (async/param_server copies each worker gradient in shard
+  /// by shard before the span sweeps).
   const core::ParamArena& arena() const { return arena_; }
+  core::ParamArena& arena() { return arena_; }
 
   /// Number of step() calls so far.
   std::int64_t iteration() const { return iteration_; }

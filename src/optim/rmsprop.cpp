@@ -9,9 +9,10 @@ RMSProp::RMSProp(std::vector<autograd::Variable> params, double lr, double decay
   sq_ = arena_.make_buffer();
 }
 
-void RMSProp::step() {
-  core::rmsprop_step(arena_.values(), sq_.data(), arena_.grads(), lr_, decay_, eps_);
-  ++iteration_;
+void RMSProp::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) {
+  const auto a = static_cast<std::size_t>(lo), n = static_cast<std::size_t>(hi - lo);
+  core::rmsprop_step(arena_.values().subspan(a, n), sq_.data().subspan(a, n),
+                     arena_.grads().subspan(a, n), plan.lr, decay_, eps_);
 }
 
 }  // namespace yf::optim

@@ -11,7 +11,7 @@ class RMSProp : public Optimizer {
   RMSProp(std::vector<autograd::Variable> params, double lr, double decay = 0.99,
           double eps = 1e-8);
 
-  void step() override;
+  void step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) override;
   std::string name() const override { return "rmsprop"; }
   double lr() const override { return lr_; }
   void set_lr(double lr) override { lr_ = lr; }

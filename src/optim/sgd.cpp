@@ -7,9 +7,9 @@ namespace yf::optim {
 SGD::SGD(std::vector<autograd::Variable> params, double lr)
     : Optimizer(std::move(params)), lr_(lr) {}
 
-void SGD::step() {
-  core::sgd_step(arena_.values(), arena_.grads(), lr_);
-  ++iteration_;
+void SGD::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) {
+  const auto a = static_cast<std::size_t>(lo), n = static_cast<std::size_t>(hi - lo);
+  core::sgd_step(arena_.values().subspan(a, n), arena_.grads().subspan(a, n), plan.lr);
 }
 
 }  // namespace yf::optim

@@ -9,7 +9,7 @@ class SGD : public Optimizer {
  public:
   SGD(std::vector<autograd::Variable> params, double lr);
 
-  void step() override;
+  void step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) override;
   std::string name() const override { return "sgd"; }
   double lr() const override { return lr_; }
   void set_lr(double lr) override { lr_ = lr; }

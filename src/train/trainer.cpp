@@ -43,4 +43,20 @@ TrainResult train(optim::Optimizer& optimizer, const GradFn& grad_fn, const Trai
   return result;
 }
 
+TrainResult train_server(async::ShardedParamServer& server,
+                         const std::vector<async::ServerWorker>& workers,
+                         const async::ServerRunOptions& run_opts, double divergence_bound) {
+  const auto run = async::run_workers(server, workers, run_opts);
+  TrainResult result;
+  result.losses.reserve(run.losses.size());
+  for (double loss : run.losses) {
+    if (!std::isfinite(loss) || loss > divergence_bound) {
+      result.diverged = true;
+      loss = divergence_bound;
+    }
+    result.losses.push_back(loss);
+  }
+  return result;
+}
+
 }  // namespace yf::train

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "async/async_simulator.hpp"  // for GradFn
+#include "async/param_server.hpp"
 #include "optim/lr_schedule.hpp"
 #include "optim/optimizer.hpp"
 
@@ -39,5 +40,15 @@ struct TrainResult {
 };
 
 TrainResult train(optim::Optimizer& optimizer, const GradFn& grad_fn, const TrainOptions& opts);
+
+/// Asynchronous counterpart of train(): drive `server` with the given
+/// worker replicas on the shared pool and shape the per-push losses (in
+/// server apply order) into a TrainResult. Unlike train(), workers run to
+/// completion; divergent losses are clamped to `divergence_bound` and
+/// flagged rather than aborting the run.
+TrainResult train_server(async::ShardedParamServer& server,
+                         const std::vector<async::ServerWorker>& workers,
+                         const async::ServerRunOptions& run_opts,
+                         double divergence_bound = 1e9);
 
 }  // namespace yf::train

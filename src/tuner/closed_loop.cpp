@@ -1,3 +1,44 @@
 #include "tuner/closed_loop.hpp"
 
-// Header-only controller; TU anchors the target in the build graph.
+#include <stdexcept>
+#include <string>
+
+#include "optim/momentum_sgd.hpp"
+#include "tuner/yellowfin.hpp"
+
+namespace yf::tuner {
+
+MomentumControl::MomentumControl(optim::Optimizer& optimizer, std::optional<double> mu_target)
+    : yellowfin_(dynamic_cast<YellowFin*>(&optimizer)),
+      momentum_sgd_(dynamic_cast<optim::MomentumSGD*>(&optimizer)),
+      mu_target_(mu_target) {}
+
+void MomentumControl::require_closed_loop_support(const char* who) const {
+  if (yellowfin_ || (momentum_sgd_ && mu_target_)) return;
+  throw std::invalid_argument(std::string(who) +
+                              ": closed loop requires a YellowFin optimizer, or a "
+                              "MomentumSGD plus an explicit mu_target");
+}
+
+double MomentumControl::target() const {
+  if (mu_target_) return *mu_target_;
+  if (yellowfin_) return yellowfin_->momentum();
+  if (momentum_sgd_) return momentum_sgd_->momentum();
+  return 0.0;
+}
+
+double MomentumControl::applied() const {
+  if (yellowfin_) return yellowfin_->momentum();
+  if (momentum_sgd_) return momentum_sgd_->momentum();
+  return 0.0;
+}
+
+void MomentumControl::set_applied(double mu) {
+  if (yellowfin_) {
+    yellowfin_->set_applied_momentum(mu);
+  } else if (momentum_sgd_) {
+    momentum_sgd_->set_momentum(mu);
+  }
+}
+
+}  // namespace yf::tuner

@@ -13,8 +13,16 @@
 #pragma once
 
 #include <algorithm>
+#include <optional>
+
+namespace yf::optim {
+class Optimizer;
+class MomentumSGD;
+}
 
 namespace yf::tuner {
+
+class YellowFin;
 
 class ClosedLoopController {
  public:
@@ -34,6 +42,40 @@ class ClosedLoopController {
  private:
   double gamma_;
   double mu_;
+};
+
+/// Resolves which optimizer knob Algorithm 5 drives. Shared by the async
+/// simulator and the sharded parameter server so the two engines cannot
+/// drift on the contract:
+///
+///  * target(): `mu_target` when set (it overrides the tuner's target),
+///    else YellowFin's tuned momentum, else MomentumSGD's momentum;
+///  * set_applied(): YellowFin's applied-momentum override, or
+///    MomentumSGD's momentum directly;
+///  * closed loop is valid only for a YellowFin, or a MomentumSGD plus an
+///    explicit `mu_target` (otherwise the controller would chase the very
+///    value it writes).
+///
+/// Holds non-owning pointers; the optimizer must outlive the control.
+class MomentumControl {
+ public:
+  MomentumControl(optim::Optimizer& optimizer, std::optional<double> mu_target);
+
+  /// Throws std::invalid_argument unless the optimizer/target combination
+  /// supports closed-loop control; `who` prefixes the message.
+  void require_closed_loop_support(const char* who) const;
+
+  /// Current total-momentum target of the feedback loop.
+  double target() const;
+  /// Currently applied algorithmic momentum (the controller's mu0).
+  double applied() const;
+  /// Route the controller's output to the optimizer.
+  void set_applied(double mu);
+
+ private:
+  YellowFin* yellowfin_;            ///< non-null when the optimizer is a YellowFin
+  optim::MomentumSGD* momentum_sgd_;  ///< non-null when it is a MomentumSGD
+  std::optional<double> mu_target_;
 };
 
 }  // namespace yf::tuner

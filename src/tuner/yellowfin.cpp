@@ -29,21 +29,22 @@ void YellowFin::measure(std::span<const double> flat_grad) {
   distance_.update(std::sqrt(sq));
 }
 
-void YellowFin::step() {
-  // The arena gradient buffer *is* the flattened gradient: measurements
-  // and clipping run on it directly, no per-step copy.
-  auto grads = arena_.grads();
+optim::ApplyPlan YellowFin::begin_apply(std::span<double> grad) {
+  // In the synchronous path `grad` is the arena gradient buffer itself:
+  // measurements and clipping run on it directly, no per-step copy. At the
+  // parameter server it is the pushing worker's own buffer, measured and
+  // clipped before the per-shard copy into the arena.
 
   // -- Adaptive clipping (Appendix F): threshold sqrt(h_max). ---------------
   last_step_clipped_ = false;
   if (opts_.adaptive_clipping && curvature_.count() > 0) {
     last_clip_threshold_ = std::sqrt(curvature_.h_max());
-    const double norm = core::clip_scale(grads, last_clip_threshold_);
+    const double norm = core::clip_scale(grad, last_clip_threshold_);
     last_step_clipped_ = norm > last_clip_threshold_;
   }
 
   // -- Measurements (Algorithms 2-4), one fused pass each. ------------------
-  measure(grads);
+  measure(grad);
 
   // -- SingleStep closed form (Eq. 15). --------------------------------------
   const double hmax = curvature_.h_max();
@@ -73,9 +74,14 @@ void YellowFin::step() {
   double mu = opts_.force_momentum.value_or(mu_);
   if (applied_mu_override_) mu = *applied_mu_override_;
 
-  // -- Momentum SGD update: one fused sweep over the arena. ------------------
-  core::momentum_step(arena_.values(), velocity_.data(), grads, lr, mu, /*nesterov=*/false);
-  ++iteration_;
+  return {iteration_, lr, mu};
+}
+
+void YellowFin::step_span(const optim::ApplyPlan& plan, std::int64_t lo, std::int64_t hi) {
+  // -- Momentum SGD update: one fused sweep over the span. -------------------
+  const auto a = static_cast<std::size_t>(lo), n = static_cast<std::size_t>(hi - lo);
+  core::momentum_step(arena_.values().subspan(a, n), velocity_.data().subspan(a, n),
+                      arena_.grads().subspan(a, n), plan.lr, plan.mu, /*nesterov=*/false);
 }
 
 }  // namespace yf::tuner

@@ -51,7 +51,13 @@ class YellowFin : public optim::Optimizer {
  public:
   YellowFin(std::vector<autograd::Variable> params, const YellowFinOptions& opts = {});
 
-  void step() override;
+  /// Global stage: adaptive clipping (in place on `grad`), Algorithms 2-4
+  /// measurement, SingleStep + smoothing + slow start. The returned plan
+  /// carries the *effective* (post slow-start, post lr_factor) learning
+  /// rate and the applied momentum (after force_momentum / closed-loop
+  /// override), so sharded sweeps replay exactly what step() would do.
+  optim::ApplyPlan begin_apply(std::span<double> grad) override;
+  void step_span(const optim::ApplyPlan& plan, std::int64_t lo, std::int64_t hi) override;
   std::string name() const override { return "yellowfin"; }
 
   /// Base lr here means the tuner's current (smoothed) alpha.

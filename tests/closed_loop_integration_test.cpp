@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "async/async_simulator.hpp"
+#include "optim/momentum_sgd.hpp"
 #include "tuner/yellowfin.hpp"
 #include "tensor/random.hpp"
 
@@ -92,6 +93,74 @@ TEST(ClosedLoopIntegration, StillConvergesWithFeedback) {
   double last_loss = 0.0;
   for (int i = 0; i < 1500; ++i) last_loss = trainer.step().loss;
   EXPECT_LT(last_loss, 1.0);  // from 90 at x0 = 3
+}
+
+TEST(ClosedLoopIntegration, TracksTargetAndAppliedGoesNegativeAtHighWorkerCount) {
+  // Fig. 4 right pane as a regression test: 16 round-robin workers
+  // (staleness 15) and a small total-momentum target. The asynchrony-
+  // induced momentum alone exceeds the target, so the controller must
+  // push the applied algorithmic momentum below zero while the measured
+  // total momentum tracks mu_target within tolerance.
+  const double mu_target = 0.05;
+  BowlTask task(40, 1.0, 0.05, 3.0);
+  auto opt = std::make_shared<yf::optim::MomentumSGD>(std::vector<ag::Variable>{task.x},
+                                                      0.05, mu_target);
+  async::AsyncTrainerOptions opts;
+  opts.staleness = 15;
+  opts.closed_loop = true;
+  opts.mu_target = mu_target;
+  opts.gamma = 0.02;
+  async::AsyncTrainer trainer(opt, [&] { return task.grad(); }, opts);
+
+  double smoothed = 0.0;
+  bool init = false;
+  double gap_sum = 0.0, applied_sum = 0.0;
+  int n = 0;
+  const int iters = 1200;
+  for (int i = 0; i < iters; ++i) {
+    const auto s = trainer.step();
+    if (s.mu_hat_total) {
+      smoothed = init ? 0.95 * smoothed + 0.05 * (*s.mu_hat_total) : *s.mu_hat_total;
+      init = true;
+    }
+    if (i >= 2 * iters / 3 && init) {
+      gap_sum += smoothed - mu_target;
+      applied_sum += s.applied_momentum;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 300);
+  // Measured total momentum tracks the target...
+  EXPECT_LT(std::abs(gap_sum / n), 0.04);
+  // ...which required negative algorithmic momentum (Fig. 4, right pane).
+  EXPECT_LT(applied_sum / n, 0.0);
+}
+
+TEST(ClosedLoopIntegration, ClosedLoopSupportsMomentumSGDWithExplicitTarget) {
+  // The MomentumSGD + mu_target contract matches the parameter server's;
+  // MomentumSGD without a target still throws.
+  BowlTask task(4, 1.0, 0.0, 1.0);
+  auto opt = std::make_shared<yf::optim::MomentumSGD>(std::vector<ag::Variable>{task.x},
+                                                      0.01, 0.2);
+  async::AsyncTrainerOptions opts;
+  opts.closed_loop = true;
+  EXPECT_THROW(async::AsyncTrainer(opt, [&] { return task.grad(); }, opts),
+               std::invalid_argument);
+  opts.mu_target = 0.2;
+  EXPECT_NO_THROW(async::AsyncTrainer(opt, [&] { return task.grad(); }, opts));
+}
+
+TEST(ClosedLoopIntegration, ExplicitTargetOverridesTunerTarget) {
+  // mu_target, when set, is THE target even for a YellowFin — on both
+  // engines, via the shared tuner::MomentumControl contract.
+  BowlTask task(8, 1.0, 0.01, 2.0);
+  auto opt = std::make_shared<yf::tuner::YellowFin>(std::vector<ag::Variable>{task.x});
+  async::AsyncTrainerOptions opts;
+  opts.staleness = 3;
+  opts.closed_loop = true;
+  opts.mu_target = 0.12;
+  async::AsyncTrainer trainer(opt, [&] { return task.grad(); }, opts);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(trainer.step().target_momentum, 0.12);
 }
 
 TEST(YellowFinOptions, SlowStartItersOverridesWindowRule) {
