@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Perf regression gate over the BENCH_*.json files the micro benches emit.
+
+Compares each result's ns/op against bench/baselines.json with a generous
+threshold (default 2x: CI runners are shared and noisy; the gate exists to
+catch step-function regressions like a kernel silently falling back to
+scalar, not single-digit drift). Prints a markdown delta table, appends it
+to --summary (e.g. $GITHUB_STEP_SUMMARY) when given, and exits nonzero on
+any regression -- wire it as a non-required CI step.
+
+Refreshing baselines after an intentional perf change:
+
+    YF_BENCH_JSON_DIR=bench-json ./build/micro_kernels
+    ... (micro_tuner_overhead, micro_param_server) ...
+    python3 bench/check_regression.py --dir bench-json --update
+
+then commit the rewritten bench/baselines.json.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_results(directory):
+    """{'<bench>::<name>': {'ns_per_op': float, 'backend': str}} over BENCH_*.json."""
+    results = {}
+    files = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    for path in files:
+        with open(path) as f:
+            doc = json.load(f)
+        for entry in doc.get("results", []):
+            ns = float(entry["ns_per_op"])
+            if ns <= 0:  # skipped/errored run: never a result or a baseline
+                continue
+            key = f"{doc.get('bench', os.path.basename(path))}::{entry['name']}"
+            results[key] = {
+                "ns_per_op": ns,
+                "backend": entry.get("backend", ""),
+            }
+    return files, results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json (default: .)")
+    parser.add_argument("--baselines", default=os.path.join(os.path.dirname(__file__),
+                                                            "baselines.json"),
+                        help="checked-in baseline file (default: bench/baselines.json)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="regression factor (default: the baseline file's, else 2.0)")
+    parser.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                        help="file to append the markdown table to (default: "
+                             "$GITHUB_STEP_SUMMARY when set)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline file from the current results and exit")
+    args = parser.parse_args()
+
+    files, current = load_results(args.dir)
+    if not current:
+        print(f"check_regression: no BENCH_*.json under {args.dir}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        doc = {
+            "note": "ns/op baselines for bench/check_regression.py, refreshed with --update "
+                    "on a 1-core CI-class runner. Generous threshold: the gate catches "
+                    "step-function regressions, not noise.",
+            "threshold": args.threshold or 2.0,
+            "entries": {k: round(v["ns_per_op"], 1) for k, v in sorted(current.items())},
+        }
+        with open(args.baselines, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"check_regression: wrote {len(current)} baselines to {args.baselines}")
+        return 0
+
+    with open(args.baselines) as f:
+        baseline_doc = json.load(f)
+    baselines = baseline_doc.get("entries", {})
+    threshold = args.threshold or float(baseline_doc.get("threshold", 2.0))
+
+    rows = []     # (key, base, now, ratio, status)
+    regressed = []
+    missing = []
+    for key, entry in sorted(current.items()):
+        now = entry["ns_per_op"]
+        base = baselines.get(key)
+        if base is None:
+            rows.append((key, None, now, None, "new"))
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        status = "REGRESSED" if ratio > threshold else "ok"
+        if status == "REGRESSED":
+            regressed.append(key)
+        rows.append((key, base, now, ratio, status))
+    # A baseline with no current result is itself a failure: the classic
+    # step-function regression is a bench (e.g. every simd variant) that
+    # silently stopped running/being recorded at all.
+    for key in sorted(set(baselines) - set(current)):
+        missing.append(key)
+        rows.append((key, baselines[key], None, None, "missing"))
+
+    lines = [
+        f"### Perf regression gate ({len(files)} file(s), threshold {threshold:.1f}x)",
+        "",
+        "| benchmark | baseline ns/op | current ns/op | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for key, base, now, ratio, status in rows:
+        fmt = lambda v: f"{v:,.0f}" if v is not None else "—"
+        ratio_s = f"{ratio:.2f}x" if ratio is not None else "—"
+        mark = {"ok": "ok", "REGRESSED": "REGRESSED", "new": "new", "missing": "missing"}[status]
+        lines.append(f"| `{key}` | {fmt(base)} | {fmt(now)} | {ratio_s} | {mark} |")
+    lines.append("")
+    if regressed:
+        lines.append(f"**{len(regressed)} regression(s) over {threshold:.1f}x:** " +
+                     ", ".join(f"`{k}`" for k in regressed))
+    if missing:
+        lines.append(f"**{len(missing)} baseline(s) with no current result** (bench skipped, "
+                     "renamed, or no longer emitting JSON — refresh with --update if "
+                     "intentional): " + ", ".join(f"`{k}`" for k in missing))
+    if not regressed and not missing:
+        lines.append("No regressions.")
+    table = "\n".join(lines)
+
+    print(table)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(table + "\n")
+
+    return 1 if regressed or missing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "async/param_server.hpp"
+#include "core/kernels/backend.hpp"
 #include "autograd/ops.hpp"
 #include "data/bracket_lang.hpp"
 #include "data/copy_translate.hpp"
@@ -38,6 +39,127 @@ inline bool full_mode() {
   const char* env = std::getenv("YF_FULL");
   return env != nullptr && std::string(env) == "1";
 }
+
+inline std::string env_or(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::string(env) : fallback;
+}
+
+}  // namespace yfb
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output: JsonReporter mirrors the console output
+// of the google-benchmark micro benches into BENCH_<name>.json (benchmark
+// name, shape, ns/op, backend, git sha) so CI can archive the perf
+// trajectory and gate regressions (bench/check_regression.py). Guarded on
+// the header so the plain-main fig/table benches, which include this file
+// but do not link google-benchmark, still build without it.
+// ---------------------------------------------------------------------------
+#if __has_include(<benchmark/benchmark.h>)
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+
+namespace yfb {
+
+class JsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonReporter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      // Runs skipped via SkipWithError (e.g. simd benches on a machine
+      // without AVX2) report zero iterations; recording them would bake
+      // ns_per_op=0 into the JSON and poison the regression baselines.
+      if (run.iterations <= 0 || run.real_accumulated_time <= 0.0) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.shape = run.run_name.args;
+      // Benches that flip kernel backends label each run; otherwise the
+      // process-wide active backend applies.
+      entry.backend =
+          run.report_label.empty() ? yf::core::active_kernel_backend_name() : run.report_label;
+      entry.iterations = run.iterations;
+      entry.ns_per_op = run.iterations > 0
+                            ? run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9
+                            : 0.0;
+      const auto items = run.counters.find("items_per_second");
+      entry.items_per_second =
+          items != run.counters.end() ? static_cast<double>(items->second) : 0.0;
+      entries_.push_back(std::move(entry));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    const std::string dir = env_or("YF_BENCH_JSON_DIR", ".");
+    const std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "JsonReporter: cannot write " << path << "\n";
+      return;
+    }
+    const std::string sha = env_or("YF_GIT_SHA", env_or("GITHUB_SHA", "unknown"));
+    out << "{\n";
+    out << "  \"bench\": \"" << escape(bench_) << "\",\n";
+    out << "  \"git_sha\": \"" << escape(sha) << "\",\n";
+    out << "  \"default_backend\": \"" << yf::core::active_kernel_backend_name() << "\",\n";
+    out << "  \"results\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"name\": \"" << escape(e.name) << "\", \"shape\": \"" << escape(e.shape)
+          << "\", \"backend\": \"" << escape(e.backend) << "\", \"ns_per_op\": " << e.ns_per_op
+          << ", \"items_per_second\": " << e.items_per_second
+          << ", \"iterations\": " << e.iterations << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "JSON written to " << path << "\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string shape;
+    std::string backend;
+    std::int64_t iterations = 0;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars: drop
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits
+/// BENCH_<bench_name>.json (to YF_BENCH_JSON_DIR, default cwd).
+inline int benchmark_main_with_json(int argc, char** argv, const std::string& bench_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonReporter reporter(bench_name);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace yfb
+#endif  // __has_include(<benchmark/benchmark.h>)
+
+namespace yfb {
 
 // ---------------------------------------------------------------------------
 // Engine selection: the same bench configs drive either the synchronous

@@ -1,24 +1,28 @@
 // Microbenchmarks (google-benchmark): fused arena kernels vs the
-// historical per-tensor hot paths they replaced.
+// historical per-tensor hot paths they replaced, and the scalar vs SIMD
+// kernel backends against each other.
 //
 // The "Old*" benchmarks replicate the seed implementations faithfully:
 // per-parameter tensor walks (three in-place passes for momentum, an
 // operator[] element loop for Adam) and the tuner's flatten-copy +
 // square() temporary + two-sweep EWMA measurement. The "Fused*"
-// benchmarks run the production path: one core::kernels sweep over the
-// ParamArena. Args are {num_params, param_size}: many small parameters
-// stress per-tensor dispatch overhead, one big parameter isolates the
-// pure sweep cost.
+// benchmarks run the production path — one core::kernels sweep over the
+// ParamArena — once per kernel backend (the /scalar and /simd capture
+// suffix; simd runs skip on machines without AVX2). Args are
+// {num_params, param_size}: many small parameters stress per-tensor
+// dispatch overhead, one big parameter isolates the pure sweep cost.
+// Results land in BENCH_micro_kernels.json via yfb::JsonReporter.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <vector>
 
+#include "common.hpp"
 #include "core/arena.hpp"
 #include "core/kernels.hpp"
 #include "optim/adam.hpp"
-#include "tensor/ops.hpp"
 #include "optim/momentum_sgd.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/random.hpp"
 #include "tuner/distance_to_opt.hpp"
 #include "tuner/ewma.hpp"
@@ -28,7 +32,38 @@
 namespace {
 
 namespace ag = yf::autograd;
+namespace core = yf::core;
 namespace t = yf::tensor;
+
+/// Force `backend` for the duration of one benchmark run, restoring the
+/// process default on destruction so the Old* baselines (whose tensor
+/// ops dispatch through the same table) and filtered subsets always run
+/// under the auto-detected backend regardless of registration order.
+/// Converts to false (after flagging the run skipped) when the machine
+/// cannot run the requested backend.
+class BackendScope {
+ public:
+  BackendScope(benchmark::State& state, core::KernelBackend backend)
+      : previous_(core::active_kernel_backend()) {
+    if (backend == core::KernelBackend::kSimd && !core::simd_supported()) {
+      state.SkipWithError("simd backend unsupported on this machine");
+      ok_ = false;
+      return;
+    }
+    core::set_kernel_backend(backend);
+    state.SetLabel(core::kernel_backend_name(backend));
+  }
+  ~BackendScope() {
+    if (ok_) core::set_kernel_backend(previous_);
+  }
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+  explicit operator bool() const { return ok_; }
+
+ private:
+  core::KernelBackend previous_;
+  bool ok_ = true;
+};
 
 std::vector<ag::Variable> make_params(std::int64_t count, std::int64_t size) {
   t::Rng rng(1);
@@ -66,13 +101,20 @@ void BM_OldPerTensorMomentum(benchmark::State& state) {
 }
 BENCHMARK(BM_OldPerTensorMomentum)->Args({256, 64})->Args({1, 100000});
 
-void BM_FusedArenaMomentum(benchmark::State& state) {
+void BM_FusedArenaMomentum(benchmark::State& state, core::KernelBackend backend) {
+  BackendScope scope(state, backend);
+  if (!scope) return;
   auto params = make_params(state.range(0), state.range(1));
   yf::optim::MomentumSGD opt(params, 1e-6, 0.9);
   for (auto _ : state) opt.step();
   set_items(state);
 }
-BENCHMARK(BM_FusedArenaMomentum)->Args({256, 64})->Args({1, 100000});
+BENCHMARK_CAPTURE(BM_FusedArenaMomentum, scalar, core::KernelBackend::kScalar)
+    ->Args({256, 64})
+    ->Args({1, 100000});
+BENCHMARK_CAPTURE(BM_FusedArenaMomentum, simd, core::KernelBackend::kSimd)
+    ->Args({256, 64})
+    ->Args({1, 100000});
 
 // -- Adam step: old operator[] element loop vs one fused sweep. --------------
 
@@ -105,13 +147,20 @@ void BM_OldPerTensorAdam(benchmark::State& state) {
 }
 BENCHMARK(BM_OldPerTensorAdam)->Args({256, 64})->Args({1, 100000});
 
-void BM_FusedArenaAdam(benchmark::State& state) {
+void BM_FusedArenaAdam(benchmark::State& state, core::KernelBackend backend) {
+  BackendScope scope(state, backend);
+  if (!scope) return;
   auto params = make_params(state.range(0), state.range(1));
   yf::optim::Adam opt(params, 1e-6);
   for (auto _ : state) opt.step();
   set_items(state);
 }
-BENCHMARK(BM_FusedArenaAdam)->Args({256, 64})->Args({1, 100000});
+BENCHMARK_CAPTURE(BM_FusedArenaAdam, scalar, core::KernelBackend::kScalar)
+    ->Args({256, 64})
+    ->Args({1, 100000});
+BENCHMARK_CAPTURE(BM_FusedArenaAdam, simd, core::KernelBackend::kSimd)
+    ->Args({256, 64})
+    ->Args({1, 100000});
 
 // -- Tuner measurement: old flatten + temporaries vs fused arena pass. -------
 
@@ -148,7 +197,9 @@ void BM_OldTunerMeasure(benchmark::State& state) {
 }
 BENCHMARK(BM_OldTunerMeasure)->Args({256, 64})->Args({1, 100000});
 
-void BM_FusedTunerMeasure(benchmark::State& state) {
+void BM_FusedTunerMeasure(benchmark::State& state, core::KernelBackend backend) {
+  BackendScope scope(state, backend);
+  if (!scope) return;
   auto params = make_params(state.range(0), state.range(1));
   yf::core::ParamArena arena(params);
   yf::tuner::GradientVariance variance(0.999);
@@ -163,12 +214,19 @@ void BM_FusedTunerMeasure(benchmark::State& state) {
   }
   set_items(state);
 }
-BENCHMARK(BM_FusedTunerMeasure)->Args({256, 64})->Args({1, 100000});
+BENCHMARK_CAPTURE(BM_FusedTunerMeasure, scalar, core::KernelBackend::kScalar)
+    ->Args({256, 64})
+    ->Args({1, 100000});
+BENCHMARK_CAPTURE(BM_FusedTunerMeasure, simd, core::KernelBackend::kSimd)
+    ->Args({256, 64})
+    ->Args({1, 100000});
 
 // -- Full YellowFin step on the arena (compare against the seed numbers
 //    recorded by micro_tuner_overhead). ---------------------------------------
 
-void BM_FusedYellowFinStep(benchmark::State& state) {
+void BM_FusedYellowFinStep(benchmark::State& state, core::KernelBackend backend) {
+  BackendScope scope(state, backend);
+  if (!scope) return;
   auto params = make_params(state.range(0), state.range(1));
   yf::tuner::YellowFinOptions opts;
   opts.lr0 = 1e-8;
@@ -176,8 +234,37 @@ void BM_FusedYellowFinStep(benchmark::State& state) {
   for (auto _ : state) opt.step();
   set_items(state);
 }
-BENCHMARK(BM_FusedYellowFinStep)->Args({256, 64})->Args({1, 100000});
+BENCHMARK_CAPTURE(BM_FusedYellowFinStep, scalar, core::KernelBackend::kScalar)
+    ->Args({256, 64})
+    ->Args({1, 100000});
+BENCHMARK_CAPTURE(BM_FusedYellowFinStep, simd, core::KernelBackend::kSimd)
+    ->Args({256, 64})
+    ->Args({1, 100000});
+
+// -- Blocked matmul through the kernel backends. -----------------------------
+
+void BM_Matmul(benchmark::State& state, core::KernelBackend backend) {
+  BackendScope scope(state, backend);
+  if (!scope) return;
+  const auto m = state.range(0), k = state.range(1), n = state.range(2);
+  t::Rng rng(9);
+  const auto a = rng.normal_tensor({m, k});
+  const auto b = rng.normal_tensor({k, n});
+  for (auto _ : state) {
+    auto c = t::matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK_CAPTURE(BM_Matmul, scalar, core::KernelBackend::kScalar)
+    ->Args({64, 64, 64})
+    ->Args({8, 512, 512});
+BENCHMARK_CAPTURE(BM_Matmul, simd, core::KernelBackend::kSimd)
+    ->Args({64, 64, 64})
+    ->Args({8, 512, 512});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return yfb::benchmark_main_with_json(argc, argv, "micro_kernels");
+}

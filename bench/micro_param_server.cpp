@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "async/param_server.hpp"
+#include "common.hpp"
 #include "core/parallel.hpp"
 #include "optim/momentum_sgd.hpp"
 #include "tensor/random.hpp"
@@ -85,4 +86,6 @@ BENCHMARK(BM_ServerPushMeasured)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return yfb::benchmark_main_with_json(argc, argv, "micro_param_server");
+}

@@ -1,9 +1,11 @@
 // Microbenchmarks (google-benchmark): per-step cost of the YellowFin
 // measurement pipeline vs plain optimizers, across model sizes. The paper
 // claims tuning overhead linear in model dimensionality -- the per-element
-// time should be flat across sizes.
+// time should be flat across sizes. Results land in
+// BENCH_micro_tuner_overhead.json via yfb::JsonReporter.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "optim/adam.hpp"
 #include "optim/momentum_sgd.hpp"
 #include "tensor/random.hpp"
@@ -109,4 +111,6 @@ BENCHMARK(BM_CurvatureRangeUpdate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return yfb::benchmark_main_with_json(argc, argv, "micro_tuner_overhead");
+}

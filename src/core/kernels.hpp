@@ -2,17 +2,21 @@
 // async hot paths (DESIGN.md §4).
 //
 // Everything operates on raw `std::span<double>` so the same kernel serves
-// a Tensor, a ParamArena buffer, or a plain vector without copies. Two
-// rules keep results bit-identical to the naive per-tensor loops they
-// replace (the arena refactor's trajectory-identity guarantee):
+// a Tensor, a ParamArena buffer, or a plain vector without copies. Each
+// call dispatches to the active kernel backend (core/kernels/backend.hpp):
+// a portable scalar path or an AVX2 path selected at runtime via cpuid and
+// overridable with YF_KERNEL_BACKEND=scalar|simd. Three rules keep results
+// independent of backend, machine, and worker count:
 //
-//  * elementwise kernels may be partitioned over the thread pool -- each
-//    element's arithmetic is independent, so partitioning cannot change
-//    rounding;
-//  * reductions (sum, dot, squared_norm, ...) accumulate strictly
-//    left-to-right on one thread, so their result does not depend on the
-//    worker count. They are O(n) passes over contiguous memory and were
-//    never the bottleneck the pool exists for.
+//  * elementwise kernels may be partitioned over the thread pool and
+//    vectorized across elements -- each element's arithmetic sequence is
+//    fixed (and FMA-free), so neither partitioning nor lane width can
+//    change rounding;
+//  * reductions (sum, dot, squared_norm, ...) run on one thread in a
+//    fixed 8-lane blocked accumulation order (kernel_table.hpp) that
+//    every backend reproduces exactly;
+//  * the blocked matmul inner loop accumulates each output element in
+//    kk-ascending order within 256-column blocks on every backend.
 //
 // The fused optimizer sweeps below replicate the exact operation sequence
 // of the historical per-tensor implementations (e.g. momentum_step is
@@ -23,6 +27,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/kernels/backend.hpp"
 #include "core/parallel.hpp"
 
 namespace yf::core {
@@ -33,11 +38,18 @@ void copy(std::span<double> dst, std::span<const double> src);
 void scale(std::span<double> x, double a);                          ///< x *= a
 void axpy(std::span<double> y, std::span<const double> x, double a);  ///< y += a*x
 
-// -- Reductions (sequential, deterministic). --------------------------------
+// -- Reductions (sequential, lane-blocked, deterministic). ------------------
 double sum(std::span<const double> x);
 double squared_norm(std::span<const double> x);
 double dot(std::span<const double> a, std::span<const double> b);
 double max_abs(std::span<const double> x);
+
+// -- Blocked matmul inner loop. ---------------------------------------------
+/// One output row: crow[0..n) += arow[0..k) * b (k x n, row-major).
+/// Canonical accumulation order on every backend: 256-column blocks,
+/// kk ascending within a block (tensor::matmul parallelizes over rows).
+void matmul_row(double* crow, const double* arow, const double* b, std::int64_t k,
+                std::int64_t n);
 
 // -- EWMA kernels (tuner measurement hot path). -----------------------------
 /// avg = beta*avg + (1-beta)*x, elementwise.

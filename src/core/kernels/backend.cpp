@@ -1,0 +1,93 @@
+#include "core/kernels/backend.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/kernels/kernel_table.hpp"
+
+namespace yf::core {
+
+namespace {
+
+bool cpu_has_avx2_fma() {
+#if defined(YF_KERNELS_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelBackend resolve_initial_backend() {
+  const KernelBackend best = simd_supported() ? KernelBackend::kSimd : KernelBackend::kScalar;
+  const char* env = std::getenv("YF_KERNEL_BACKEND");
+  if (env == nullptr) return best;
+  KernelBackend requested;
+  if (!kernel_backend_from_string(env, requested)) {
+    std::fprintf(stderr, "yf: unknown YF_KERNEL_BACKEND \"%s\" (want scalar|simd), using %s\n",
+                 env, kernel_backend_name(best));
+    return best;
+  }
+  if (requested == KernelBackend::kSimd && !simd_supported()) {
+    std::fprintf(stderr, "yf: YF_KERNEL_BACKEND=simd but AVX2+FMA unavailable, using scalar\n");
+    return KernelBackend::kScalar;
+  }
+  return requested;
+}
+
+std::atomic<KernelBackend>& backend_state() {
+  static std::atomic<KernelBackend> state{resolve_initial_backend()};
+  return state;
+}
+
+}  // namespace
+
+bool simd_supported() {
+  static const bool supported = cpu_has_avx2_fma();
+  return supported;
+}
+
+KernelBackend active_kernel_backend() {
+  return backend_state().load(std::memory_order_relaxed);
+}
+
+void set_kernel_backend(KernelBackend backend) {
+  if (backend == KernelBackend::kSimd && !simd_supported()) {
+    throw std::invalid_argument("set_kernel_backend: simd backend unavailable on this machine");
+  }
+  backend_state().store(backend, std::memory_order_relaxed);
+}
+
+bool kernel_backend_from_string(std::string_view name, KernelBackend& out) {
+  if (name == "scalar") {
+    out = KernelBackend::kScalar;
+    return true;
+  }
+  if (name == "simd") {
+    out = KernelBackend::kSimd;
+    return true;
+  }
+  return false;
+}
+
+const char* kernel_backend_name(KernelBackend backend) {
+  return backend == KernelBackend::kSimd ? "simd" : "scalar";
+}
+
+const char* active_kernel_backend_name() {
+  return kernel_backend_name(active_kernel_backend());
+}
+
+namespace detail {
+
+const KernelTable& active_table() {
+#ifdef YF_KERNELS_AVX2
+  if (active_kernel_backend() == KernelBackend::kSimd) return kAvx2Kernels;
+#endif
+  return kScalarKernels;
+}
+
+}  // namespace detail
+
+}  // namespace yf::core

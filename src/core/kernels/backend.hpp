@@ -1,0 +1,52 @@
+// Runtime kernel-backend selection (DESIGN.md §4).
+//
+// The span kernels in core/kernels.hpp dispatch through a per-backend
+// function table: a portable scalar implementation that every build
+// carries, and an AVX2/FMA implementation compiled into its own
+// translation unit with -mavx2 -mfma and selected only when cpuid
+// reports both features. Selection happens once, at first use, from
+// the YF_KERNEL_BACKEND environment variable ("scalar" or "simd");
+// without the override the best supported backend wins. Tests and
+// benches flip backends in-process with set_kernel_backend.
+//
+// Switching backends never changes results: elementwise kernels use
+// identical per-element arithmetic in every backend (the AVX2 variants
+// deliberately avoid fused-multiply-add so each mul/add/div/sqrt rounds
+// exactly like its scalar twin), and reductions follow the fixed
+// lane-blocked accumulation order defined in kernel_table.hpp on every
+// backend. tests/core_kernels_test.cpp pins both properties bitwise.
+#pragma once
+
+#include <string_view>
+
+namespace yf::core {
+
+enum class KernelBackend {
+  kScalar,  ///< portable reference path, no ISA requirements
+  kSimd,    ///< AVX2-vectorized path (x86-64 with AVX2+FMA only)
+};
+
+/// True when this build carries the AVX2 kernel translation unit and the
+/// running CPU reports both AVX2 and FMA.
+bool simd_supported();
+
+/// Backend the span kernels currently dispatch to. Resolved once from
+/// YF_KERNEL_BACKEND when set (an unsupported "simd" request or an
+/// unknown value falls back to auto-detection with a stderr note), else
+/// from cpuid.
+KernelBackend active_kernel_backend();
+
+/// Test/bench hook: force a backend for the current process. Throws
+/// std::invalid_argument when asked for kSimd on a machine without AVX2
+/// support. Thread-safe; kernels already in flight finish on the table
+/// they started with.
+void set_kernel_backend(KernelBackend backend);
+
+/// Parse "scalar"/"simd" (the YF_KERNEL_BACKEND values). Returns false
+/// on anything else, leaving `out` untouched.
+bool kernel_backend_from_string(std::string_view name, KernelBackend& out);
+
+const char* kernel_backend_name(KernelBackend backend);
+const char* active_kernel_backend_name();
+
+}  // namespace yf::core

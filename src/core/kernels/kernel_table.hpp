@@ -1,0 +1,87 @@
+// Internal kernel dispatch table shared by the scalar and AVX2 backends
+// (DESIGN.md §4). Not installed with the public headers: only
+// core/kernels.cpp (the span front-end) and the backend translation
+// units include this.
+//
+// Every entry operates on raw contiguous ranges *below* the
+// parallel_for partitioning layer: the front-end validates spans, picks
+// the grain, and hands each chunk to the active table. Two contracts
+// make backends interchangeable bit-for-bit:
+//
+//  * Elementwise entries perform the exact per-element operation
+//    sequence documented in core/kernels.hpp. Vector variants may
+//    reorder *across* elements but never change the arithmetic of one
+//    element, and they must not use fused-multiply-add (an FMA rounds
+//    once where mul+add rounds twice, which would fork the trajectory).
+//  * Reductions accumulate in the fixed lane-blocked order below --
+//    kReduceLanes independent accumulators filled round-robin in index
+//    order, combined by combine_lanes. The order is a property of the
+//    *contract*, not of the ISA: the scalar backend emulates the same
+//    lanes, so results are identical across backends, machines, and
+//    (because reductions stay on one thread) worker counts.
+#pragma once
+
+#include <cstdint>
+
+namespace yf::core::detail {
+
+/// Reduction lane width. Fixed at 8 doubles (two 256-bit AVX2 vectors)
+/// on every backend; changing it is a results-affecting contract change
+/// that requires re-pinning the reduction tests and bench baselines.
+inline constexpr std::int64_t kReduceLanes = 8;
+
+/// Canonical lane combine: pairwise over the 8 lane accumulators.
+/// acc[l] holds the sum of elements with index ≡ l (mod kReduceLanes).
+inline double combine_lanes(const double* acc) {
+  const double l0 = acc[0] + acc[4];
+  const double l1 = acc[1] + acc[5];
+  const double l2 = acc[2] + acc[6];
+  const double l3 = acc[3] + acc[7];
+  return (l0 + l2) + (l1 + l3);
+}
+
+struct KernelTable {
+  // -- Elementwise chunk kernels. -------------------------------------------
+  void (*fill)(double* x, std::int64_t n, double v);
+  void (*copy)(double* dst, const double* src, std::int64_t n);
+  void (*scale)(double* x, std::int64_t n, double a);
+  void (*axpy)(double* y, const double* x, std::int64_t n, double a);
+  void (*ewma)(double* avg, const double* x, std::int64_t n, double beta);
+  void (*ewma_moments)(double* m1, double* m2, const double* x, std::int64_t n, double beta);
+
+  // -- Fused optimizer sweeps (chunk-level). --------------------------------
+  void (*momentum)(double* x, double* v, const double* g, std::int64_t n, double lr, double mu,
+                   bool nesterov);
+  void (*adam)(double* x, double* m, double* v, const double* g, std::int64_t n, double lr,
+               double beta1, double beta2, double bc1, double bc2, double eps);
+  void (*adagrad)(double* x, double* accum, const double* g, std::int64_t n, double lr,
+                  double eps);
+  void (*rmsprop)(double* x, double* sq, const double* g, std::int64_t n, double lr, double decay,
+                  double eps);
+
+  // -- Blocked matmul inner loop: one output row. ---------------------------
+  void (*matmul_row)(double* crow, const double* arow, const double* b, std::int64_t k,
+                     std::int64_t n);
+
+  // -- Lane-blocked deterministic reductions. -------------------------------
+  double (*sum)(const double* x, std::int64_t n);
+  double (*squared_norm)(const double* x, std::int64_t n);
+  double (*dot)(const double* a, const double* b, std::int64_t n);
+  double (*max_abs)(const double* x, std::int64_t n);
+  double (*debiased_variance_sum)(const double* m1, const double* m2, std::int64_t n, double inv1,
+                                  double inv2);
+};
+
+extern const KernelTable kScalarKernels;
+#ifdef YF_KERNELS_AVX2
+extern const KernelTable kAvx2Kernels;
+#endif
+
+/// Table for the currently active backend (one relaxed atomic load).
+const KernelTable& active_table();
+
+/// Column-block width of the matmul inner loop; part of the canonical
+/// accumulation order (kk ascends within a block), shared by backends.
+inline constexpr std::int64_t kMatmulColBlock = 256;
+
+}  // namespace yf::core::detail

@@ -1,0 +1,361 @@
+// AVX2 kernel backend. This translation unit is the only one compiled
+// with -mavx2 -mfma (CMakeLists.txt adds the flags when the compiler
+// accepts them and defines YF_KERNELS_AVX2 for the target); callers
+// reach it exclusively through the dispatch table after the runtime
+// cpuid guard in backend.cpp, so no AVX2 instruction executes on a
+// machine that lacks the feature.
+//
+// Bit-identity rules (kernel_table.hpp):
+//  * elementwise kernels vectorize across elements but keep each
+//    element's mul/add/sub/div/sqrt sequence exactly as the scalar
+//    backend evaluates it -- all of these are IEEE correctly-rounded,
+//    so 4 lanes round like 4 scalars. _mm256_fmadd_pd is deliberately
+//    never used: an FMA rounds once where the scalar path rounds twice.
+//  * reductions run two 4-wide accumulators (8 lanes) over full blocks,
+//    spill to a lane array, fold the tail into lanes 0..tail-1, and
+//    finish with the shared combine_lanes order -- operation-for-
+//    operation what kernels_scalar.cpp does.
+#ifdef YF_KERNELS_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/kernels/kernel_table.hpp"
+
+namespace yf::core::detail {
+
+namespace {
+
+constexpr std::int64_t kVec = 4;  // doubles per 256-bit vector
+
+// -- Elementwise chunk kernels. ----------------------------------------------
+
+void fill_avx2(double* x, std::int64_t n, double v) {
+  const __m256d vv = _mm256_set1_pd(v);
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) _mm256_storeu_pd(x + i, vv);
+  for (; i < n; ++i) x[i] = v;
+}
+
+void copy_avx2(double* dst, const double* src, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) _mm256_storeu_pd(dst + i, _mm256_loadu_pd(src + i));
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+void scale_avx2(double* x, std::int64_t n, double a) {
+  const __m256d av = _mm256_set1_pd(a);
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), av));
+  }
+  for (; i < n; ++i) x[i] = x[i] * a;
+}
+
+void axpy_avx2(double* y, const double* x, std::int64_t n, double a) {
+  const __m256d av = _mm256_set1_pd(a);
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    const __m256d yi = _mm256_loadu_pd(y + i);
+    const __m256d xi = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(yi, _mm256_mul_pd(av, xi)));
+  }
+  for (; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+void ewma_avx2(double* avg, const double* x, std::int64_t n, double beta) {
+  const double om = 1.0 - beta;
+  const __m256d bv = _mm256_set1_pd(beta);
+  const __m256d ov = _mm256_set1_pd(om);
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    const __m256d a = _mm256_mul_pd(_mm256_loadu_pd(avg + i), bv);
+    const __m256d contrib = _mm256_mul_pd(ov, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(avg + i, _mm256_add_pd(a, contrib));
+  }
+  for (; i < n; ++i) {
+    double a = avg[i] * beta;
+    a += om * x[i];
+    avg[i] = a;
+  }
+}
+
+void ewma_moments_avx2(double* m1, double* m2, const double* x, std::int64_t n, double beta) {
+  const double om = 1.0 - beta;
+  const __m256d bv = _mm256_set1_pd(beta);
+  const __m256d ov = _mm256_set1_pd(om);
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    const __m256d g = _mm256_loadu_pd(x + i);
+    const __m256d a = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(m1 + i), bv),
+                                    _mm256_mul_pd(ov, g));
+    _mm256_storeu_pd(m1 + i, a);
+    const __m256d g2 = _mm256_mul_pd(g, g);
+    const __m256d b = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(m2 + i), bv),
+                                    _mm256_mul_pd(ov, g2));
+    _mm256_storeu_pd(m2 + i, b);
+  }
+  for (; i < n; ++i) {
+    const double g = x[i];
+    double a = m1[i] * beta;
+    a += om * g;
+    m1[i] = a;
+    double b = m2[i] * beta;
+    b += om * (g * g);
+    m2[i] = b;
+  }
+}
+
+// -- Fused optimizer sweeps. -------------------------------------------------
+
+void momentum_avx2(double* x, double* v, const double* g, std::int64_t n, double lr, double mu,
+                   bool nesterov) {
+  const __m256d muv = _mm256_set1_pd(mu);
+  const __m256d nlr = _mm256_set1_pd(-lr);
+  std::int64_t i = 0;
+  if (nesterov) {
+    for (; i + kVec <= n; i += kVec) {
+      const __m256d gi = _mm256_loadu_pd(g + i);
+      const __m256d step = _mm256_mul_pd(nlr, gi);
+      const __m256d vi = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(v + i), muv), step);
+      _mm256_storeu_pd(v + i, vi);
+      __m256d xi = _mm256_loadu_pd(x + i);
+      xi = _mm256_add_pd(xi, _mm256_mul_pd(muv, vi));
+      xi = _mm256_add_pd(xi, step);
+      _mm256_storeu_pd(x + i, xi);
+    }
+    for (; i < n; ++i) {
+      double vi = v[i] * mu;
+      vi += -lr * g[i];
+      v[i] = vi;
+      x[i] += mu * vi;
+      x[i] += -lr * g[i];
+    }
+  } else {
+    for (; i + kVec <= n; i += kVec) {
+      const __m256d gi = _mm256_loadu_pd(g + i);
+      const __m256d vi = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(v + i), muv),
+                                       _mm256_mul_pd(nlr, gi));
+      _mm256_storeu_pd(v + i, vi);
+      _mm256_storeu_pd(x + i, _mm256_add_pd(_mm256_loadu_pd(x + i), vi));
+    }
+    for (; i < n; ++i) {
+      double vi = v[i] * mu;
+      vi += -lr * g[i];
+      v[i] = vi;
+      x[i] += vi;
+    }
+  }
+}
+
+void adam_avx2(double* x, double* m, double* v, const double* g, std::int64_t n, double lr,
+               double beta1, double beta2, double bc1, double bc2, double eps) {
+  const __m256d b1 = _mm256_set1_pd(beta1);
+  const __m256d ob1 = _mm256_set1_pd(1.0 - beta1);
+  const __m256d b2 = _mm256_set1_pd(beta2);
+  const __m256d ob2 = _mm256_set1_pd(1.0 - beta2);
+  const __m256d bc1v = _mm256_set1_pd(bc1);
+  const __m256d bc2v = _mm256_set1_pd(bc2);
+  const __m256d lrv = _mm256_set1_pd(lr);
+  const __m256d epsv = _mm256_set1_pd(eps);
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    const __m256d gi = _mm256_loadu_pd(g + i);
+    const __m256d mi = _mm256_add_pd(_mm256_mul_pd(b1, _mm256_loadu_pd(m + i)),
+                                     _mm256_mul_pd(ob1, gi));
+    _mm256_storeu_pd(m + i, mi);
+    // (1-b2)*gi*gi associates left-to-right, exactly like the scalar path.
+    const __m256d vi = _mm256_add_pd(_mm256_mul_pd(b2, _mm256_loadu_pd(v + i)),
+                                     _mm256_mul_pd(_mm256_mul_pd(ob2, gi), gi));
+    _mm256_storeu_pd(v + i, vi);
+    const __m256d mhat = _mm256_div_pd(mi, bc1v);
+    const __m256d vhat = _mm256_div_pd(vi, bc2v);
+    const __m256d den = _mm256_add_pd(_mm256_sqrt_pd(vhat), epsv);
+    const __m256d upd = _mm256_div_pd(_mm256_mul_pd(lrv, mhat), den);
+    _mm256_storeu_pd(x + i, _mm256_sub_pd(_mm256_loadu_pd(x + i), upd));
+  }
+  for (; i < n; ++i) {
+    const double gi = g[i];
+    m[i] = beta1 * m[i] + (1.0 - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0 - beta2) * gi * gi;
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    x[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void adagrad_avx2(double* x, double* accum, const double* g, std::int64_t n, double lr,
+                  double eps) {
+  const __m256d lrv = _mm256_set1_pd(lr);
+  const __m256d epsv = _mm256_set1_pd(eps);
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    const __m256d gi = _mm256_loadu_pd(g + i);
+    const __m256d ai = _mm256_add_pd(_mm256_loadu_pd(accum + i), _mm256_mul_pd(gi, gi));
+    _mm256_storeu_pd(accum + i, ai);
+    const __m256d den = _mm256_add_pd(_mm256_sqrt_pd(ai), epsv);
+    const __m256d upd = _mm256_div_pd(_mm256_mul_pd(lrv, gi), den);
+    _mm256_storeu_pd(x + i, _mm256_sub_pd(_mm256_loadu_pd(x + i), upd));
+  }
+  for (; i < n; ++i) {
+    const double gi = g[i];
+    accum[i] += gi * gi;
+    x[i] -= lr * gi / (std::sqrt(accum[i]) + eps);
+  }
+}
+
+void rmsprop_avx2(double* x, double* sq, const double* g, std::int64_t n, double lr, double decay,
+                  double eps) {
+  const __m256d dv = _mm256_set1_pd(decay);
+  const __m256d odv = _mm256_set1_pd(1.0 - decay);
+  const __m256d lrv = _mm256_set1_pd(lr);
+  const __m256d epsv = _mm256_set1_pd(eps);
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    const __m256d gi = _mm256_loadu_pd(g + i);
+    // (1-decay)*gi*gi associates left-to-right, like the scalar path.
+    const __m256d si = _mm256_add_pd(_mm256_mul_pd(dv, _mm256_loadu_pd(sq + i)),
+                                     _mm256_mul_pd(_mm256_mul_pd(odv, gi), gi));
+    _mm256_storeu_pd(sq + i, si);
+    const __m256d den = _mm256_add_pd(_mm256_sqrt_pd(si), epsv);
+    const __m256d upd = _mm256_div_pd(_mm256_mul_pd(lrv, gi), den);
+    _mm256_storeu_pd(x + i, _mm256_sub_pd(_mm256_loadu_pd(x + i), upd));
+  }
+  for (; i < n; ++i) {
+    const double gi = g[i];
+    sq[i] = decay * sq[i] + (1.0 - decay) * gi * gi;
+    x[i] -= lr * gi / (std::sqrt(sq[i]) + eps);
+  }
+}
+
+// -- Blocked matmul inner loop. ----------------------------------------------
+
+void matmul_row_avx2(double* crow, const double* arow, const double* b, std::int64_t k,
+                     std::int64_t n) {
+  for (std::int64_t jb = 0; jb < n; jb += kMatmulColBlock) {
+    const std::int64_t je = std::min(n, jb + kMatmulColBlock);
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double aik = arow[kk];
+      if (aik == 0.0) continue;
+      const double* brow = b + kk * n;
+      const __m256d av = _mm256_set1_pd(aik);
+      std::int64_t j = jb;
+      for (; j + kVec <= je; j += kVec) {
+        const __m256d cj = _mm256_loadu_pd(crow + j);
+        const __m256d bj = _mm256_loadu_pd(brow + j);
+        _mm256_storeu_pd(crow + j, _mm256_add_pd(cj, _mm256_mul_pd(av, bj)));
+      }
+      for (; j < je; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+// -- Lane-blocked reductions. ------------------------------------------------
+// Two 4-wide accumulators cover the 8 contract lanes: acc0 holds lanes
+// 0-3, acc1 lanes 4-7. After the blocked loop both spill to a lane
+// array; the tail and final combine run the shared scalar code, so the
+// result is operation-for-operation identical to kernels_scalar.cpp.
+
+template <typename TermV, typename TermS>
+double lane_reduce_avx2(std::int64_t n, TermV term_v, TermS term_s) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::int64_t nb = n - n % kReduceLanes;
+  for (std::int64_t i = 0; i < nb; i += kReduceLanes) {
+    acc0 = _mm256_add_pd(acc0, term_v(i));
+    acc1 = _mm256_add_pd(acc1, term_v(i + kVec));
+  }
+  alignas(32) double acc[kReduceLanes];
+  _mm256_store_pd(acc, acc0);
+  _mm256_store_pd(acc + kVec, acc1);
+  for (std::int64_t l = 0; l + nb < n; ++l) acc[l] += term_s(nb + l);
+  return combine_lanes(acc);
+}
+
+double sum_avx2(const double* x, std::int64_t n) {
+  return lane_reduce_avx2(
+      n, [x](std::int64_t i) { return _mm256_loadu_pd(x + i); },
+      [x](std::int64_t i) { return x[i]; });
+}
+
+double squared_norm_avx2(const double* x, std::int64_t n) {
+  return lane_reduce_avx2(
+      n,
+      [x](std::int64_t i) {
+        const __m256d v = _mm256_loadu_pd(x + i);
+        return _mm256_mul_pd(v, v);
+      },
+      [x](std::int64_t i) { return x[i] * x[i]; });
+}
+
+double dot_avx2(const double* a, const double* b, std::int64_t n) {
+  return lane_reduce_avx2(
+      n,
+      [a, b](std::int64_t i) {
+        return _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+      },
+      [a, b](std::int64_t i) { return a[i] * b[i]; });
+}
+
+double max_abs_avx2(const double* x, std::int64_t n) {
+  // max is order-independent, so this needs no lane contract: strip the
+  // sign bit and fold 4-wide maxima into one scalar maximum. Operand
+  // order matters for NaN parity: maxpd forwards the *second* operand
+  // when either is NaN, and std::max(m, term) keeps m when term is NaN,
+  // so the running maximum must be the second operand to drop NaN terms
+  // exactly like the scalar backend.
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d mv = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + kVec <= n; i += kVec) {
+    mv = _mm256_max_pd(_mm256_andnot_pd(sign_mask, _mm256_loadu_pd(x + i)), mv);
+  }
+  alignas(32) double lanes[kVec];
+  _mm256_store_pd(lanes, mv);
+  double m = std::max(std::max(lanes[0], lanes[1]), std::max(lanes[2], lanes[3]));
+  for (; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+double debiased_variance_sum_avx2(const double* m1, const double* m2, std::int64_t n, double inv1,
+                                  double inv2) {
+  const __m256d i1 = _mm256_set1_pd(inv1);
+  const __m256d i2 = _mm256_set1_pd(inv2);
+  return lane_reduce_avx2(
+      n,
+      [m1, m2, i1, i2](std::int64_t i) {
+        const __m256d m = _mm256_mul_pd(_mm256_loadu_pd(m1 + i), i1);
+        return _mm256_sub_pd(_mm256_mul_pd(_mm256_loadu_pd(m2 + i), i2), _mm256_mul_pd(m, m));
+      },
+      [m1, m2, inv1, inv2](std::int64_t i) {
+        const double m = m1[i] * inv1;
+        return m2[i] * inv2 - m * m;
+      });
+}
+
+}  // namespace
+
+const KernelTable kAvx2Kernels = {
+    .fill = fill_avx2,
+    .copy = copy_avx2,
+    .scale = scale_avx2,
+    .axpy = axpy_avx2,
+    .ewma = ewma_avx2,
+    .ewma_moments = ewma_moments_avx2,
+    .momentum = momentum_avx2,
+    .adam = adam_avx2,
+    .adagrad = adagrad_avx2,
+    .rmsprop = rmsprop_avx2,
+    .matmul_row = matmul_row_avx2,
+    .sum = sum_avx2,
+    .squared_norm = squared_norm_avx2,
+    .dot = dot_avx2,
+    .max_abs = max_abs_avx2,
+    .debiased_variance_sum = debiased_variance_sum_avx2,
+};
+
+}  // namespace yf::core::detail
+
+#endif  // YF_KERNELS_AVX2

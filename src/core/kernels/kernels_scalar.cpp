@@ -1,0 +1,190 @@
+// Scalar kernel backend: the portable reference implementation of the
+// dispatch table (kernel_table.hpp). Elementwise entries are the exact
+// per-element operation sequences documented in core/kernels.hpp;
+// reductions emulate the 8-lane blocked accumulation order so their
+// results match the AVX2 backend bit-for-bit. CMakeLists.txt compiles
+// this TU with auto-vectorization disabled: the scalar backend is the
+// genuinely-scalar reference the SIMD backend is compared against
+// (results are identical either way; only codegen differs).
+#include <algorithm>
+#include <cmath>
+
+#include "core/kernels/kernel_table.hpp"
+
+namespace yf::core::detail {
+
+namespace {
+
+// -- Elementwise chunk kernels. ----------------------------------------------
+
+void fill_scalar(double* x, std::int64_t n, double v) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] = v;
+}
+
+void copy_scalar(double* dst, const double* src, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+void scale_scalar(double* x, std::int64_t n, double a) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] = x[i] * a;
+}
+
+void axpy_scalar(double* y, const double* x, std::int64_t n, double a) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = y[i] + a * x[i];
+}
+
+void ewma_scalar(double* avg, const double* x, std::int64_t n, double beta) {
+  const double om = 1.0 - beta;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double a = avg[i] * beta;
+    a += om * x[i];
+    avg[i] = a;
+  }
+}
+
+void ewma_moments_scalar(double* m1, double* m2, const double* x, std::int64_t n, double beta) {
+  const double om = 1.0 - beta;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double g = x[i];
+    double a = m1[i] * beta;
+    a += om * g;
+    m1[i] = a;
+    double b = m2[i] * beta;
+    b += om * (g * g);
+    m2[i] = b;
+  }
+}
+
+// -- Fused optimizer sweeps. -------------------------------------------------
+
+void momentum_scalar(double* x, double* v, const double* g, std::int64_t n, double lr, double mu,
+                     bool nesterov) {
+  if (nesterov) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      double vi = v[i] * mu;
+      vi += -lr * g[i];
+      v[i] = vi;
+      x[i] += mu * vi;
+      x[i] += -lr * g[i];
+    }
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      double vi = v[i] * mu;
+      vi += -lr * g[i];
+      v[i] = vi;
+      x[i] += vi;
+    }
+  }
+}
+
+void adam_scalar(double* x, double* m, double* v, const double* g, std::int64_t n, double lr,
+                 double beta1, double beta2, double bc1, double bc2, double eps) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double gi = g[i];
+    m[i] = beta1 * m[i] + (1.0 - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0 - beta2) * gi * gi;
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    x[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void adagrad_scalar(double* x, double* accum, const double* g, std::int64_t n, double lr,
+                    double eps) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double gi = g[i];
+    accum[i] += gi * gi;
+    x[i] -= lr * gi / (std::sqrt(accum[i]) + eps);
+  }
+}
+
+void rmsprop_scalar(double* x, double* sq, const double* g, std::int64_t n, double lr,
+                    double decay, double eps) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double gi = g[i];
+    sq[i] = decay * sq[i] + (1.0 - decay) * gi * gi;
+    x[i] -= lr * gi / (std::sqrt(sq[i]) + eps);
+  }
+}
+
+// -- Blocked matmul inner loop. ----------------------------------------------
+
+void matmul_row_scalar(double* crow, const double* arow, const double* b, std::int64_t k,
+                       std::int64_t n) {
+  for (std::int64_t jb = 0; jb < n; jb += kMatmulColBlock) {
+    const std::int64_t je = std::min(n, jb + kMatmulColBlock);
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const double aik = arow[kk];
+      if (aik == 0.0) continue;
+      const double* brow = b + kk * n;
+      for (std::int64_t j = jb; j < je; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+// -- Lane-blocked reductions. ------------------------------------------------
+// One skeleton defines the canonical order for every reduction: full
+// blocks feed lane l with elements i*kReduceLanes + l, tail elements
+// land in lanes 0..tail-1, combine_lanes finishes. The AVX2 backend
+// (lane_reduce_avx2) performs the identical operations with two 4-wide
+// accumulators; only the per-element term varies between reductions.
+
+template <typename Term>
+double lane_reduce(std::int64_t n, Term term) {
+  double acc[kReduceLanes] = {};
+  const std::int64_t nb = n - n % kReduceLanes;
+  for (std::int64_t i = 0; i < nb; i += kReduceLanes) {
+    for (std::int64_t l = 0; l < kReduceLanes; ++l) acc[l] += term(i + l);
+  }
+  for (std::int64_t l = 0; l + nb < n; ++l) acc[l] += term(nb + l);
+  return combine_lanes(acc);
+}
+
+double sum_scalar(const double* x, std::int64_t n) {
+  return lane_reduce(n, [x](std::int64_t i) { return x[i]; });
+}
+
+double squared_norm_scalar(const double* x, std::int64_t n) {
+  return lane_reduce(n, [x](std::int64_t i) { return x[i] * x[i]; });
+}
+
+double dot_scalar(const double* a, const double* b, std::int64_t n) {
+  return lane_reduce(n, [a, b](std::int64_t i) { return a[i] * b[i]; });
+}
+
+double max_abs_scalar(const double* x, std::int64_t n) {
+  double m = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::abs(x[i]));
+  return m;
+}
+
+double debiased_variance_sum_scalar(const double* m1, const double* m2, std::int64_t n,
+                                    double inv1, double inv2) {
+  return lane_reduce(n, [m1, m2, inv1, inv2](std::int64_t i) {
+    const double m = m1[i] * inv1;
+    return m2[i] * inv2 - m * m;
+  });
+}
+
+}  // namespace
+
+const KernelTable kScalarKernels = {
+    .fill = fill_scalar,
+    .copy = copy_scalar,
+    .scale = scale_scalar,
+    .axpy = axpy_scalar,
+    .ewma = ewma_scalar,
+    .ewma_moments = ewma_moments_scalar,
+    .momentum = momentum_scalar,
+    .adam = adam_scalar,
+    .adagrad = adagrad_scalar,
+    .rmsprop = rmsprop_scalar,
+    .matmul_row = matmul_row_scalar,
+    .sum = sum_scalar,
+    .squared_norm = squared_norm_scalar,
+    .dot = dot_scalar,
+    .max_abs = max_abs_scalar,
+    .debiased_variance_sum = debiased_variance_sum_scalar,
+};
+
+}  // namespace yf::core::detail

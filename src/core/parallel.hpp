@@ -22,6 +22,12 @@ namespace yf::core {
 /// dispatching to the pool.
 inline constexpr std::int64_t kDefaultGrain = 1 << 14;
 
+/// Grain for SIMD-backed elementwise sweeps: a vector loop retires ~4
+/// doubles per cycle, so a chunk must be about 4x larger than the scalar
+/// grain before pool dispatch amortizes. Partitioning never changes
+/// elementwise results, so the two grains may differ freely.
+inline constexpr std::int64_t kSimdGrain = 1 << 16;
+
 class ThreadPool {
  public:
   /// Process-wide pool. Initial worker count is YF_THREADS when set, else

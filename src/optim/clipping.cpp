@@ -8,6 +8,9 @@
 namespace yf::optim {
 
 double global_grad_norm(const std::vector<autograd::Variable>& params) {
+  // Per-tensor lane-blocked squared norms (deterministic on every kernel
+  // backend, DESIGN.md §4) accumulated in parameter order, so the global
+  // norm is as reproducible as the per-span reductions it sums.
   double sq = 0.0;
   for (const auto& p : params) sq += core::squared_norm(p.grad().data());
   return std::sqrt(sq);

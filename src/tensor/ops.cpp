@@ -129,26 +129,15 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   auto* pc = c.data().data();
   // Each output row is an independent i-k-j accumulation (streams through
   // B and C rows), so rows parallelise without changing any element's
-  // accumulation order. Column blocks keep the active B/C working set in
-  // L1 when n is large; within a block the kk-ascending order per output
-  // element is unchanged.
-  constexpr std::int64_t kColBlock = 256;
+  // accumulation order. The blocked inner loop lives in the kernel layer
+  // (core::matmul_row) so it vectorizes under the active backend while
+  // keeping the canonical per-element accumulation order.
   const std::int64_t flops_per_row = k * n;
   const std::int64_t row_grain =
       std::max<std::int64_t>(1, core::kDefaultGrain * 4 / std::max<std::int64_t>(1, flops_per_row));
   core::parallel_for(m, row_grain, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
-      double* crow = pc + i * n;
-      const double* arow = pa + i * k;
-      for (std::int64_t jb = 0; jb < n; jb += kColBlock) {
-        const std::int64_t je = std::min(n, jb + kColBlock);
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const double aik = arow[kk];
-          if (aik == 0.0) continue;
-          const double* brow = pb + kk * n;
-          for (std::int64_t j = jb; j < je; ++j) crow[j] += aik * brow[j];
-        }
-      }
+      core::matmul_row(pc + i * n, pa + i * k, pb, k, n);
     }
   });
   return c;

@@ -7,7 +7,11 @@
 //
 // The two moment updates run as one fused kernel sweep over the raw
 // gradient span (core::ewma_update_moments), so observing an arena
-// gradient costs a single pass and zero temporaries.
+// gradient costs a single pass and zero temporaries. The variance
+// readout (core::debiased_variance_sum) follows the canonical
+// lane-blocked reduction order (DESIGN.md §4): its value is identical
+// across kernel backends, machines, and worker counts, which is what
+// lets scalar-vs-simd YellowFin trajectories pin bitwise.
 #pragma once
 
 #include <cstdint>

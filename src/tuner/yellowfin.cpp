@@ -23,6 +23,10 @@ YellowFin::YellowFin(std::vector<autograd::Variable> params, const YellowFinOpti
 }
 
 void YellowFin::measure(std::span<const double> flat_grad) {
+  // Every measured statistic derives from kernel reductions in the
+  // canonical lane-blocked order (DESIGN.md §4), so the lr/mu this tuner
+  // produces -- and therefore the whole trajectory -- is bit-identical
+  // across kernel backends and worker counts.
   const double sq = core::squared_norm(flat_grad);
   curvature_.update(sq);
   variance_.update(flat_grad);

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/kernels/backend.hpp"
+
 #include "optim/adagrad.hpp"
 #include "optim/adam.hpp"
 #include "optim/momentum_sgd.hpp"
@@ -198,7 +200,8 @@ const std::vector<t::Shape> kWhole = {{36}};                       // same vecto
 }  // namespace
 
 TEST(ArenaTrajectory, SgdMatchesNaiveReference) {
-  auto fused = run_trajectory(kSplit, [](auto& p) { return std::make_unique<yf::optim::SGD>(p, 0.05); }, 200);
+  auto fused = run_trajectory(
+      kSplit, [](auto& p) { return std::make_unique<yf::optim::SGD>(p, 0.05); }, 200);
   // Naive reference: plain per-element loop on a copy of the same problem.
   auto params = make_params(kSplit, 77);
   t::Rng noise(123);
@@ -268,6 +271,40 @@ TEST(ArenaTrajectory, AdamMatchesNaiveReference) {
     }
   }
   expect_close(fused, flat_values(params), 1e-12);
+}
+
+TEST(ArenaTrajectory, ScalarVsSimdBackendBitIdentical) {
+  // The SIMD backend must not move a single trajectory bit: elementwise
+  // kernels keep per-element arithmetic, and reductions follow the same
+  // canonical lane-blocked order on both backends (kernel_table.hpp), so
+  // even the YellowFin tuner (whose lr/mu come from measured reductions)
+  // is pinned with EXPECT_EQ, not a tolerance.
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  using OptFactory =
+      std::function<std::unique_ptr<yf::optim::Optimizer>(std::vector<ag::Variable>&)>;
+  const std::vector<std::pair<const char*, OptFactory>> factories = {
+      {"sgd", [](auto& p) { return std::make_unique<yf::optim::SGD>(p, 0.05); }},
+      {"momentum", [](auto& p) { return std::make_unique<yf::optim::MomentumSGD>(p, 0.02, 0.9); }},
+      {"adam", [](auto& p) { return std::make_unique<yf::optim::Adam>(p, 0.01); }},
+      {"adagrad", [](auto& p) { return std::make_unique<yf::optim::AdaGrad>(p, 0.05); }},
+      {"rmsprop", [](auto& p) { return std::make_unique<yf::optim::RMSProp>(p, 0.01); }},
+      {"yellowfin", [](auto& p) {
+         yf::tuner::YellowFinOptions opts;
+         opts.beta = 0.99;
+         return std::make_unique<yf::tuner::YellowFin>(p, opts);
+       }}};
+  const auto previous = core::active_kernel_backend();
+  for (const auto& [name, make_opt] : factories) {
+    core::set_kernel_backend(core::KernelBackend::kScalar);
+    const auto scalar_traj = run_trajectory(kSplit, make_opt, 150);
+    core::set_kernel_backend(core::KernelBackend::kSimd);
+    const auto simd_traj = run_trajectory(kSplit, make_opt, 150);
+    ASSERT_EQ(scalar_traj.size(), simd_traj.size()) << name;
+    for (std::size_t i = 0; i < scalar_traj.size(); ++i) {
+      EXPECT_EQ(scalar_traj[i], simd_traj[i]) << name << " @" << i;
+    }
+  }
+  core::set_kernel_backend(previous);
 }
 
 TEST(ArenaTrajectory, PartitionInvariance) {

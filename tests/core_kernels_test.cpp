@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <random>
 #include <vector>
 
+#include "core/kernels/backend.hpp"
 #include "core/parallel.hpp"
 
 namespace core = yf::core;
@@ -19,6 +21,39 @@ std::vector<double> random_vec(std::size_t n, std::uint32_t seed) {
   std::vector<double> v(n);
   for (auto& x : v) x = dist(rng);
   return v;
+}
+
+/// Run `fn` under a forced kernel backend, restoring the previous one.
+template <typename F>
+auto with_backend(core::KernelBackend backend, F&& fn) {
+  const auto previous = core::active_kernel_backend();
+  core::set_kernel_backend(backend);
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    core::set_kernel_backend(previous);
+  } else {
+    auto result = fn();
+    core::set_kernel_backend(previous);
+    return result;
+  }
+}
+
+/// Independent reimplementation of the canonical reduction order
+/// (kernel_table.hpp): 8 lanes filled round-robin, tail into lanes
+/// 0..tail-1, pairwise lane combine. Reduction results must match this
+/// bit-for-bit on every backend.
+template <typename Term>
+double ref_lane_reduce(std::size_t n, Term term) {
+  constexpr std::size_t kLanes = 8;
+  double acc[kLanes] = {};
+  const std::size_t nb = n - n % kLanes;
+  for (std::size_t i = 0; i < nb; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) acc[l] += term(i + l);
+  }
+  for (std::size_t l = 0; l + nb < n; ++l) acc[l] += term(nb + l);
+  const double l0 = acc[0] + acc[4], l1 = acc[1] + acc[5];
+  const double l2 = acc[2] + acc[6], l3 = acc[3] + acc[7];
+  return (l0 + l2) + (l1 + l3);
 }
 
 }  // namespace
@@ -75,10 +110,17 @@ TEST(Kernels, AxpyMatchesNaive) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y[i], expect[i]);
 }
 
-TEST(Kernels, ReductionsMatchNaive) {
+TEST(Kernels, ReductionsFollowCanonicalLaneOrder) {
+  // Re-pinned for the SIMD backend refactor: reductions follow the fixed
+  // 8-lane blocked order on every backend (previously strict
+  // left-to-right). Bitwise against an independent reimplementation of
+  // the canonical order, and close to the naive sequential sum.
   const std::size_t n = 4097;
   const auto a = random_vec(n, 4);
   const auto b = random_vec(n, 5);
+  EXPECT_EQ(core::sum(a), ref_lane_reduce(n, [&](std::size_t i) { return a[i]; }));
+  EXPECT_EQ(core::squared_norm(a), ref_lane_reduce(n, [&](std::size_t i) { return a[i] * a[i]; }));
+  EXPECT_EQ(core::dot(a, b), ref_lane_reduce(n, [&](std::size_t i) { return a[i] * b[i]; }));
   double s = 0.0, sq = 0.0, d = 0.0, ma = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     s += a[i];
@@ -86,20 +128,48 @@ TEST(Kernels, ReductionsMatchNaive) {
     d += a[i] * b[i];
     ma = std::max(ma, std::abs(a[i]));
   }
-  EXPECT_EQ(core::sum(a), s);
-  EXPECT_EQ(core::squared_norm(a), sq);
-  EXPECT_EQ(core::dot(a, b), d);
-  EXPECT_EQ(core::max_abs(a), ma);
+  EXPECT_NEAR(core::sum(a), s, 1e-9 * n);
+  EXPECT_NEAR(core::squared_norm(a), sq, 1e-9 * sq);
+  EXPECT_NEAR(core::dot(a, b), d, 1e-9 * n);
+  EXPECT_EQ(core::max_abs(a), ma);  // max is order-independent: still exact
+}
+
+TEST(Kernels, ReductionTailHandling) {
+  // Tail elements (n mod 8) fold into lanes 0..tail-1 before the
+  // combine; cover n below, at, and straddling the lane width.
+  for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 4096u, 4103u}) {
+    const auto a = random_vec(n, static_cast<std::uint32_t>(40 + n));
+    const auto b = random_vec(n, static_cast<std::uint32_t>(80 + n));
+    EXPECT_EQ(core::sum(a), ref_lane_reduce(n, [&](std::size_t i) { return a[i]; })) << n;
+    EXPECT_EQ(core::squared_norm(a), ref_lane_reduce(n, [&](std::size_t i) { return a[i] * a[i]; }))
+        << n;
+    EXPECT_EQ(core::dot(a, b), ref_lane_reduce(n, [&](std::size_t i) { return a[i] * b[i]; }))
+        << n;
+    const double inv1 = 1.7, inv2 = 0.9;
+    auto m2 = random_vec(n, static_cast<std::uint32_t>(120 + n));
+    for (auto& x : m2) x = std::abs(x) + 1.0;
+    const double expected = ref_lane_reduce(n, [&](std::size_t i) {
+      const double m = a[i] * inv1;
+      return m2[i] * inv2 - m * m;
+    });
+    EXPECT_EQ(core::debiased_variance_sum(a, m2, inv1, inv2), expected) << n;
+  }
 }
 
 TEST(Kernels, ReductionDeterministicAcrossWorkerCounts) {
   // Reductions are sequential by contract: growing the pool must not
-  // change a single bit of the result.
+  // change a single bit of the result, on either backend.
   const auto n = static_cast<std::size_t>(core::kDefaultGrain * 8);
   const auto a = random_vec(n, 6);
   const double before = core::squared_norm(a);
   core::ThreadPool::instance().set_fanout(8);
   EXPECT_EQ(core::squared_norm(a), before);
+  if (core::simd_supported()) {
+    for (auto backend : {core::KernelBackend::kScalar, core::KernelBackend::kSimd}) {
+      EXPECT_EQ(with_backend(backend, [&] { return core::squared_norm(a); }), before)
+          << core::kernel_backend_name(backend);
+    }
+  }
 }
 
 TEST(Kernels, EwmaUpdateMatchesTwoStepForm) {
@@ -218,4 +288,215 @@ TEST(Kernels, SizeMismatchThrows) {
   EXPECT_THROW(core::axpy(a, b, 1.0), std::invalid_argument);
   EXPECT_THROW(core::dot(a, b), std::invalid_argument);
   EXPECT_THROW(core::ewma_update(a, b, 0.9), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Backend dispatch: scalar and SIMD must agree bit-for-bit on every
+// kernel (elementwise by per-element arithmetic identity, reductions by
+// the shared lane-blocked order), across vector-width tails.
+// ---------------------------------------------------------------------------
+
+TEST(KernelBackend, StringParsingAndNames) {
+  core::KernelBackend b = core::KernelBackend::kSimd;
+  EXPECT_TRUE(core::kernel_backend_from_string("scalar", b));
+  EXPECT_EQ(b, core::KernelBackend::kScalar);
+  EXPECT_TRUE(core::kernel_backend_from_string("simd", b));
+  EXPECT_EQ(b, core::KernelBackend::kSimd);
+  EXPECT_FALSE(core::kernel_backend_from_string("avx512", b));
+  EXPECT_FALSE(core::kernel_backend_from_string("", b));
+  EXPECT_STREQ(core::kernel_backend_name(core::KernelBackend::kScalar), "scalar");
+  EXPECT_STREQ(core::kernel_backend_name(core::KernelBackend::kSimd), "simd");
+}
+
+TEST(KernelBackend, ForcingScalarAlwaysWorks) {
+  const auto previous = core::active_kernel_backend();
+  core::set_kernel_backend(core::KernelBackend::kScalar);
+  EXPECT_EQ(core::active_kernel_backend(), core::KernelBackend::kScalar);
+  EXPECT_STREQ(core::active_kernel_backend_name(), "scalar");
+  core::set_kernel_backend(previous);
+}
+
+TEST(KernelBackend, SimdRequestThrowsWhenUnsupported) {
+  if (core::simd_supported()) {
+    core::set_kernel_backend(core::KernelBackend::kSimd);  // must not throw
+    EXPECT_EQ(core::active_kernel_backend(), core::KernelBackend::kSimd);
+    core::set_kernel_backend(core::KernelBackend::kScalar);
+  } else {
+    EXPECT_THROW(core::set_kernel_backend(core::KernelBackend::kSimd), std::invalid_argument);
+  }
+}
+
+namespace {
+
+/// Sizes straddling the 4-wide vector step and the 8-wide lane block:
+/// empty, sub-lane, exact multiples, and off-by-one tails.
+const std::size_t kParitySizes[] = {0, 1, 3, 4, 5, 7, 8, 9, 12, 31, 32, 33, 1037};
+
+/// Run `op` (which writes its result into fresh buffers) under both
+/// backends and expect bitwise-identical output buffers.
+template <typename Op>
+void expect_backend_parity(const char* what, Op op) {
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  for (std::size_t n : kParitySizes) {
+    const auto scalar_out = with_backend(core::KernelBackend::kScalar, [&] { return op(n); });
+    const auto simd_out = with_backend(core::KernelBackend::kSimd, [&] { return op(n); });
+    ASSERT_EQ(scalar_out.size(), simd_out.size()) << what << " n=" << n;
+    for (std::size_t i = 0; i < scalar_out.size(); ++i) {
+      EXPECT_EQ(scalar_out[i], simd_out[i]) << what << " n=" << n << " @" << i;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(KernelBackend, ElementwiseParityBitIdentical) {
+  expect_backend_parity("fill", [](std::size_t n) {
+    std::vector<double> x(n, -1.0);
+    core::fill(x, 3.25);
+    return x;
+  });
+  expect_backend_parity("copy", [](std::size_t n) {
+    const auto src = random_vec(n, 101);
+    std::vector<double> dst(n, 0.0);
+    core::copy(dst, src);
+    return dst;
+  });
+  expect_backend_parity("scale", [](std::size_t n) {
+    auto x = random_vec(n, 102);
+    core::scale(x, -0.731);
+    return x;
+  });
+  expect_backend_parity("axpy", [](std::size_t n) {
+    auto y = random_vec(n, 103);
+    const auto x = random_vec(n, 104);
+    core::axpy(y, x, 0.417);
+    return y;
+  });
+  expect_backend_parity("ewma", [](std::size_t n) {
+    auto avg = random_vec(n, 105);
+    const auto x = random_vec(n, 106);
+    core::ewma_update(avg, x, 0.997);
+    return avg;
+  });
+  expect_backend_parity("ewma_moments", [](std::size_t n) {
+    auto m1 = random_vec(n, 107);
+    auto m2 = random_vec(n, 108);
+    const auto x = random_vec(n, 109);
+    core::ewma_update_moments(m1, m2, x, 0.995);
+    m1.insert(m1.end(), m2.begin(), m2.end());
+    return m1;
+  });
+}
+
+TEST(KernelBackend, FusedSweepParityBitIdentical) {
+  for (bool nesterov : {false, true}) {
+    expect_backend_parity(nesterov ? "momentum_nesterov" : "momentum", [&](std::size_t n) {
+      auto x = random_vec(n, 110);
+      auto v = random_vec(n, 111);
+      const auto g = random_vec(n, 112);
+      core::momentum_step(x, v, g, 0.03, 0.9, nesterov);
+      x.insert(x.end(), v.begin(), v.end());
+      return x;
+    });
+  }
+  expect_backend_parity("adam", [](std::size_t n) {
+    auto x = random_vec(n, 113);
+    auto m = random_vec(n, 114);
+    auto v = random_vec(n, 115);
+    for (auto& vi : v) vi = std::abs(vi);
+    const auto g = random_vec(n, 116);
+    core::adam_step(x, m, v, g, 0.001, 0.9, 0.999, 0.271, 0.002996, 1e-8);
+    x.insert(x.end(), m.begin(), m.end());
+    x.insert(x.end(), v.begin(), v.end());
+    return x;
+  });
+  expect_backend_parity("adagrad", [](std::size_t n) {
+    auto x = random_vec(n, 117);
+    auto accum = random_vec(n, 118);
+    for (auto& a : accum) a = std::abs(a);
+    const auto g = random_vec(n, 119);
+    core::adagrad_step(x, accum, g, 0.05, 1e-10);
+    x.insert(x.end(), accum.begin(), accum.end());
+    return x;
+  });
+  expect_backend_parity("rmsprop", [](std::size_t n) {
+    auto x = random_vec(n, 120);
+    auto sq = random_vec(n, 121);
+    for (auto& s : sq) s = std::abs(s);
+    const auto g = random_vec(n, 122);
+    core::rmsprop_step(x, sq, g, 0.01, 0.95, 1e-8);
+    x.insert(x.end(), sq.begin(), sq.end());
+    return x;
+  });
+}
+
+TEST(KernelBackend, ReductionParityBitIdentical) {
+  expect_backend_parity("reductions", [](std::size_t n) {
+    const auto a = random_vec(n, 123);
+    const auto b = random_vec(n, 124);
+    auto m2 = random_vec(n, 125);
+    for (auto& x : m2) x = std::abs(x) + 0.5;
+    return std::vector<double>{core::sum(a), core::squared_norm(a), core::dot(a, b),
+                               core::max_abs(a), core::debiased_variance_sum(a, m2, 1.31, 0.77)};
+  });
+}
+
+TEST(KernelBackend, MatmulRowParityBitIdentical) {
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  // k x n shapes straddle the column block (256) and the vector width.
+  const std::int64_t cases[][2] = {{1, 1}, {3, 5}, {7, 64}, {5, 255}, {4, 257}, {9, 300}};
+  for (const auto& kn : cases) {
+    const auto k = kn[0], n = kn[1];
+    auto arow = random_vec(static_cast<std::size_t>(k), 126);
+    arow[0] = 0.0;  // exercise the aik == 0 skip
+    const auto b = random_vec(static_cast<std::size_t>(k * n), 127);
+    auto run = [&] {
+      std::vector<double> crow(static_cast<std::size_t>(n), 0.25);
+      core::matmul_row(crow.data(), arow.data(), b.data(), k, n);
+      return crow;
+    };
+    const auto scalar_out = with_backend(core::KernelBackend::kScalar, run);
+    const auto simd_out = with_backend(core::KernelBackend::kSimd, run);
+    for (std::size_t i = 0; i < scalar_out.size(); ++i) {
+      EXPECT_EQ(scalar_out[i], simd_out[i]) << k << "x" << n << " @" << i;
+    }
+  }
+}
+
+TEST(KernelBackend, MaxAbsNanParity) {
+  // std::max(m, NaN) keeps m, so the scalar backend drops NaN terms; the
+  // AVX2 backend must do the same (maxpd forwards its second operand on
+  // NaN, so the running maximum sits in the second slot).
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::vector<double>> cases = {
+      {1.0, 2.0, 3.0, nan},
+      {nan, nan, nan, nan},
+      {nan, -7.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, nan},
+      {0.5, nan},
+  };
+  for (const auto& x : cases) {
+    const double scalar_m = with_backend(core::KernelBackend::kScalar,
+                                         [&] { return core::max_abs(x); });
+    const double simd_m = with_backend(core::KernelBackend::kSimd,
+                                       [&] { return core::max_abs(x); });
+    EXPECT_EQ(scalar_m, simd_m) << "n=" << x.size();
+    EXPECT_FALSE(std::isnan(simd_m)) << "n=" << x.size();
+  }
+}
+
+TEST(KernelBackend, ReductionParityAcrossPoolSizes) {
+  // The full determinism matrix: backend x fanout must give one value.
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  const auto n = static_cast<std::size_t>(core::kSimdGrain * 4 + 5);
+  const auto a = random_vec(n, 128);
+  const double pinned = with_backend(core::KernelBackend::kScalar,
+                                     [&] { return core::squared_norm(a); });
+  for (std::size_t fanout : {1u, 4u, 8u}) {
+    core::ThreadPool::instance().set_fanout(fanout);
+    for (auto backend : {core::KernelBackend::kScalar, core::KernelBackend::kSimd}) {
+      EXPECT_EQ(with_backend(backend, [&] { return core::squared_norm(a); }), pinned)
+          << core::kernel_backend_name(backend) << " fanout=" << fanout;
+    }
+  }
 }

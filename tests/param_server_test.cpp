@@ -15,6 +15,7 @@
 
 #include "autograd/ops.hpp"
 #include "core/arena.hpp"
+#include "core/kernels/backend.hpp"
 #include "nn/linear.hpp"
 #include "nn/module.hpp"
 #include "optim/adam.hpp"
@@ -220,6 +221,27 @@ TEST(ShardedParamServer, OneWorkerOneShardMatchesSynchronousAdam) {
   for (std::size_t i = 0; i < sync_traj.size(); ++i) {
     EXPECT_NEAR(server_traj[i], sync_traj[i], 1e-12) << i;
   }
+}
+
+TEST(ShardedParamServer, TrajectoryInvariantToKernelBackend) {
+  // Server trajectories are pinned bit-for-bit across kernel backends:
+  // the per-shard fused sweeps are elementwise (per-element arithmetic
+  // identical by construction) and YellowFin's measured reductions
+  // follow the canonical lane-blocked order on both backends.
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  const auto previous = core::active_kernel_backend();
+  for (const auto& factory :
+       {OptFactory(make_momentum), OptFactory(make_yellowfin), OptFactory(make_adam)}) {
+    core::set_kernel_backend(core::KernelBackend::kScalar);
+    const auto scalar_traj = run_server_trajectory(factory, 3, 120);
+    core::set_kernel_backend(core::KernelBackend::kSimd);
+    const auto simd_traj = run_server_trajectory(factory, 3, 120);
+    ASSERT_EQ(scalar_traj.size(), simd_traj.size());
+    for (std::size_t i = 0; i < scalar_traj.size(); ++i) {
+      EXPECT_EQ(scalar_traj[i], simd_traj[i]) << i;
+    }
+  }
+  core::set_kernel_backend(previous);
 }
 
 TEST(ShardedParamServer, TrajectoryInvariantToShardCount) {
