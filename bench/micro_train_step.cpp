@@ -1,0 +1,150 @@
+// Full training-step microbenchmarks: forward + backward + optimizer
+// apply for the LSTM language model and an autograd quadratic
+// (least-squares) model, on the two graph engines:
+//
+//   BM_*_Heap  -- the historical per-step shared_ptr graph: every op
+//                 allocates a fresh node, value and grad tensor;
+//   BM_*_Tape  -- the GraphTape path: after a one-step warm-up the graph
+//                 replays out of the tape's workspace with zero heap
+//                 allocations (tests/alloc_count_test.cpp proves the
+//                 zero; this bench measures what it buys in wall time).
+//
+// Both engines produce bit-identical trajectories (tests/tape_test.cpp),
+// so the delta is pure memory-management overhead. Args: the LM runs
+// {batch, seq_len_plus1}, the quadratic runs {rows, dim}. Results land
+// in BENCH_micro_train_step.json via yfb::JsonReporter.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "autograd/tape.hpp"
+#include "common.hpp"
+#include "data/markov_text.hpp"
+#include "nn/language_model.hpp"
+#include "optim/momentum_sgd.hpp"
+#include "tensor/random.hpp"
+#include "tuner/yellowfin.hpp"
+
+namespace {
+
+namespace ag = yf::autograd;
+namespace nn = yf::nn;
+namespace t = yf::tensor;
+
+struct LmTask {
+  std::vector<std::vector<std::int64_t>> batches;
+  std::unique_ptr<nn::LSTMLanguageModel> model;
+  std::unique_ptr<yf::tuner::YellowFin> opt;
+  std::int64_t batch, seq_plus1;
+
+  LmTask(std::int64_t batch_size, std::int64_t seq_len_plus1)
+      : batch(batch_size), seq_plus1(seq_len_plus1) {
+    yf::data::MarkovTextConfig dcfg;
+    dcfg.vocab = 32;
+    dcfg.branching = 3;
+    yf::data::MarkovText dataset(dcfg);
+    t::Rng data_rng(17);
+    for (int i = 0; i < 8; ++i) {
+      batches.push_back(dataset.sample_batch(batch, seq_plus1, data_rng));
+    }
+    nn::LanguageModelConfig cfg;
+    cfg.vocab = 32;
+    cfg.embed_dim = 16;
+    cfg.hidden = 24;
+    cfg.layers = 2;
+    t::Rng model_rng(1);
+    model = std::make_unique<nn::LSTMLanguageModel>(cfg, model_rng);
+    opt = std::make_unique<yf::tuner::YellowFin>(model->parameters());
+  }
+
+  double step(std::size_t i) {
+    opt->zero_grad();
+    auto loss = model->loss(batches[i % batches.size()], batch, seq_plus1);
+    loss.backward();
+    opt->step();
+    return loss.value().item();
+  }
+};
+
+void BM_LmTrainStep_Heap(benchmark::State& state) {
+  LmTask task(state.range(0), state.range(1));
+  std::size_t i = 0;
+  double sink = 0.0;
+  for (auto _ : state) sink += task.step(i++);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LmTrainStep_Tape(benchmark::State& state) {
+  LmTask task(state.range(0), state.range(1));
+  ag::GraphTape tape;
+  ag::TapeScope scope(&tape);
+  std::size_t i = 0;
+  double sink = 0.0;
+  // Warm-up outside the timed loop: record the graph, size the workspace.
+  tape.begin_step();
+  sink += task.step(i++);
+  for (auto _ : state) {
+    tape.begin_step();
+    sink += task.step(i++);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_LmTrainStep_Heap)->Args({4, 9})->Args({8, 17});
+BENCHMARK(BM_LmTrainStep_Tape)->Args({4, 9})->Args({8, 17});
+
+struct QuadraticTask {
+  ag::Variable w, x, y;
+  std::unique_ptr<yf::optim::MomentumSGD> opt;
+
+  QuadraticTask(std::int64_t rows, std::int64_t dim) {
+    t::Rng rng(23);
+    w = ag::Variable(rng.normal_tensor({dim, dim}, 0.0, 0.1), /*requires_grad=*/true);
+    x = ag::Variable(rng.normal_tensor({rows, dim}));
+    y = ag::Variable(rng.normal_tensor({rows, dim}));
+    opt = std::make_unique<yf::optim::MomentumSGD>(std::vector<ag::Variable>{w}, 1e-3, 0.9);
+  }
+
+  double step() {
+    opt->zero_grad();
+    auto loss = ag::mean(ag::square(ag::sub(ag::matmul(x, w), y)));
+    loss.backward();
+    opt->step();
+    return loss.value().item();
+  }
+};
+
+void BM_QuadraticTrainStep_Heap(benchmark::State& state) {
+  QuadraticTask task(state.range(0), state.range(1));
+  double sink = 0.0;
+  for (auto _ : state) sink += task.step();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_QuadraticTrainStep_Tape(benchmark::State& state) {
+  QuadraticTask task(state.range(0), state.range(1));
+  ag::GraphTape tape;
+  ag::TapeScope scope(&tape);
+  tape.begin_step();
+  double sink = task.step();
+  for (auto _ : state) {
+    tape.begin_step();
+    sink += task.step();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_QuadraticTrainStep_Heap)->Args({16, 16})->Args({32, 64});
+BENCHMARK(BM_QuadraticTrainStep_Tape)->Args({16, 16})->Args({32, 64});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return yfb::benchmark_main_with_json(argc, argv, "micro_train_step");
+}

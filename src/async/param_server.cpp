@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "async/total_momentum.hpp"
+#include "autograd/tape.hpp"
 #include "core/kernels.hpp"
 #include "core/parallel.hpp"
 
@@ -56,10 +57,34 @@ ShardedParamServer::ShardedParamServer(std::shared_ptr<optim::Optimizer> optimiz
     shard.hi = offset + base + (i < extra ? 1 : 0);
     offset = shard.hi;
     if (opts_.measure) {
+      // Fixed ring of iterate snapshots: the outer vector never grows
+      // after this, and slot storage is recycled in steady state.
+      shard.history.resize(static_cast<std::size_t>(opts_.history));
       const auto values = optimizer_->arena().values();
-      shard.history.emplace_back(values.begin() + shard.lo, values.begin() + shard.hi);
+      const auto lo = static_cast<std::size_t>(shard.lo);
+      shard.append(values.subspan(lo, static_cast<std::size_t>(shard.hi - shard.lo)));
     }
   }
+}
+
+const std::vector<double>* ShardedParamServer::Shard::lookup(std::int64_t v) const {
+  const std::int64_t idx = v - history_base;
+  if (idx < 0 || idx >= static_cast<std::int64_t>(history_count)) return nullptr;
+  const std::size_t slot = (history_head + static_cast<std::size_t>(idx)) % history.size();
+  return &history[slot];
+}
+
+void ShardedParamServer::Shard::append(std::span<const double> window) {
+  if (history_count == history.size()) {
+    // Ring full: drop the oldest version and recycle its slot (the
+    // vector's capacity survives the assign below -- no allocation).
+    history_head = (history_head + 1) % history.size();
+    ++history_base;
+    --history_count;
+  }
+  const std::size_t slot = (history_head + history_count) % history.size();
+  history[slot].assign(window.begin(), window.end());
+  ++history_count;
 }
 
 std::pair<std::int64_t, std::int64_t> ShardedParamServer::shard_range(std::size_t k) const {
@@ -78,10 +103,16 @@ tensor::Tensor ShardedParamServer::shard_values(std::size_t k) const {
 }
 
 PullTicket ShardedParamServer::pull(std::span<double> dst) const {
+  PullTicket ticket;
+  pull(dst, ticket);
+  return ticket;
+}
+
+void ShardedParamServer::pull(std::span<double> dst, PullTicket& ticket) const {
   if (static_cast<std::int64_t>(dst.size()) != size_) {
     throw std::invalid_argument("ShardedParamServer::pull: destination size mismatch");
   }
-  PullTicket ticket;
+  ticket.versions.clear();
   ticket.versions.reserve(shards_.size());
   const auto values = optimizer_->arena().values();
   for (const Shard& shard : shards_) {
@@ -91,7 +122,6 @@ PullTicket ShardedParamServer::pull(std::span<double> dst) const {
     core::copy(dst.subspan(lo, n), values.subspan(lo, n));
     ticket.versions.push_back(shard.version);
   }
-  return ticket;
 }
 
 ApplyStats ShardedParamServer::push(std::span<double> grad, const PullTicket& ticket) {
@@ -112,7 +142,18 @@ ApplyStats ShardedParamServer::push(std::span<double> grad, const PullTicket& ti
   // Per-shard stage: stage the gradient window, fused sweep, version bump,
   // history snapshot, and the Eq. 37 ratio contributions — all under that
   // shard's lock only, so disjoint shards proceed in parallel.
-  std::vector<double> ratios;
+  //
+  // The ratio scratch is thread-local: pool workers are long-lived, so
+  // after the first push on a thread its capacity is retained and the
+  // steady-state push performs no heap allocation.
+  static thread_local std::vector<double> ratios;
+  ratios.clear();
+  // One ratio per coordinate at most: reserving the full size up front
+  // makes the scratch's growth a single first-push-per-thread event
+  // instead of scheduling-dependent reallocation.
+  if (ratios.capacity() < static_cast<std::size_t>(size_)) {
+    ratios.reserve(static_cast<std::size_t>(size_));
+  }
   auto& arena = optimizer_->arena();
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     Shard& shard = shards_[k];
@@ -123,25 +164,15 @@ ApplyStats ShardedParamServer::push(std::span<double> grad, const PullTicket& ti
     optimizer_->step_span(plan, shard.lo, shard.hi);
     ++shard.version;
     if (!opts_.measure) continue;
-    const auto values = arena.values();
-    shard.history.emplace_back(values.begin() + shard.lo, values.begin() + shard.hi);
-    while (static_cast<std::int64_t>(shard.history.size()) > opts_.history) {
-      shard.history.pop_front();
-      ++shard.history_base;
-    }
+    shard.append(arena.values().subspan(lo, n));
     // This gradient was computed at shard iterate x_j; with x_{j+1} now
     // guaranteed to exist (we just applied an update), solve Eq. 16 for
     // mu_T elementwise wherever the history still covers j-1 .. j+1.
     const std::int64_t j = ticket.versions[k];
     if (j < 1) continue;
-    auto lookup = [&shard](std::int64_t version) -> const std::vector<double>* {
-      const std::int64_t idx = version - shard.history_base;
-      if (idx < 0 || idx >= static_cast<std::int64_t>(shard.history.size())) return nullptr;
-      return &shard.history[static_cast<std::size_t>(idx)];
-    };
-    const auto* x_prev = lookup(j - 1);
-    const auto* x_read = lookup(j);
-    const auto* x_next = lookup(j + 1);
+    const auto* x_prev = shard.lookup(j - 1);
+    const auto* x_read = shard.lookup(j);
+    const auto* x_next = shard.lookup(j + 1);
     if (!x_prev || !x_read || !x_next) continue;
     for (std::size_t i = 0; i < n; ++i) {
       const double den = (*x_read)[i] - (*x_prev)[i];
@@ -160,7 +191,7 @@ ApplyStats ShardedParamServer::push(std::span<double> grad, const PullTicket& ti
     optimizer_->end_apply(plan);
     stats.update_index = updates_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (!ratios.empty()) {
-      const double estimate = median(std::move(ratios));
+      const double estimate = median_inplace(ratios);
       stats.mu_hat_total = estimate;
       smoothed_ = smoothed_init_
                       ? opts_.smooth_beta * smoothed_ + (1.0 - opts_.smooth_beta) * estimate
@@ -206,11 +237,17 @@ ServerRunResult run_workers(ShardedParamServer& server,
       if (replica.values_tensor().shares_storage_with(master_values)) {
         throw std::invalid_argument("run_workers: worker params alias the master arena");
       }
+      // Per-replica tape: installed for this worker's whole run, so every
+      // grad_fn builds (then replays) its graph out of worker-local
+      // workspace memory instead of the global allocator.
+      autograd::TapeScope tape_scope(workers[w].tape);
       collected[w].stats.reserve(static_cast<std::size_t>(opts.steps_per_worker));
       collected[w].losses.reserve(static_cast<std::size_t>(opts.steps_per_worker));
+      PullTicket ticket;
       for (std::int64_t s = 0; s < opts.steps_per_worker; ++s) {
-        const PullTicket ticket = server.pull(replica.values());
+        server.pull(replica.values(), ticket);
         replica.zero_grads();
+        if (workers[w].tape) workers[w].tape->begin_step();
         const double loss = workers[w].grad_fn();
         if (opts.compute_delay_us > 0) {
           std::this_thread::sleep_for(std::chrono::microseconds(opts.compute_delay_us));
@@ -235,6 +272,7 @@ ServerRunResult run_workers(ShardedParamServer& server,
   if (first_error) std::rethrow_exception(first_error);
 
   std::vector<std::pair<ApplyStats, double>> merged;
+  merged.reserve(workers.size() * static_cast<std::size_t>(opts.steps_per_worker));
   for (const auto& per : collected) {
     for (std::size_t i = 0; i < per.stats.size(); ++i) {
       merged.emplace_back(per.stats[i], per.losses[i]);

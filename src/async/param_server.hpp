@@ -45,6 +45,10 @@
 #include "tensor/tensor.hpp"
 #include "tuner/closed_loop.hpp"
 
+namespace yf::autograd {
+class GraphTape;
+}
+
 namespace yf::async {
 
 struct ParamServerOptions {
@@ -94,6 +98,11 @@ class ShardedParamServer {
   /// shard under the shard locks; returns the per-shard versions read.
   PullTicket pull(std::span<double> dst) const;
 
+  /// Allocation-free pull: refills `ticket` in place (its capacity is
+  /// retained across steps, so a worker's steady-state pull touches no
+  /// heap). Semantically identical to the returning overload.
+  void pull(std::span<double> dst, PullTicket& ticket) const;
+
   /// Apply one worker gradient (size() scalars, computed at the iterates
   /// `ticket` describes). `grad` may be clipped in place by the
   /// optimizer's global stage. Thread-safe; blocks only per shard.
@@ -115,10 +124,17 @@ class ShardedParamServer {
     std::int64_t hi = 0;
     mutable std::mutex mu;
     std::int64_t version = 0;
-    /// Iterate snapshots x_{history_base}, x_{history_base+1}, ... of this
-    /// shard's window, newest at the back.
+    /// Iterate snapshots of this shard's window, held in a fixed ring so
+    /// the steady-state push recycles slot storage instead of allocating:
+    /// logical versions [history_base, history_base + history_count), the
+    /// oldest at ring index history_head.
     std::int64_t history_base = 0;
-    std::deque<std::vector<double>> history;
+    std::size_t history_head = 0;
+    std::size_t history_count = 0;
+    std::vector<std::vector<double>> history;  ///< ring, capacity = opts.history
+
+    const std::vector<double>* lookup(std::int64_t version) const;
+    void append(std::span<const double> window);
   };
 
   std::shared_ptr<optim::Optimizer> optimizer_;
@@ -148,6 +164,12 @@ class ShardedParamServer {
 struct ServerWorker {
   std::vector<autograd::Variable> params;
   std::function<double()> grad_fn;
+  /// Optional per-replica autograd tape: run_workers installs it on the
+  /// worker's pool thread and begins a tape step before every grad_fn
+  /// call, so each replica replays its cached graph out of its own
+  /// workspace instead of contending on the global allocator. Owned by
+  /// the caller; one tape must not be shared between workers.
+  autograd::GraphTape* tape = nullptr;
 };
 
 struct ServerRunOptions {

@@ -6,7 +6,7 @@
 
 namespace yf::async {
 
-double median(std::vector<double> values) {
+double median_inplace(std::span<double> values) {
   if (values.empty()) throw std::invalid_argument("median: empty input");
   const auto mid = values.size() / 2;
   std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
@@ -19,6 +19,8 @@ double median(std::vector<double> values) {
   }
   return m;
 }
+
+double median(std::vector<double> values) { return median_inplace(values); }
 
 TotalMomentumEstimator::TotalMomentumEstimator(std::int64_t staleness, double denom_eps)
     : staleness_(staleness), denom_eps_(denom_eps) {

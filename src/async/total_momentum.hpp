@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 
@@ -57,5 +59,10 @@ class TotalMomentumEstimator {
 /// Median of a (non-empty) vector; averages the two middle elements for
 /// even sizes. Utility shared with tests.
 double median(std::vector<double> values);
+
+/// Same selection, reordering `values` in place instead of copying --
+/// the parameter server's push path reuses one scratch buffer per
+/// thread, so the hot path must not allocate.
+double median_inplace(std::span<double> values);
 
 }  // namespace yf::async

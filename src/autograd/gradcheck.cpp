@@ -15,7 +15,12 @@ GradcheckResult gradcheck(const std::function<Variable(const std::vector<Variabl
   out.backward();
   std::vector<tensor::Tensor> analytic;
   analytic.reserve(inputs.size());
-  for (const auto& in : inputs) analytic.push_back(in.grad().clone());
+  for (const auto& in : inputs) {
+    // An input the output does not depend on never materializes a
+    // gradient; its analytic gradient is a dense zero.
+    analytic.push_back(in.has_grad() ? in.grad().clone()
+                                     : tensor::Tensor::zeros(in.value().shape()));
+  }
 
   // Numeric gradients, coordinate by coordinate.
   for (std::size_t k = 0; k < inputs.size(); ++k) {

@@ -3,68 +3,122 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "autograd/tape.hpp"
+#include "core/kernels.hpp"
 #include "tensor/ops.hpp"
+
+// Every op here follows the same shape (DESIGN.md §8):
+//
+//   1. validate inputs and compute the output dimensions;
+//   2. obtain a Frame via make_frame(): on an active GraphTape this
+//      match-or-creates the cached node at the cursor (zero allocation on
+//      a match), otherwise it builds a fresh heap node;
+//   3. compute the value *into* the frame's output tensor through the
+//      `_into` tensor kernels -- never into a fresh temporary;
+//   4. when the frame is fresh (first recording / heap path), allocate
+//      any backward scratch via make_scratch() and install the pullback
+//      closure. Closures are built once per node and reused on replay.
+//
+// Numerical contract: each pullback performs the exact per-element
+// operation sequence of the historical implementation (same multiply/add
+// order, same kernel calls), so gradients are bit-identical between the
+// tape path and the per-step heap path.
 
 namespace yf::autograd {
 
 namespace t = yf::tensor;
 
+namespace {
+
+std::span<const std::int64_t> dims_of(const t::Tensor& x) {
+  return {x.shape().data(), x.shape().size()};
+}
+
+}  // namespace
+
 Variable add(const Variable& a, const Variable& b) {
   t::check_same_shape(a.value(), b.value(), "autograd::add");
   auto an = a.node();
   auto bn = b.node();
-  return make_op(
-      t::add(a.value(), b.value()), {an, bn},
-      [an, bn](Node& n) {
-        an->accumulate_grad(n.grad);
-        bn->accumulate_grad(n.grad);
-      },
-      "add");
+  const NodePtr parents[] = {an, bn};
+  auto f = make_frame("add", parents, dims_of(a.value()));
+  t::add_into(f.node->value, a.value(), b.value());
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an, bn](Node& n) {
+      an->accumulate_grad(n.grad);
+      bn->accumulate_grad(n.grad);
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable sub(const Variable& a, const Variable& b) {
   t::check_same_shape(a.value(), b.value(), "autograd::sub");
   auto an = a.node();
   auto bn = b.node();
-  return make_op(
-      t::sub(a.value(), b.value()), {an, bn},
-      [an, bn](Node& n) {
-        an->accumulate_grad(n.grad);
-        if (bn->requires_grad) bn->ensure_grad().add_(n.grad, -1.0);
-      },
-      "sub");
+  const NodePtr parents[] = {an, bn};
+  auto f = make_frame("sub", parents, dims_of(a.value()));
+  t::sub_into(f.node->value, a.value(), b.value());
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an, bn](Node& n) {
+      an->accumulate_grad(n.grad);
+      if (bn->requires_grad) bn->ensure_grad().add_(n.grad, -1.0);
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable mul(const Variable& a, const Variable& b) {
   t::check_same_shape(a.value(), b.value(), "autograd::mul");
   auto an = a.node();
   auto bn = b.node();
-  return make_op(
-      t::mul(a.value(), b.value()), {an, bn},
-      [an, bn](Node& n) {
-        if (an->requires_grad) an->ensure_grad().add_(t::mul(n.grad, bn->value));
-        if (bn->requires_grad) bn->ensure_grad().add_(t::mul(n.grad, an->value));
-      },
-      "mul");
+  const NodePtr parents[] = {an, bn};
+  auto f = make_frame("mul", parents, dims_of(a.value()));
+  t::mul_into(f.node->value, a.value(), b.value());
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an, bn](Node& n) {
+      const auto og = n.grad.data();
+      if (an->requires_grad) {
+        auto g = an->ensure_grad().data();
+        const auto bv = bn->value.data();
+        for (std::size_t i = 0; i < g.size(); ++i) g[i] += og[i] * bv[i];
+      }
+      if (bn->requires_grad) {
+        auto g = bn->ensure_grad().data();
+        const auto av = an->value.data();
+        for (std::size_t i = 0; i < g.size(); ++i) g[i] += og[i] * av[i];
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable neg(const Variable& a) { return mul_scalar(a, -1.0); }
 
 Variable add_scalar(const Variable& a, double s) {
   auto an = a.node();
-  return make_op(
-      t::add_scalar(a.value(), s), {an},
-      [an](Node& n) { an->accumulate_grad(n.grad); }, "add_scalar");
+  const NodePtr parents[] = {an};
+  const double attrs[] = {s};
+  auto f = make_frame("add_scalar", parents, dims_of(a.value()), attrs);
+  t::add_scalar_into(f.node->value, a.value(), s);
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an](Node& n) { an->accumulate_grad(n.grad); };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable mul_scalar(const Variable& a, double s) {
   auto an = a.node();
-  return make_op(
-      t::mul_scalar(a.value(), s), {an},
-      [an, s](Node& n) {
-        if (an->requires_grad) an->ensure_grad().add_(n.grad, s);
-      },
-      "mul_scalar");
+  const NodePtr parents[] = {an};
+  const double attrs[] = {s};
+  auto f = make_frame("mul_scalar", parents, dims_of(a.value()), attrs);
+  t::mul_scalar_into(f.node->value, a.value(), s);
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an, s](Node& n) {
+      if (an->requires_grad) an->ensure_grad().add_(n.grad, s);
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 namespace {
@@ -72,88 +126,134 @@ namespace {
 /// Helper for unary elementwise ops whose local derivative is a function of
 /// the *output* value (tanh, sigmoid, exp) or the *input* value.
 template <typename DFn>
-Variable unary_op(const Variable& a, t::Tensor value, DFn&& dfn, const char* name) {
+Variable unary_op(const Variable& a, const char* sig,
+                  void (*compute_into)(t::Tensor&, const t::Tensor&), DFn dfn) {
   auto an = a.node();
-  auto out_value = value;  // captured copy shares storage with node value
-  return make_op(
-      std::move(value), {an},
-      [an, dfn](Node& n) {
-        if (!an->requires_grad) return;
-        auto& g = an->ensure_grad();
-        auto gd = g.data();
-        auto og = n.grad.data();
-        auto ov = n.value.data();
-        auto iv = an->value.data();
-        for (std::size_t i = 0; i < gd.size(); ++i) gd[i] += og[i] * dfn(iv[i], ov[i]);
-      },
-      name);
+  const NodePtr parents[] = {an};
+  auto f = make_frame(sig, parents, dims_of(a.value()));
+  compute_into(f.node->value, a.value());
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an, dfn](Node& n) {
+      if (!an->requires_grad) return;
+      auto& g = an->ensure_grad();
+      auto gd = g.data();
+      auto og = n.grad.data();
+      auto ov = n.value.data();
+      auto iv = an->value.data();
+      for (std::size_t i = 0; i < gd.size(); ++i) gd[i] += og[i] * dfn(iv[i], ov[i]);
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 }  // namespace
 
 Variable relu(const Variable& a) {
   return unary_op(
-      a, t::relu(a.value()), [](double x, double) { return x > 0.0 ? 1.0 : 0.0; }, "relu");
+      a, "relu", t::relu_into, [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
 }
 
 Variable tanh(const Variable& a) {
   return unary_op(
-      a, t::tanh(a.value()), [](double, double y) { return 1.0 - y * y; }, "tanh");
+      a, "tanh", t::tanh_into, [](double, double y) { return 1.0 - y * y; });
 }
 
 Variable sigmoid(const Variable& a) {
   return unary_op(
-      a, t::sigmoid(a.value()), [](double, double y) { return y * (1.0 - y); }, "sigmoid");
+      a, "sigmoid", t::sigmoid_into, [](double, double y) { return y * (1.0 - y); });
 }
 
 Variable exp(const Variable& a) {
   return unary_op(
-      a, t::exp(a.value()), [](double, double y) { return y; }, "exp");
+      a, "exp", t::exp_into, [](double, double y) { return y; });
 }
 
 Variable log(const Variable& a) {
   return unary_op(
-      a, t::log(a.value()), [](double x, double) { return 1.0 / x; }, "log");
+      a, "log", t::log_into, [](double x, double) { return 1.0 / x; });
 }
 
 Variable square(const Variable& a) {
   return unary_op(
-      a, t::square(a.value()), [](double x, double) { return 2.0 * x; }, "square");
+      a, "square", t::square_into, [](double x, double) { return 2.0 * x; });
 }
 
 Variable sum(const Variable& a) {
   auto an = a.node();
-  return make_op(
-      t::Tensor::scalar(t::sum(a.value())), {an},
-      [an](Node& n) {
-        if (!an->requires_grad) return;
-        an->ensure_grad().add_(t::Tensor::full(an->value.shape(), n.grad[0]));
-      },
-      "sum");
+  const NodePtr parents[] = {an};
+  const std::int64_t one[] = {1};
+  auto f = make_frame("sum", parents, one);
+  f.node->value[0] = t::sum(a.value());
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an](Node& n) {
+      if (!an->requires_grad) return;
+      auto g = an->ensure_grad().data();
+      const double s = n.grad[0];
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] += s;
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable mean(const Variable& a) {
+  // Validate before recording: a throw after make_frame would leave a
+  // half-built node on the tape for later steps to replay.
+  if (a.value().size() == 0) throw std::invalid_argument("mean: empty tensor");
   auto an = a.node();
   const double inv = 1.0 / static_cast<double>(a.value().size());
-  return make_op(
-      t::Tensor::scalar(t::mean(a.value())), {an},
-      [an, inv](Node& n) {
-        if (!an->requires_grad) return;
-        an->ensure_grad().add_(t::Tensor::full(an->value.shape(), n.grad[0] * inv));
-      },
-      "mean");
+  const NodePtr parents[] = {an};
+  const std::int64_t one[] = {1};
+  auto f = make_frame("mean", parents, one);
+  f.node->value[0] = t::mean(a.value());
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an, inv](Node& n) {
+      if (!an->requires_grad) return;
+      auto g = an->ensure_grad().data();
+      const double s = n.grad[0] * inv;
+      for (std::size_t i = 0; i < g.size(); ++i) g[i] += s;
+    };
+  }
+  return Variable(std::move(f.handle));
+}
+
+Variable reshape(const Variable& a, std::span<const std::int64_t> dims) {
+  std::int64_t total = 1;
+  for (auto d : dims) total *= d;
+  if (total != a.value().size()) {
+    throw std::invalid_argument("autograd::reshape: cannot reshape " +
+                                t::to_string(a.value().shape()) + " to the requested dims");
+  }
+  auto an = a.node();
+  const NodePtr parents[] = {an};
+  auto f = make_frame("reshape", parents, dims);
+  // A copy, not a view: the node's value must not alias the parent's
+  // storage. The pullback just flows the (flat) grad back.
+  t::copy_into(f.node->value, a.value());
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an](Node& n) {
+      if (an->requires_grad) core::axpy(an->ensure_grad().data(), n.grad.data(), 1.0);
+    };
+  }
+  return Variable(std::move(f.handle));
+}
+
+Variable reshape(const Variable& a, std::initializer_list<std::int64_t> dims) {
+  return reshape(a, std::span<const std::int64_t>(dims.begin(), dims.size()));
 }
 
 Variable reshape(const Variable& a, t::Shape new_shape) {
-  auto an = a.node();
-  // clone() so the node's value does not alias the parent's storage; the
-  // pullback just reshapes the incoming grad back.
-  return make_op(
-      a.value().clone().reshape(std::move(new_shape)), {an},
-      [an](Node& n) {
-        if (an->requires_grad) an->ensure_grad().add_(n.grad.reshape(an->value.shape()));
-      },
-      "reshape");
+  return reshape(a, std::span<const std::int64_t>(new_shape.data(), new_shape.size()));
+}
+
+Variable zeros(std::span<const std::int64_t> dims) {
+  auto f = make_frame("zeros", {}, dims);
+  // Freshly acquired buffers are zero-filled; nothing ever writes a
+  // constant node's value, so a replayed node is still all zeros.
+  return Variable(std::move(f.handle));
+}
+
+Variable zeros(std::initializer_list<std::int64_t> dims) {
+  return zeros(std::span<const std::int64_t>(dims.begin(), dims.size()));
 }
 
 Variable slice_cols(const Variable& a, std::int64_t col_begin, std::int64_t col_end) {
@@ -165,20 +265,23 @@ Variable slice_cols(const Variable& a, std::int64_t col_begin, std::int64_t col_
                                 std::to_string(col_end) + ") for " + t::to_string(v.shape()));
   }
   const auto w = col_end - col_begin;
-  t::Tensor out(t::Shape{m, w});
+  auto an = a.node();
+  const NodePtr parents[] = {an};
+  const std::int64_t dims[] = {m, w};
+  const double attrs[] = {static_cast<double>(col_begin), static_cast<double>(col_end)};
+  auto f = make_frame("slice_cols", parents, dims, attrs);
+  auto& out = f.node->value;
   for (std::int64_t i = 0; i < m; ++i)
     for (std::int64_t j = 0; j < w; ++j) out[i * w + j] = v[i * ncols + col_begin + j];
-  auto an = a.node();
-  return make_op(
-      std::move(out), {an},
-      [an, col_begin, w, ncols, m](Node& n) {
-        if (!an->requires_grad) return;
-        auto& g = an->ensure_grad();
-        for (std::int64_t i = 0; i < m; ++i)
-          for (std::int64_t j = 0; j < w; ++j)
-            g[i * ncols + col_begin + j] += n.grad[i * w + j];
-      },
-      "slice_cols");
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an, col_begin, w, ncols, m](Node& n) {
+      if (!an->requires_grad) return;
+      auto& g = an->ensure_grad();
+      for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < w; ++j) g[i * ncols + col_begin + j] += n.grad[i * w + j];
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable concat_cols(const std::vector<Variable>& parts) {
@@ -191,79 +294,144 @@ Variable concat_cols(const std::vector<Variable>& parts) {
     }
     total += p.value().dim(1);
   }
-  t::Tensor out(t::Shape{m, total});
+  // Reused per-thread parent scratch: concat is called every step with a
+  // seq-length worth of parts, and a fresh vector each call would be a
+  // steady-state allocation. Cleared before return so no handles linger.
+  static thread_local std::vector<NodePtr> parent_scratch;
+  parent_scratch.clear();
+  for (const auto& p : parts) parent_scratch.push_back(p.node());
+
+  const std::int64_t dims[] = {m, total};
+  auto f = make_frame("concat_cols", parent_scratch, dims);
+  auto& out = f.node->value;
   std::int64_t off = 0;
   for (const auto& p : parts) {
     const auto w = p.value().dim(1);
+    const auto& pv = p.value();
     for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < w; ++j) out[i * total + off + j] = p.value()[i * w + j];
+      for (std::int64_t j = 0; j < w; ++j) out[i * total + off + j] = pv[i * w + j];
     off += w;
   }
-  std::vector<NodePtr> parents;
-  std::vector<std::int64_t> widths;
-  for (const auto& p : parts) {
-    parents.push_back(p.node());
-    widths.push_back(p.value().dim(1));
-  }
-  return make_op(
-      std::move(out), parents,
-      [parents, widths, m, total](Node& n) {
-        std::int64_t off = 0;
-        for (std::size_t k = 0; k < parents.size(); ++k) {
-          const auto w = widths[k];
-          if (parents[k]->requires_grad) {
-            auto& g = parents[k]->ensure_grad();
-            for (std::int64_t i = 0; i < m; ++i)
-              for (std::int64_t j = 0; j < w; ++j) g[i * w + j] += n.grad[i * total + off + j];
-          }
-          off += w;
+  if (f.fresh && f.node->requires_grad) {
+    std::vector<NodePtr> parents = parent_scratch;
+    std::vector<std::int64_t> widths;
+    widths.reserve(parts.size());
+    for (const auto& p : parts) widths.push_back(p.value().dim(1));
+    f.node->backward_fn = [parents, widths, m, total](Node& n) {
+      std::int64_t off2 = 0;
+      for (std::size_t k = 0; k < parents.size(); ++k) {
+        const auto w = widths[k];
+        if (parents[k]->requires_grad) {
+          auto& g = parents[k]->ensure_grad();
+          for (std::int64_t i = 0; i < m; ++i)
+            for (std::int64_t j = 0; j < w; ++j) g[i * w + j] += n.grad[i * total + off2 + j];
         }
-      },
-      "concat_cols");
+        off2 += w;
+      }
+    };
+  }
+  parent_scratch.clear();
+  return Variable(std::move(f.handle));
 }
 
 Variable matmul(const Variable& a, const Variable& b) {
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  if (av.ndim() != 2 || bv.ndim() != 2) {
+    throw std::invalid_argument("matmul: expected 2-D tensors, got " + t::to_string(av.shape()) +
+                                " and " + t::to_string(bv.shape()));
+  }
+  if (av.dim(1) != bv.dim(0)) {
+    throw std::invalid_argument("matmul: inner dimension mismatch " + t::to_string(av.shape()) +
+                                " vs " + t::to_string(bv.shape()));
+  }
+  const auto m = av.dim(0), k = av.dim(1), n = bv.dim(1);
   auto an = a.node();
   auto bn = b.node();
-  return make_op(
-      t::matmul(a.value(), b.value()), {an, bn},
-      [an, bn](Node& n) {
-        // dA = dC @ B^T ; dB = A^T @ dC
-        if (an->requires_grad)
-          an->ensure_grad().add_(t::matmul(n.grad, t::transpose(bn->value)));
-        if (bn->requires_grad)
-          bn->ensure_grad().add_(t::matmul(t::transpose(an->value), n.grad));
-      },
-      "matmul");
+  const NodePtr parents[] = {an, bn};
+  const std::int64_t dims[] = {m, n};
+  auto f = make_frame("matmul", parents, dims);
+  t::matmul_into(f.node->value, av, bv);
+  if (f.fresh && f.node->requires_grad) {
+    // dA = dC @ B^T ; dB = A^T @ dC -- computed through cached transpose
+    // and product scratch so replay stays allocation-free while keeping
+    // the historical materialize-then-multiply rounding.
+    t::Tensor bT, dA, aT, dB;
+    if (an->requires_grad) {
+      bT = make_scratch({n, k});
+      dA = make_scratch({m, k});
+    }
+    if (bn->requires_grad) {
+      aT = make_scratch({k, m});
+      dB = make_scratch({k, n});
+    }
+    f.node->backward_fn = [an, bn, bT, dA, aT, dB](Node& nn) mutable {
+      if (an->requires_grad) {
+        t::transpose_into(bT, bn->value);
+        t::matmul_into(dA, nn.grad, bT);
+        an->ensure_grad().add_(dA);
+      }
+      if (bn->requires_grad) {
+        t::transpose_into(aT, an->value);
+        t::matmul_into(dB, aT, nn.grad);
+        bn->ensure_grad().add_(dB);
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable transpose(const Variable& a) {
+  const auto& v = a.value();
+  if (v.ndim() != 2) {
+    throw std::invalid_argument("transpose: expected 2-D tensor, got " + t::to_string(v.shape()));
+  }
+  const auto m = v.dim(0), n = v.dim(1);
   auto an = a.node();
-  return make_op(
-      t::transpose(a.value()), {an},
-      [an](Node& n) {
-        if (an->requires_grad) an->ensure_grad().add_(t::transpose(n.grad));
-      },
-      "transpose");
+  const NodePtr parents[] = {an};
+  const std::int64_t dims[] = {n, m};
+  auto f = make_frame("transpose", parents, dims);
+  t::transpose_into(f.node->value, v);
+  if (f.fresh && f.node->requires_grad) {
+    t::Tensor gT = make_scratch({m, n});
+    f.node->backward_fn = [an, gT](Node& nn) mutable {
+      if (!an->requires_grad) return;
+      t::transpose_into(gT, nn.grad);
+      an->ensure_grad().add_(gT);
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable add_row_broadcast(const Variable& a, const Variable& bias) {
+  const auto& av = a.value();
   auto an = a.node();
   auto bn = bias.node();
-  return make_op(
-      t::add_row_broadcast(a.value(), bias.value()), {an, bn},
-      [an, bn](Node& n) {
-        an->accumulate_grad(n.grad);
-        if (bn->requires_grad) bn->ensure_grad().add_(t::sum_rows(n.grad));
-      },
-      "add_row_broadcast");
+  const NodePtr parents[] = {an, bn};
+  auto f = make_frame("add_row_broadcast", parents, dims_of(av));
+  t::add_row_broadcast_into(f.node->value, av, bias.value());
+  if (f.fresh && f.node->requires_grad) {
+    t::Tensor colsum;
+    if (bn->requires_grad) colsum = make_scratch({av.dim(1)});
+    f.node->backward_fn = [an, bn, colsum](Node& n) mutable {
+      an->accumulate_grad(n.grad);
+      if (bn->requires_grad) {
+        t::sum_rows_into(colsum, n.grad);
+        bn->ensure_grad().add_(colsum);
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable softmax(const Variable& logits) {
   const auto& v = logits.value();
   if (v.ndim() != 2) throw std::invalid_argument("softmax: expected 2-D logits");
   const auto m = v.dim(0), c = v.dim(1);
-  t::Tensor probs(v.shape());
+  auto an = logits.node();
+  const NodePtr parents[] = {an};
+  auto f = make_frame("softmax", parents, dims_of(v));
+  auto& probs = f.node->value;
   for (std::int64_t i = 0; i < m; ++i) {
     double mx = -1e300;
     for (std::int64_t j = 0; j < c; ++j) mx = std::max(mx, v[i * c + j]);
@@ -271,21 +439,20 @@ Variable softmax(const Variable& logits) {
     for (std::int64_t j = 0; j < c; ++j) z += std::exp(v[i * c + j] - mx);
     for (std::int64_t j = 0; j < c; ++j) probs[i * c + j] = std::exp(v[i * c + j] - mx) / z;
   }
-  auto an = logits.node();
-  return make_op(
-      std::move(probs), {an},
-      [an, m, c](Node& n) {
-        if (!an->requires_grad) return;
-        // dL/dx_j = p_j * (g_j - sum_k g_k p_k) per row.
-        auto& g = an->ensure_grad();
-        for (std::int64_t i = 0; i < m; ++i) {
-          double dotgp = 0.0;
-          for (std::int64_t k = 0; k < c; ++k) dotgp += n.grad[i * c + k] * n.value[i * c + k];
-          for (std::int64_t j = 0; j < c; ++j)
-            g[i * c + j] += n.value[i * c + j] * (n.grad[i * c + j] - dotgp);
-        }
-      },
-      "softmax");
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [an, m, c](Node& n) {
+      if (!an->requires_grad) return;
+      // dL/dx_j = p_j * (g_j - sum_k g_k p_k) per row.
+      auto& g = an->ensure_grad();
+      for (std::int64_t i = 0; i < m; ++i) {
+        double dotgp = 0.0;
+        for (std::int64_t k = 0; k < c; ++k) dotgp += n.grad[i * c + k] * n.value[i * c + k];
+        for (std::int64_t j = 0; j < c; ++j)
+          g[i * c + j] += n.value[i * c + j] * (n.grad[i * c + j] - dotgp);
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable softmax_cross_entropy(const Variable& logits, const std::vector<std::int64_t>& labels) {
@@ -296,13 +463,26 @@ Variable softmax_cross_entropy(const Variable& logits, const std::vector<std::in
     throw std::invalid_argument("softmax_cross_entropy: batch " + std::to_string(m) + " vs " +
                                 std::to_string(labels.size()) + " labels");
   }
+  // Validate before recording: a throw after make_frame would leave a
+  // half-built (closure-less) node on the tape for later steps to replay.
+  for (const auto y : labels) {
+    if (y < 0 || y >= c) throw std::out_of_range("softmax_cross_entropy: label out of range");
+  }
+  auto an = logits.node();
+  const NodePtr parents[] = {an};
+  const std::int64_t one[] = {1};
+  auto f = make_frame("softmax_cross_entropy", parents, one);
+  if (f.fresh) f.node->scratch.push_back(make_scratch({m, c}));  // cached probabilities
+  // Labels change every step: refresh the node's integer payload on both
+  // fresh recording and replay.
+  f.node->ints.assign(labels.begin(), labels.end());
+
   // Forward: mean_i [ logsumexp(x_i) - x_i[y_i] ]. Cache probabilities for
   // the pullback: d/dx = (softmax(x) - onehot(y)) / m.
-  t::Tensor probs(v.shape());
+  t::Tensor& probs = f.node->scratch[0];
   double loss = 0.0;
   for (std::int64_t i = 0; i < m; ++i) {
     const auto y = labels[static_cast<std::size_t>(i)];
-    if (y < 0 || y >= c) throw std::out_of_range("softmax_cross_entropy: label out of range");
     double mx = -1e300;
     for (std::int64_t j = 0; j < c; ++j) mx = std::max(mx, v[i * c + j]);
     double z = 0.0;
@@ -312,22 +492,22 @@ Variable softmax_cross_entropy(const Variable& logits, const std::vector<std::in
     for (std::int64_t j = 0; j < c; ++j) probs[i * c + j] = std::exp(v[i * c + j] - logz);
   }
   loss /= static_cast<double>(m);
-  auto an = logits.node();
-  auto labels_copy = labels;
-  return make_op(
-      t::Tensor::scalar(loss), {an},
-      [an, probs, labels_copy, m, c](Node& n) {
-        if (!an->requires_grad) return;
-        auto& g = an->ensure_grad();
-        const double scale = n.grad[0] / static_cast<double>(m);
-        for (std::int64_t i = 0; i < m; ++i) {
-          const auto y = labels_copy[static_cast<std::size_t>(i)];
-          for (std::int64_t j = 0; j < c; ++j) {
-            g[i * c + j] += scale * (probs[i * c + j] - (j == y ? 1.0 : 0.0));
-          }
+  f.node->value[0] = loss;
+  if (f.fresh && f.node->requires_grad) {
+    t::Tensor probs_ref = probs;  // shares storage with the node scratch
+    f.node->backward_fn = [an, probs_ref, m, c](Node& n) {
+      if (!an->requires_grad) return;
+      auto& g = an->ensure_grad();
+      const double scale = n.grad[0] / static_cast<double>(m);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const auto y = n.ints[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < c; ++j) {
+          g[i * c + j] += scale * (probs_ref[i * c + j] - (j == y ? 1.0 : 0.0));
         }
-      },
-      "softmax_cross_entropy");
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable embedding(const Variable& weight, const std::vector<std::int64_t>& indices) {
@@ -335,26 +515,33 @@ Variable embedding(const Variable& weight, const std::vector<std::int64_t>& indi
   if (w.ndim() != 2) throw std::invalid_argument("embedding: weight must be 2-D [V, E]");
   const auto vsize = w.dim(0), e = w.dim(1);
   const auto b = static_cast<std::int64_t>(indices.size());
-  t::Tensor out(t::Shape{b, e});
-  for (std::int64_t i = 0; i < b; ++i) {
-    const auto idx = indices[static_cast<std::size_t>(i)];
+  // Validate before recording: a throw after make_frame would leave a
+  // half-built (closure-less) node on the tape for later steps to replay.
+  for (const auto idx : indices) {
     if (idx < 0 || idx >= vsize) throw std::out_of_range("embedding: index out of range");
-    for (std::int64_t j = 0; j < e; ++j) out[i * e + j] = w[idx * e + j];
   }
   auto wn = weight.node();
-  auto idx_copy = indices;
-  return make_op(
-      std::move(out), {wn},
-      [wn, idx_copy, e](Node& n) {
-        if (!wn->requires_grad) return;
-        auto& g = wn->ensure_grad();
-        const auto b = static_cast<std::int64_t>(idx_copy.size());
-        for (std::int64_t i = 0; i < b; ++i) {
-          const auto idx = idx_copy[static_cast<std::size_t>(i)];
-          for (std::int64_t j = 0; j < e; ++j) g[idx * e + j] += n.grad[i * e + j];
-        }
-      },
-      "embedding");
+  const NodePtr parents[] = {wn};
+  const std::int64_t dims[] = {b, e};
+  auto f = make_frame("embedding", parents, dims);
+  f.node->ints.assign(indices.begin(), indices.end());
+  auto& out = f.node->value;
+  for (std::int64_t i = 0; i < b; ++i) {
+    const auto idx = indices[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < e; ++j) out[i * e + j] = w[idx * e + j];
+  }
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [wn, e](Node& n) {
+      if (!wn->requires_grad) return;
+      auto& g = wn->ensure_grad();
+      const auto nb = static_cast<std::int64_t>(n.ints.size());
+      for (std::int64_t i = 0; i < nb; ++i) {
+        const auto idx = n.ints[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < e; ++j) g[idx * e + j] += n.grad[i * e + j];
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 namespace {
@@ -367,8 +554,7 @@ struct ConvDims {
 };
 
 /// im2col: input [N,C,H,W] -> col [N*OH*OW, C*KH*KW].
-t::Tensor im2col(const t::Tensor& input, const ConvDims& d) {
-  t::Tensor col(t::Shape{d.n * d.oh * d.ow, d.c * d.kh * d.kw});
+void im2col_into(t::Tensor& col, const t::Tensor& input, const ConvDims& d) {
   const auto* in = input.data().data();
   auto* pc = col.data().data();
   const auto row_len = d.c * d.kh * d.kw;
@@ -394,7 +580,6 @@ t::Tensor im2col(const t::Tensor& input, const ConvDims& d) {
       }
     }
   }
-  return col;
 }
 
 /// col2im: scatter-add of col gradient back to input layout.
@@ -450,46 +635,81 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
   d.ow = (d.w + 2 * pad - d.kw) / stride + 1;
   if (d.oh < 1 || d.ow < 1) throw std::invalid_argument("conv2d: kernel larger than padded input");
 
-  t::Tensor col = im2col(x, d);                                     // [N*OH*OW, CKK]
-  t::Tensor wmat = w.clone().reshape({d.f, d.c * d.kh * d.kw});     // [F, CKK]
-  t::Tensor outmat = t::matmul(col, t::transpose(wmat));            // [N*OH*OW, F]
+  auto xn = input.node();
+  auto wn = weight.node();
+  auto bn = bias.node();
+  const NodePtr parents[] = {xn, wn, bn};
+  const std::int64_t dims[] = {d.n, d.f, d.oh, d.ow};
+  const double attrs[] = {static_cast<double>(stride), static_cast<double>(pad)};
+  auto f = make_frame("conv2d", parents, dims, attrs);
+  const std::int64_t rows = d.n * d.oh * d.ow;
+  const std::int64_t ckk = d.c * d.kh * d.kw;
+  if (f.fresh) {
+    f.node->scratch.push_back(make_scratch({rows, ckk}));  // [0] im2col matrix
+    f.node->scratch.push_back(make_scratch({ckk, d.f}));   // [1] W^T for the forward product
+    f.node->scratch.push_back(wn->value.reshape({d.f, ckk}));  // [2] weight view [F, CKK]
+    f.node->scratch.push_back(make_scratch({rows, d.f}));  // [3] forward product col @ W^T
+  }
+  // The weight view aliases the parameter's storage; if the parameter was
+  // migrated (e.g. a new ParamArena flattened it), re-point the view.
+  if (!f.node->scratch[2].shares_storage_with(wn->value)) {
+    f.node->scratch[2] = wn->value.reshape({d.f, ckk});
+  }
+  t::Tensor& col = f.node->scratch[0];
+  t::Tensor& wmat_t = f.node->scratch[1];
+  const t::Tensor& wmat = f.node->scratch[2];
+
+  im2col_into(col, x, d);
+  t::transpose_into(wmat_t, wmat);
+  t::Tensor& outmat = f.node->scratch[3];
+  t::matmul_into(outmat, col, wmat_t);
   // Add bias and transpose to NCHW.
-  t::Tensor out(t::Shape{d.n, d.f, d.oh, d.ow});
+  auto& out = f.node->value;
   for (std::int64_t n = 0; n < d.n; ++n)
     for (std::int64_t oy = 0; oy < d.oh; ++oy)
       for (std::int64_t ox = 0; ox < d.ow; ++ox) {
         const auto row = (n * d.oh + oy) * d.ow + ox;
-        for (std::int64_t f = 0; f < d.f; ++f)
-          out[((n * d.f + f) * d.oh + oy) * d.ow + ox] = outmat[row * d.f + f] + b[f];
+        for (std::int64_t fi = 0; fi < d.f; ++fi)
+          out[((n * d.f + fi) * d.oh + oy) * d.ow + ox] = outmat[row * d.f + fi] + b[fi];
       }
 
-  auto xn = input.node();
-  auto wn = weight.node();
-  auto bn = bias.node();
-  return make_op(
-      std::move(out), {xn, wn, bn},
-      [xn, wn, bn, d, col](Node& n) {
-        // Reassemble dOut into matrix form [N*OH*OW, F].
-        t::Tensor doutmat(t::Shape{d.n * d.oh * d.ow, d.f});
-        for (std::int64_t nn = 0; nn < d.n; ++nn)
-          for (std::int64_t oy = 0; oy < d.oh; ++oy)
-            for (std::int64_t ox = 0; ox < d.ow; ++ox) {
-              const auto row = (nn * d.oh + oy) * d.ow + ox;
-              for (std::int64_t f = 0; f < d.f; ++f)
-                doutmat[row * d.f + f] = n.grad[((nn * d.f + f) * d.oh + oy) * d.ow + ox];
-            }
-        if (bn->requires_grad) bn->ensure_grad().add_(t::sum_rows(doutmat));
-        if (wn->requires_grad) {
-          t::Tensor dw = t::matmul(t::transpose(doutmat), col);  // [F, CKK]
-          wn->ensure_grad().add_(dw.reshape(wn->value.shape()));
-        }
-        if (xn->requires_grad) {
-          t::Tensor wmat = wn->value.clone().reshape({d.f, d.c * d.kh * d.kw});
-          t::Tensor dcol = t::matmul(doutmat, wmat);  // [N*OH*OW, CKK]
-          col2im_add(dcol, d, xn->ensure_grad());
-        }
-      },
-      "conv2d");
+  if (f.fresh && f.node->requires_grad) {
+    t::Tensor doutmat = make_scratch({rows, d.f});
+    t::Tensor bias_sum, dout_t, dw, dcol;
+    if (bn->requires_grad) bias_sum = make_scratch({d.f});
+    if (wn->requires_grad) {
+      dout_t = make_scratch({d.f, rows});
+      dw = make_scratch({d.f, ckk});
+    }
+    if (xn->requires_grad) dcol = make_scratch({rows, ckk});
+    t::Tensor col_ref = col;  // shares storage with scratch[0]
+    f.node->backward_fn = [xn, wn, bn, d, col_ref, doutmat, bias_sum, dout_t, dw,
+                           dcol](Node& n) mutable {
+      // Reassemble dOut into matrix form [N*OH*OW, F].
+      for (std::int64_t nn = 0; nn < d.n; ++nn)
+        for (std::int64_t oy = 0; oy < d.oh; ++oy)
+          for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+            const auto row = (nn * d.oh + oy) * d.ow + ox;
+            for (std::int64_t fi = 0; fi < d.f; ++fi)
+              doutmat[row * d.f + fi] = n.grad[((nn * d.f + fi) * d.oh + oy) * d.ow + ox];
+          }
+      if (bn->requires_grad) {
+        t::sum_rows_into(bias_sum, doutmat);
+        bn->ensure_grad().add_(bias_sum);
+      }
+      if (wn->requires_grad) {
+        t::transpose_into(dout_t, doutmat);
+        t::matmul_into(dw, dout_t, col_ref);  // [F, CKK]
+        core::axpy(wn->ensure_grad().data(), dw.data(), 1.0);
+      }
+      if (xn->requires_grad) {
+        // n.scratch[2] is the weight view, refreshed by the forward pass.
+        t::matmul_into(dcol, doutmat, n.scratch[2]);  // [N*OH*OW, CKK]
+        col2im_add(dcol, d, xn->ensure_grad());
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable batch_norm2d(const Variable& input, const Variable& gamma, const Variable& beta,
@@ -504,9 +724,22 @@ Variable batch_norm2d(const Variable& input, const Variable& gamma, const Variab
   const auto m = n * h * w;  // elements per channel
   const double inv_m = 1.0 / static_cast<double>(m);
 
+  auto xn = input.node();
+  auto gn = gamma.node();
+  auto bn = beta.node();
+  const NodePtr parents[] = {xn, gn, bn};
+  const double attrs[] = {eps};
+  auto f = make_frame("batch_norm2d", parents, dims_of(x), attrs);
+  if (f.fresh) {
+    f.node->scratch.push_back(make_scratch({c}));           // [0] per-channel mean
+    f.node->scratch.push_back(make_scratch({c}));           // [1] per-channel 1/std
+    f.node->scratch.push_back(make_scratch(dims_of(x)));    // [2] normalized activations
+  }
+  t::Tensor& mean = f.node->scratch[0];
+  t::Tensor& inv_std = f.node->scratch[1];
+  t::Tensor& xhat = f.node->scratch[2];
+
   // Channel statistics and normalized activations (cached for backward).
-  t::Tensor mean(t::Shape{c}), inv_std(t::Shape{c});
-  t::Tensor xhat(x.shape());
   for (std::int64_t ch = 0; ch < c; ++ch) {
     double s = 0.0;
     for (std::int64_t i = 0; i < n; ++i)
@@ -515,14 +748,14 @@ Variable batch_norm2d(const Variable& input, const Variable& gamma, const Variab
     double var = 0.0;
     for (std::int64_t i = 0; i < n; ++i)
       for (std::int64_t k = 0; k < h * w; ++k) {
-        const double d = x[(i * c + ch) * h * w + k] - mu;
-        var += d * d;
+        const double dd = x[(i * c + ch) * h * w + k] - mu;
+        var += dd * dd;
       }
     var *= inv_m;
     mean[ch] = mu;
     inv_std[ch] = 1.0 / std::sqrt(var + eps);
   }
-  t::Tensor out(x.shape());
+  auto& out = f.node->value;
   for (std::int64_t ch = 0; ch < c; ++ch) {
     const double g = gamma.value()[ch], b = beta.value()[ch];
     for (std::int64_t i = 0; i < n; ++i)
@@ -533,38 +766,37 @@ Variable batch_norm2d(const Variable& input, const Variable& gamma, const Variab
       }
   }
 
-  auto xn = input.node();
-  auto gn = gamma.node();
-  auto bn = beta.node();
-  return make_op(
-      std::move(out), {xn, gn, bn},
-      [xn, gn, bn, xhat, inv_std, n, c, h, w, inv_m](Node& node) {
-        // Standard BN backward; per channel:
-        //   dgamma = sum dy*xhat,  dbeta = sum dy,
-        //   dx = gamma*inv_std/m * (m*dy - dbeta - xhat*dgamma).
-        for (std::int64_t ch = 0; ch < c; ++ch) {
-          double dgamma = 0.0, dbeta = 0.0;
+  if (f.fresh && f.node->requires_grad) {
+    t::Tensor xhat_ref = xhat;
+    t::Tensor inv_std_ref = inv_std;
+    f.node->backward_fn = [xn, gn, bn, xhat_ref, inv_std_ref, n, c, h, w, inv_m](Node& node) {
+      // Standard BN backward; per channel:
+      //   dgamma = sum dy*xhat,  dbeta = sum dy,
+      //   dx = gamma*inv_std/m * (m*dy - dbeta - xhat*dgamma).
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        double dgamma = 0.0, dbeta = 0.0;
+        for (std::int64_t i = 0; i < n; ++i)
+          for (std::int64_t k = 0; k < h * w; ++k) {
+            const auto idx = (i * c + ch) * h * w + k;
+            dgamma += node.grad[idx] * xhat_ref[idx];
+            dbeta += node.grad[idx];
+          }
+        if (gn->requires_grad) gn->ensure_grad()[ch] += dgamma;
+        if (bn->requires_grad) bn->ensure_grad()[ch] += dbeta;
+        if (xn->requires_grad) {
+          auto& gx = xn->ensure_grad();
+          const double scale = gn->value[ch] * inv_std_ref[ch] * inv_m;
+          const double mtotal = 1.0 / inv_m;
           for (std::int64_t i = 0; i < n; ++i)
             for (std::int64_t k = 0; k < h * w; ++k) {
               const auto idx = (i * c + ch) * h * w + k;
-              dgamma += node.grad[idx] * xhat[idx];
-              dbeta += node.grad[idx];
+              gx[idx] += scale * (mtotal * node.grad[idx] - dbeta - xhat_ref[idx] * dgamma);
             }
-          if (gn->requires_grad) gn->ensure_grad()[ch] += dgamma;
-          if (bn->requires_grad) bn->ensure_grad()[ch] += dbeta;
-          if (xn->requires_grad) {
-            auto& gx = xn->ensure_grad();
-            const double scale = gn->value[ch] * inv_std[ch] * inv_m;
-            const double mtotal = 1.0 / inv_m;
-            for (std::int64_t i = 0; i < n; ++i)
-              for (std::int64_t k = 0; k < h * w; ++k) {
-                const auto idx = (i * c + ch) * h * w + k;
-                gx[idx] += scale * (mtotal * node.grad[idx] - dbeta - xhat[idx] * dgamma);
-              }
-          }
         }
-      },
-      "batch_norm2d");
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable global_avg_pool(const Variable& input) {
@@ -572,26 +804,29 @@ Variable global_avg_pool(const Variable& input) {
   if (x.ndim() != 4) throw std::invalid_argument("global_avg_pool: expected [N,C,H,W]");
   const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const double inv = 1.0 / static_cast<double>(h * w);
-  t::Tensor out(t::Shape{n, c});
+  auto xn = input.node();
+  const NodePtr parents[] = {xn};
+  const std::int64_t dims[] = {n, c};
+  auto f = make_frame("global_avg_pool", parents, dims);
+  auto& out = f.node->value;
   for (std::int64_t i = 0; i < n; ++i)
     for (std::int64_t j = 0; j < c; ++j) {
       double s = 0.0;
       for (std::int64_t k = 0; k < h * w; ++k) s += x[(i * c + j) * h * w + k];
       out[i * c + j] = s * inv;
     }
-  auto xn = input.node();
-  return make_op(
-      std::move(out), {xn},
-      [xn, n, c, h, w, inv](Node& nn) {
-        if (!xn->requires_grad) return;
-        auto& g = xn->ensure_grad();
-        for (std::int64_t i = 0; i < n; ++i)
-          for (std::int64_t j = 0; j < c; ++j) {
-            const double gv = nn.grad[i * c + j] * inv;
-            for (std::int64_t k = 0; k < h * w; ++k) g[(i * c + j) * h * w + k] += gv;
-          }
-      },
-      "global_avg_pool");
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [xn, n, c, h, w, inv](Node& nn) {
+      if (!xn->requires_grad) return;
+      auto& g = xn->ensure_grad();
+      for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < c; ++j) {
+          const double gv = nn.grad[i * c + j] * inv;
+          for (std::int64_t k = 0; k < h * w; ++k) g[(i * c + j) * h * w + k] += gv;
+        }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 Variable avg_pool2x2(const Variable& input) {
@@ -600,7 +835,11 @@ Variable avg_pool2x2(const Variable& input) {
   const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   if (h % 2 != 0 || w % 2 != 0) throw std::invalid_argument("avg_pool2x2: H and W must be even");
   const auto oh = h / 2, ow = w / 2;
-  t::Tensor out(t::Shape{n, c, oh, ow});
+  auto xn = input.node();
+  const NodePtr parents[] = {xn};
+  const std::int64_t dims[] = {n, c, oh, ow};
+  auto f = make_frame("avg_pool2x2", parents, dims);
+  auto& out = f.node->value;
   for (std::int64_t i = 0; i < n * c; ++i)
     for (std::int64_t oy = 0; oy < oh; ++oy)
       for (std::int64_t ox = 0; ox < ow; ++ox) {
@@ -610,22 +849,21 @@ Variable avg_pool2x2(const Variable& input) {
             s += x[(i * h + 2 * oy + dy) * w + 2 * ox + dx];
         out[(i * oh + oy) * ow + ox] = s * 0.25;
       }
-  auto xn = input.node();
-  return make_op(
-      std::move(out), {xn},
-      [xn, n, c, h, w, oh, ow](Node& nn) {
-        if (!xn->requires_grad) return;
-        auto& g = xn->ensure_grad();
-        for (std::int64_t i = 0; i < n * c; ++i)
-          for (std::int64_t oy = 0; oy < oh; ++oy)
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
-              const double gv = nn.grad[(i * oh + oy) * ow + ox] * 0.25;
-              for (std::int64_t dy = 0; dy < 2; ++dy)
-                for (std::int64_t dx = 0; dx < 2; ++dx)
-                  g[(i * h + 2 * oy + dy) * w + 2 * ox + dx] += gv;
-            }
-      },
-      "avg_pool2x2");
+  if (f.fresh && f.node->requires_grad) {
+    f.node->backward_fn = [xn, n, c, h, w, oh, ow](Node& nn) {
+      if (!xn->requires_grad) return;
+      auto& g = xn->ensure_grad();
+      for (std::int64_t i = 0; i < n * c; ++i)
+        for (std::int64_t oy = 0; oy < oh; ++oy)
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const double gv = nn.grad[(i * oh + oy) * ow + ox] * 0.25;
+            for (std::int64_t dy = 0; dy < 2; ++dy)
+              for (std::int64_t dx = 0; dx < 2; ++dx)
+                g[(i * h + 2 * oy + dy) * w + 2 * ox + dx] += gv;
+          }
+    };
+  }
+  return Variable(std::move(f.handle));
 }
 
 }  // namespace yf::autograd

@@ -7,11 +7,18 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "autograd/variable.hpp"
 
 namespace yf::autograd {
+
+// Every op records onto the thread's active GraphTape when one is
+// installed (autograd/tape.hpp) -- reusing the cached node, output buffer
+// and backward closure of the previous step when the structure matches --
+// and falls back to a fresh heap node otherwise. Gradients are
+// bit-identical between the two paths.
 
 // -- Elementwise / scalar ops. -----------------------------------------------
 Variable add(const Variable& a, const Variable& b);
@@ -31,7 +38,15 @@ Variable square(const Variable& a);
 Variable sum(const Variable& a);   ///< scalar (1-element) output
 Variable mean(const Variable& a);  ///< scalar output
 
+// -- Constants. ---------------------------------------------------------------
+/// All-zeros constant (requires_grad == false). Under a tape the zero
+/// buffer is cached across steps, so per-step zero states are free.
+Variable zeros(std::span<const std::int64_t> dims);
+Variable zeros(std::initializer_list<std::int64_t> dims);
+
 // -- Shape ops. --------------------------------------------------------------
+Variable reshape(const Variable& a, std::span<const std::int64_t> dims);
+Variable reshape(const Variable& a, std::initializer_list<std::int64_t> dims);
 Variable reshape(const Variable& a, tensor::Shape new_shape);
 /// Columns [col_begin, col_end) of a 2-D tensor.
 Variable slice_cols(const Variable& a, std::int64_t col_begin, std::int64_t col_end);

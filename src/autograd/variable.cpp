@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "autograd/tape.hpp"
+
 namespace yf::autograd {
 
 tensor::Tensor& Node::ensure_grad() {
@@ -33,16 +35,23 @@ tensor::Tensor& Variable::value() {
   return node_->value;
 }
 
+bool Variable::has_grad() const { return node_ != nullptr && node_->grad_allocated; }
+
 const tensor::Tensor& Variable::grad() const {
   if (!node_) throw std::logic_error("Variable::grad: undefined variable");
-  return node_->ensure_grad();
+  if (node_->grad_allocated) return node_->grad;
+  // Shared immutable "no gradient yet" sentinel: absent means zero, and
+  // reading it must neither allocate nor mutate the node (the historical
+  // behavior lazily materialized dense zeros from a const accessor).
+  static const tensor::Tensor kEmptyGrad{tensor::Shape{0}};
+  return kEmptyGrad;
 }
 
 bool Variable::requires_grad() const { return node_ && node_->requires_grad; }
 
 void Variable::zero_grad() {
-  if (!node_) return;
-  node_->ensure_grad().zero_();
+  if (!node_ || !node_->grad_allocated) return;
+  node_->grad.zero_();
 }
 
 namespace {
@@ -85,6 +94,13 @@ void Variable::backward() {
         "Variable::backward: implicit seed requires a scalar output; shape is " +
         tensor::to_string(node_->value.shape()));
   }
+  if (node_->value.ndim() == 1) {
+    // The common scalar-loss shape: seed with a shared constant instead of
+    // allocating fresh ones every step (the tape's zero-alloc contract).
+    static const tensor::Tensor kOne = tensor::Tensor::ones(tensor::Shape{1});
+    backward(kOne);
+    return;
+  }
   backward(tensor::Tensor::ones(node_->value.shape()));
 }
 
@@ -92,6 +108,13 @@ void Variable::backward(const tensor::Tensor& seed) {
   if (!node_) throw std::logic_error("Variable::backward: undefined variable");
   tensor::check_same_shape(seed, node_->value, "backward seed");
   if (!node_->requires_grad) return;  // nothing to do: graph is constant
+
+  if (node_->tape != nullptr) {
+    // Pool-allocated node: the owning tape runs the pass with its cached
+    // traversal order (identical sequence to the heap path below).
+    node_->tape->backward_from(node_.get(), seed);
+    return;
+  }
 
   std::vector<Node*> order;
   topo_sort(node_, order);
@@ -108,21 +131,6 @@ void Variable::backward(const tensor::Tensor& seed) {
     Node* n = *it;
     if (n->backward_fn) n->backward_fn(*n);
   }
-}
-
-Variable make_op(tensor::Tensor value, std::vector<NodePtr> parents,
-                 std::function<void(Node&)> backward_fn, std::string op_name) {
-  auto node = std::make_shared<Node>();
-  node->value = std::move(value);
-  node->op_name = std::move(op_name);
-  bool any = false;
-  for (const auto& p : parents) any = any || (p && p->requires_grad);
-  node->requires_grad = any;
-  if (any) {
-    node->parents = std::move(parents);
-    node->backward_fn = std::move(backward_fn);
-  }
-  return Variable(std::move(node));
 }
 
 }  // namespace yf::autograd

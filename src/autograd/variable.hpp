@@ -1,28 +1,43 @@
 // Tape-based reverse-mode automatic differentiation.
 //
-// A `Variable` is a cheap handle onto a shared graph `Node`. Each forward
-// op allocates a fresh node whose `backward_fn` scatters the node's
-// gradient into its parents. Calling `Variable::backward()` on a scalar
-// output runs the tape in reverse topological order.
+// A `Variable` is a cheap handle onto a graph `Node`. Each forward op
+// produces a node whose `backward_fn` scatters the node's gradient into
+// its parents. Calling `Variable::backward()` on a scalar output runs the
+// graph in reverse topological order.
+//
+// Nodes come from one of two owners:
+//
+//  * the historical heap path: every op makes a fresh
+//    `shared_ptr<Node>`, freed when the last Variable handle drops --
+//    per-step memory is bounded by a single forward pass;
+//  * an active `GraphTape` (autograd/tape.hpp): nodes live in the tape's
+//    pool and are *reused* across steps when the recorded op structure
+//    matches, with values/grads backed by a core::Workspace. After a
+//    one-step warm-up a training step performs no heap allocation in
+//    forward or backward. Tape handles are non-owning: they stay valid
+//    until the tape truncates that node (structure change) or dies.
 //
 // Parameters are *leaf* variables (`requires_grad == true`, no parents);
 // their `.grad()` accumulates across backward calls until `zero_grad()`.
-// Intermediate nodes are freed automatically once the last Variable handle
-// referencing the forward graph goes out of scope, so per-step memory is
-// bounded by a single forward pass.
+// A gradient buffer is materialized only when something actually flows
+// into it: `has_grad()` tells the two states apart, and `grad()` on a
+// gradient-free variable returns a shared immutable empty tensor rather
+// than silently allocating (see DESIGN.md §8).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <string>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace yf::autograd {
 
 struct Node;
 using NodePtr = std::shared_ptr<Node>;
+class GraphTape;
 
 /// A node in the dynamically-built computation graph.
 struct Node {
@@ -33,7 +48,16 @@ struct Node {
   std::vector<NodePtr> parents;
   /// Propagates `this->grad` into `parents` (invoked once, in topo order).
   std::function<void(Node&)> backward_fn;
-  std::string op_name = "leaf";
+  const char* op_name = "leaf";  ///< static string; doubles as the tape signature
+
+  // -- Tape bookkeeping (null/empty on heap nodes). -------------------------
+  GraphTape* tape = nullptr;        ///< owning tape, if pool-allocated
+  std::int64_t tape_index = -1;     ///< recording position within the tape
+  core::Workspace::Marker ws_mark;  ///< workspace position before this node
+  std::vector<double> attrs;        ///< immutable op attributes, replay-matched
+  std::vector<std::int64_t> ints;   ///< per-step integer payload (labels, indices)
+  std::vector<tensor::Tensor> scratch;  ///< op scratch reused across steps
+  std::uint64_t visit_epoch = 0;    ///< DFS stamp for the cached backward order
 
   /// Ensure `grad` is allocated (zero-filled) and return it.
   tensor::Tensor& ensure_grad();
@@ -59,12 +83,22 @@ class Variable {
   const tensor::Tensor& value() const;
   tensor::Tensor& value();
 
-  /// Gradient of the last backward pass; zero tensor if none reached it.
+  /// True when a gradient buffer has been materialized (by a backward
+  /// pass, ensure_grad, or arena adoption). A freshly created leaf has no
+  /// gradient yet -- semantically zero, but unallocated.
+  bool has_grad() const;
+
+  /// Gradient of the last backward pass. When `has_grad()` is false this
+  /// returns a shared immutable *empty* tensor (size 0) instead of
+  /// materializing per-variable zeros; callers that need a dense zero
+  /// gradient should branch on has_grad().
   const tensor::Tensor& grad() const;
 
   bool requires_grad() const;
 
   /// Reset accumulated gradient to zero (leaf parameters between steps).
+  /// A variable without a materialized gradient is left as-is -- absent
+  /// already means zero.
   void zero_grad();
 
   /// Run reverse-mode AD from this (scalar) variable: seeds d(out)/d(out)=1.
@@ -78,10 +112,5 @@ class Variable {
  private:
   NodePtr node_;
 };
-
-/// Build a non-leaf variable from a computed value, parents, and pullback.
-/// The node requires grad iff any parent does.
-Variable make_op(tensor::Tensor value, std::vector<NodePtr> parents,
-                 std::function<void(Node&)> backward_fn, std::string op_name);
 
 }  // namespace yf::autograd

@@ -104,14 +104,9 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
 
-void parallel_for(std::int64_t n, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body) {
-  if (n <= 0) return;
-  grain = std::max<std::int64_t>(1, grain);
-  if (n <= grain || ThreadPool::on_worker_thread()) {
-    body(0, n);
-    return;
-  }
+namespace detail {
+
+void parallel_for_dispatch(std::int64_t n, std::int64_t grain, const BodyRef& body) {
   auto& pool = ThreadPool::instance();
   const auto fanout = pool.fanout();
   if (fanout < 2) {  // a single chunk cannot beat running inline
@@ -149,5 +144,7 @@ void parallel_for(std::int64_t n, std::int64_t grain,
   }
   if (first_error) std::rethrow_exception(first_error);
 }
+
+}  // namespace detail
 
 }  // namespace yf::core

@@ -12,6 +12,7 @@
 // worker run inline, so the pool never deadlocks on itself.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -73,12 +74,43 @@ class ThreadPool {
   std::unique_ptr<Impl> impl_;
 };
 
+namespace detail {
+
+/// Non-owning, non-allocating reference to a parallel body. The inline
+/// fast path of parallel_for must not construct a std::function -- a
+/// capturing lambda routinely exceeds the small-buffer size and would
+/// heap-allocate on every elementwise kernel call, breaking the tape's
+/// zero-allocation contract (DESIGN.md §8).
+struct BodyRef {
+  void* ctx;
+  void (*invoke)(void*, std::int64_t, std::int64_t);
+  void operator()(std::int64_t lo, std::int64_t hi) const { invoke(ctx, lo, hi); }
+};
+
+/// Pool-dispatching slow path; `body` must stay alive for the call.
+void parallel_for_dispatch(std::int64_t n, std::int64_t grain, const BodyRef& body);
+
+}  // namespace detail
+
 /// Run `body(lo, hi)` over a partition of [0, n). Ranges are disjoint,
 /// cover [0, n) exactly, and are at least `grain` long (except possibly
 /// the last), so per-element work is identical to a sequential sweep.
 /// Runs inline when n <= grain, the pool is unavailable, or the caller is
-/// itself a pool worker.
-void parallel_for(std::int64_t n, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body);
+/// itself a pool worker. The inline path performs no heap allocation.
+template <typename Body>
+void parallel_for(std::int64_t n, std::int64_t grain, const Body& body) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  if (n <= grain || ThreadPool::on_worker_thread()) {
+    body(0, n);
+    return;
+  }
+  const detail::BodyRef ref{
+      const_cast<void*>(static_cast<const void*>(&body)),
+      [](void* ctx, std::int64_t lo, std::int64_t hi) {
+        (*static_cast<const Body*>(ctx))(lo, hi);
+      }};
+  detail::parallel_for_dispatch(n, grain, ref);
+}
 
 }  // namespace yf::core

@@ -29,32 +29,39 @@ autograd::Variable LSTMLanguageModel::logits(const std::vector<std::int64_t>& in
     throw std::invalid_argument("LSTMLanguageModel::logits: token count mismatch");
   }
   // Per-step embeddings: column t of the [B, T] token matrix.
-  std::vector<autograd::Variable> steps;
-  steps.reserve(static_cast<std::size_t>(seq_len));
+  steps_.clear();
+  steps_.reserve(static_cast<std::size_t>(seq_len));
+  col_.resize(static_cast<std::size_t>(batch));
   for (std::int64_t t = 0; t < seq_len; ++t) {
-    std::vector<std::int64_t> col(static_cast<std::size_t>(batch));
     for (std::int64_t b = 0; b < batch; ++b)
-      col[static_cast<std::size_t>(b)] = inputs[static_cast<std::size_t>(b * seq_len + t)];
-    steps.push_back(embed_->forward(col));
+      col_[static_cast<std::size_t>(b)] = inputs[static_cast<std::size_t>(b * seq_len + t)];
+    steps_.push_back(embed_->forward(col_));
   }
-  auto outputs = lstm_->forward(steps, nullptr);
+  const auto& outputs = lstm_->forward(steps_, nullptr);
   // Concatenate step outputs along rows: [B*T, H] with row = b*T + t.
   // concat via rows: build one [B*T, H] by stacking; use per-step projection
   // then concat of logits keeps memory the same, so project per step.
-  std::vector<autograd::Variable> step_logits;
-  step_logits.reserve(outputs.size());
-  for (auto& h : outputs) {
+  step_logits_.clear();
+  step_logits_.reserve(outputs.size());
+  for (const auto& h : outputs) {
     if (out_) {
-      step_logits.push_back(out_->forward(h));
+      step_logits_.push_back(out_->forward(h));
     } else {
       // Tied weights (Press & Wolf): logits = h @ E^T.
-      step_logits.push_back(ag::matmul(h, ag::transpose(embed_->weight)));
+      step_logits_.push_back(ag::matmul(h, ag::transpose(embed_->weight)));
     }
   }
   // Interleave rows so that row = b*T + t: concat columns of [B, V] steps
   // then reshape [B, T*V] -> [B*T, V].
-  auto wide = ag::concat_cols(step_logits);  // [B, T*V]
-  return ag::reshape(wide, {batch * seq_len, cfg_.vocab});
+  auto wide = ag::concat_cols(step_logits_);  // [B, T*V]
+  auto out = ag::reshape(wide, {batch * seq_len, cfg_.vocab});
+  // Release the scratch handles: the graph now lives (only) through
+  // `out`'s parent chain, so dropping `out` frees the whole step on the
+  // heap path instead of pinning it until the next forward.
+  steps_.clear();
+  step_logits_.clear();
+  lstm_->clear_scratch();
+  return out;
 }
 
 autograd::Variable LSTMLanguageModel::loss(const std::vector<std::int64_t>& tokens,
@@ -65,18 +72,18 @@ autograd::Variable LSTMLanguageModel::loss(const std::vector<std::int64_t>& toke
   if (static_cast<std::int64_t>(tokens.size()) != batch * seq_len_plus1) {
     throw std::invalid_argument("LSTMLanguageModel::loss: token count mismatch");
   }
-  std::vector<std::int64_t> inputs(static_cast<std::size_t>(batch * seq_len));
-  std::vector<std::int64_t> targets(static_cast<std::size_t>(batch * seq_len));
+  inputs_.resize(static_cast<std::size_t>(batch * seq_len));
+  targets_.resize(static_cast<std::size_t>(batch * seq_len));
   for (std::int64_t b = 0; b < batch; ++b) {
     for (std::int64_t t = 0; t < seq_len; ++t) {
-      inputs[static_cast<std::size_t>(b * seq_len + t)] =
+      inputs_[static_cast<std::size_t>(b * seq_len + t)] =
           tokens[static_cast<std::size_t>(b * seq_len_plus1 + t)];
-      targets[static_cast<std::size_t>(b * seq_len + t)] =
+      targets_[static_cast<std::size_t>(b * seq_len + t)] =
           tokens[static_cast<std::size_t>(b * seq_len_plus1 + t + 1)];
     }
   }
-  auto lg = logits(inputs, batch, seq_len);
-  return ag::softmax_cross_entropy(lg, targets);
+  auto lg = logits(inputs_, batch, seq_len);
+  return ag::softmax_cross_entropy(lg, targets_);
 }
 
 }  // namespace yf::nn

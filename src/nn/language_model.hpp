@@ -43,6 +43,15 @@ class LSTMLanguageModel : public Module {
   std::shared_ptr<Embedding> embed_;
   std::shared_ptr<LSTM> lstm_;
   std::shared_ptr<Linear> out_;  ///< null when tied
+
+  // Per-call scratch reused across steps so a steady-state training step
+  // performs no heap allocation (DESIGN.md §8). One thread drives a
+  // model instance at a time (worker replicas own their models).
+  mutable std::vector<autograd::Variable> steps_;
+  mutable std::vector<autograd::Variable> step_logits_;
+  mutable std::vector<std::int64_t> col_;
+  mutable std::vector<std::int64_t> inputs_;
+  mutable std::vector<std::int64_t> targets_;
 };
 
 }  // namespace yf::nn

@@ -35,8 +35,8 @@ LSTMState LSTMCell::forward(const autograd::Variable& x, const LSTMState& prev) 
 
 LSTMState LSTMCell::zero_state(std::int64_t batch) const {
   LSTMState s;
-  s.h = autograd::Variable(tensor::Tensor::zeros({batch, hidden_}));
-  s.c = autograd::Variable(tensor::Tensor::zeros({batch, hidden_}));
+  s.h = ag::zeros({batch, hidden_});
+  s.c = ag::zeros({batch, hidden_});
   return s;
 }
 
@@ -50,25 +50,26 @@ LSTM::LSTM(std::int64_t input_size, std::int64_t hidden_size, std::int64_t num_l
   }
 }
 
-std::vector<autograd::Variable> LSTM::forward(const std::vector<autograd::Variable>& inputs,
-                                              std::vector<LSTMState>* states) const {
-  std::vector<LSTMState> local;
-  std::vector<LSTMState>& st = states ? *states : local;
+const std::vector<autograd::Variable>& LSTM::forward(
+    const std::vector<autograd::Variable>& inputs, std::vector<LSTMState>* states) const {
+  std::vector<LSTMState>& st = states ? *states : states_scratch_;
+  if (!states) st.clear();
   if (st.empty()) {
     const auto batch = inputs.empty() ? 1 : inputs.front().value().dim(0);
-    st = zero_states(batch);
+    st.resize(cells_.size());
+    for (std::size_t l = 0; l < cells_.size(); ++l) st[l] = cells_[l]->zero_state(batch);
   }
-  std::vector<autograd::Variable> outputs;
-  outputs.reserve(inputs.size());
+  outputs_.clear();
+  outputs_.reserve(inputs.size());
   for (const auto& x : inputs) {
     autograd::Variable layer_in = x;
     for (std::size_t l = 0; l < cells_.size(); ++l) {
       st[l] = cells_[l]->forward(layer_in, st[l]);
       layer_in = st[l].h;
     }
-    outputs.push_back(layer_in);
+    outputs_.push_back(layer_in);
   }
-  return outputs;
+  return outputs_;
 }
 
 std::vector<LSTMState> LSTM::zero_states(std::int64_t batch) const {

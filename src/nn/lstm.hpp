@@ -25,7 +25,8 @@ class LSTMCell : public Module {
   /// One step: x [B, input] with previous state -> next state.
   LSTMState forward(const autograd::Variable& x, const LSTMState& prev) const;
 
-  /// Zero state for batch size B (constant, non-differentiable).
+  /// Zero state for batch size B (constant, non-differentiable). Under an
+  /// active GraphTape the zero tensors are tape-cached across steps.
   LSTMState zero_state(std::int64_t batch) const;
 
   std::int64_t hidden_size() const { return hidden_; }
@@ -47,16 +48,34 @@ class LSTM : public Module {
 
   /// Run over a sequence of per-step inputs (each [B, input]); returns the
   /// top-layer output at every step (each [B, H]) and the final states.
-  std::vector<autograd::Variable> forward(const std::vector<autograd::Variable>& inputs,
-                                          std::vector<LSTMState>* states) const;
+  /// The returned vector is an internal buffer reused across calls (so
+  /// steady-state steps do not allocate) -- copy it if it must survive
+  /// the next forward() on this module.
+  const std::vector<autograd::Variable>& forward(const std::vector<autograd::Variable>& inputs,
+                                                 std::vector<LSTMState>* states) const;
 
   std::vector<LSTMState> zero_states(std::int64_t batch) const;
+
+  /// Drop the Variable handles held in the reuse buffers. On the heap
+  /// graph path those handles pin the previous step's whole graph until
+  /// the next forward(); callers that are done consuming forward()'s
+  /// result (language_model, seq2seq) clear so steady-state memory stays
+  /// bounded by one step. Capacity is retained, so the tape path's
+  /// zero-allocation property is unaffected.
+  void clear_scratch() const {
+    outputs_.clear();
+    states_scratch_.clear();
+  }
 
   std::int64_t num_layers() const { return static_cast<std::int64_t>(cells_.size()); }
   const LSTMCell& cell(std::int64_t i) const { return *cells_[static_cast<std::size_t>(i)]; }
 
  private:
   std::vector<std::shared_ptr<LSTMCell>> cells_;
+  // Per-call scratch reused across steps (modules are driven by one
+  // thread; worker replicas each own their module).
+  mutable std::vector<autograd::Variable> outputs_;
+  mutable std::vector<LSTMState> states_scratch_;
 };
 
 }  // namespace yf::nn

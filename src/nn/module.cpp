@@ -55,9 +55,13 @@ tensor::Tensor flatten_grads(const std::vector<autograd::Variable>& params) {
   tensor::Tensor flat(tensor::Shape{total});
   std::int64_t off = 0;
   for (const auto& p : params) {
-    const auto& g = p.grad();
-    core::copy(flat.data().subspan(static_cast<std::size_t>(off), g.data().size()), g.data());
-    off += g.size();
+    // A parameter nothing has flowed into has no materialized gradient;
+    // its contribution is the zeros `flat` already holds.
+    if (p.has_grad()) {
+      const auto& g = p.grad();
+      core::copy(flat.data().subspan(static_cast<std::size_t>(off), g.data().size()), g.data());
+    }
+    off += p.value().size();
   }
   return flat;
 }
@@ -77,6 +81,8 @@ tensor::Tensor flatten_values(const std::vector<autograd::Variable>& params) {
 
 double grad_sq_norm(const std::vector<autograd::Variable>& params) {
   double s = 0.0;
+  // grad() on a gradient-free parameter is the shared empty tensor, whose
+  // squared norm contributes exactly 0.
   for (const auto& p : params) s += core::squared_norm(p.grad().data());
   return s;
 }

@@ -32,31 +32,39 @@ autograd::Variable Seq2Seq::decode_logits(const std::vector<std::int64_t>& src,
   }
   const auto tgt_len = tgt_len_plus1 - 1;
   // Encode source; decoder starts from the encoder's final states.
-  std::vector<autograd::Variable> enc_steps;
-  enc_steps.reserve(static_cast<std::size_t>(src_len));
+  enc_steps_.clear();
+  enc_steps_.reserve(static_cast<std::size_t>(src_len));
+  col_.resize(static_cast<std::size_t>(batch));
   for (std::int64_t t = 0; t < src_len; ++t) {
-    std::vector<std::int64_t> col(static_cast<std::size_t>(batch));
     for (std::int64_t b = 0; b < batch; ++b)
-      col[static_cast<std::size_t>(b)] = src[static_cast<std::size_t>(b * src_len + t)];
-    enc_steps.push_back(src_embed_->forward(col));
+      col_[static_cast<std::size_t>(b)] = src[static_cast<std::size_t>(b * src_len + t)];
+    enc_steps_.push_back(src_embed_->forward(col_));
   }
-  auto states = encoder_->zero_states(batch);
-  encoder_->forward(enc_steps, &states);
+  states_.clear();
+  encoder_->forward(enc_steps_, &states_);
 
-  std::vector<autograd::Variable> dec_steps;
-  dec_steps.reserve(static_cast<std::size_t>(tgt_len));
+  dec_steps_.clear();
+  dec_steps_.reserve(static_cast<std::size_t>(tgt_len));
   for (std::int64_t t = 0; t < tgt_len; ++t) {
-    std::vector<std::int64_t> col(static_cast<std::size_t>(batch));
     for (std::int64_t b = 0; b < batch; ++b)
-      col[static_cast<std::size_t>(b)] = tgt[static_cast<std::size_t>(b * tgt_len_plus1 + t)];
-    dec_steps.push_back(tgt_embed_->forward(col));
+      col_[static_cast<std::size_t>(b)] = tgt[static_cast<std::size_t>(b * tgt_len_plus1 + t)];
+    dec_steps_.push_back(tgt_embed_->forward(col_));
   }
-  auto dec_out = decoder_->forward(dec_steps, &states);
-  std::vector<autograd::Variable> step_logits;
-  step_logits.reserve(dec_out.size());
-  for (auto& h : dec_out) step_logits.push_back(out_->forward(h));
-  auto wide = ag::concat_cols(step_logits);  // [B, T*V]
-  return ag::reshape(wide, {batch * tgt_len, cfg_.tgt_vocab});
+  const auto& dec_out = decoder_->forward(dec_steps_, &states_);
+  step_logits_.clear();
+  step_logits_.reserve(dec_out.size());
+  for (const auto& h : dec_out) step_logits_.push_back(out_->forward(h));
+  auto wide = ag::concat_cols(step_logits_);  // [B, T*V]
+  auto out = ag::reshape(wide, {batch * tgt_len, cfg_.tgt_vocab});
+  // Release the scratch handles so the returned logits are the only
+  // thing keeping this step's graph alive (see language_model.cpp).
+  enc_steps_.clear();
+  dec_steps_.clear();
+  step_logits_.clear();
+  states_.clear();
+  encoder_->clear_scratch();
+  decoder_->clear_scratch();
+  return out;
 }
 
 autograd::Variable Seq2Seq::loss(const std::vector<std::int64_t>& src, std::int64_t src_len,

@@ -51,6 +51,14 @@ class Seq2Seq : public Module {
   std::shared_ptr<Embedding> src_embed_, tgt_embed_;
   std::shared_ptr<LSTM> encoder_, decoder_;
   std::shared_ptr<Linear> out_;
+
+  // Per-call scratch reused across steps (see language_model.hpp).
+  mutable std::vector<autograd::Variable> enc_steps_;
+  mutable std::vector<autograd::Variable> dec_steps_;
+  mutable std::vector<autograd::Variable> step_logits_;
+  mutable std::vector<LSTMState> states_;
+  mutable std::vector<std::int64_t> col_;
+  mutable std::vector<std::int64_t> targets_;
 };
 
 }  // namespace yf::nn

@@ -11,6 +11,26 @@
 namespace yf::tensor {
 namespace {
 
+void check_out_shape(const Tensor& out, const Shape& expected, const char* op) {
+  if (out.shape() != expected) {
+    throw std::invalid_argument(std::string(op) + ": output shape " + to_string(out.shape()) +
+                                " does not match expected " + to_string(expected));
+  }
+}
+
+template <typename F>
+void zip_into(Tensor& out, const Tensor& a, const Tensor& b, const char* op, F&& f) {
+  check_same_shape(a, b, op);
+  check_out_shape(out, a.shape(), op);
+  core::binary(out.data(), a.data(), b.data(), std::forward<F>(f));
+}
+
+template <typename F>
+void unary_into(Tensor& out, const Tensor& a, const char* op, F&& f) {
+  check_out_shape(out, a.shape(), op);
+  core::map(out.data(), a.data(), std::forward<F>(f));
+}
+
 template <typename F>
 Tensor zip(const Tensor& a, const Tensor& b, const char* op, F&& f) {
   check_same_shape(a, b, op);
@@ -27,6 +47,49 @@ Tensor unary(const Tensor& a, F&& f) {
 }
 
 }  // namespace
+
+void copy_into(Tensor& out, const Tensor& a) {
+  if (out.size() != a.size()) {
+    throw std::invalid_argument("copy_into: size mismatch " + to_string(out.shape()) + " vs " +
+                                to_string(a.shape()));
+  }
+  core::copy(out.data(), a.data());
+}
+
+void add_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  zip_into(out, a, b, "add", [](double x, double y) { return x + y; });
+}
+void sub_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  zip_into(out, a, b, "sub", [](double x, double y) { return x - y; });
+}
+void mul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  zip_into(out, a, b, "mul", [](double x, double y) { return x * y; });
+}
+
+void add_scalar_into(Tensor& out, const Tensor& a, double s) {
+  unary_into(out, a, "add_scalar", [s](double x) { return x + s; });
+}
+void mul_scalar_into(Tensor& out, const Tensor& a, double s) {
+  unary_into(out, a, "mul_scalar", [s](double x) { return x * s; });
+}
+void exp_into(Tensor& out, const Tensor& a) {
+  unary_into(out, a, "exp", [](double x) { return std::exp(x); });
+}
+void log_into(Tensor& out, const Tensor& a) {
+  unary_into(out, a, "log", [](double x) { return std::log(x); });
+}
+void square_into(Tensor& out, const Tensor& a) {
+  unary_into(out, a, "square", [](double x) { return x * x; });
+}
+void tanh_into(Tensor& out, const Tensor& a) {
+  unary_into(out, a, "tanh", [](double x) { return std::tanh(x); });
+}
+void sigmoid_into(Tensor& out, const Tensor& a) {
+  unary_into(out, a, "sigmoid", [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+void relu_into(Tensor& out, const Tensor& a) {
+  unary_into(out, a, "relu", [](double x) { return x > 0.0 ? x : 0.0; });
+}
 
 Tensor add(const Tensor& a, const Tensor& b) {
   return zip(a, b, "add", [](double x, double y) { return x + y; });
@@ -113,7 +176,7 @@ double dot(const Tensor& a, const Tensor& b) {
   return core::dot(a.data(), b.data());
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
   if (a.ndim() != 2 || b.ndim() != 2) {
     throw std::invalid_argument("matmul: expected 2-D tensors, got " + to_string(a.shape()) +
                                 " and " + to_string(b.shape()));
@@ -123,10 +186,17 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("matmul: inner dimension mismatch " + to_string(a.shape()) +
                                 " vs " + to_string(b.shape()));
   }
-  Tensor c(Shape{m, n});
+  if (out.ndim() != 2 || out.dim(0) != m || out.dim(1) != n) {
+    throw std::invalid_argument("matmul: output shape " + to_string(out.shape()) +
+                                " does not match [" + std::to_string(m) + ", " +
+                                std::to_string(n) + "]");
+  }
   const auto* pa = a.data().data();
   const auto* pb = b.data().data();
-  auto* pc = c.data().data();
+  auto* pc = out.data().data();
+  // The kernel accumulates, so a reused output must start from zero --
+  // exactly the state a freshly constructed tensor starts in.
+  core::fill(out.data(), 0.0);
   // Each output row is an independent i-k-j accumulation (streams through
   // B and C rows), so rows parallelise without changing any element's
   // accumulation order. The blocked inner loop lives in the kernel layer
@@ -140,29 +210,50 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       core::matmul_row(pc + i * n, pa + i * k, pb, k, n);
     }
   });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("matmul: expected 2-D tensors, got " + to_string(a.shape()) +
+                                " and " + to_string(b.shape()));
+  }
+  Tensor c(Shape{a.dim(0), b.dim(1)});
+  matmul_into(c, a, b);
   return c;
+}
+
+void transpose_into(Tensor& out, const Tensor& a) {
+  if (a.ndim() != 2) {
+    throw std::invalid_argument("transpose: expected 2-D tensor, got " + to_string(a.shape()));
+  }
+  const auto m = a.dim(0), n = a.dim(1);
+  if (out.ndim() != 2 || out.dim(0) != n || out.dim(1) != m) {
+    throw std::invalid_argument("transpose: output shape " + to_string(out.shape()) +
+                                " does not match [" + std::to_string(n) + ", " +
+                                std::to_string(m) + "]");
+  }
+  const auto* pa = a.data().data();
+  auto* pt = out.data().data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) pt[j * m + i] = pa[i * n + j];
 }
 
 Tensor transpose(const Tensor& a) {
   if (a.ndim() != 2) {
     throw std::invalid_argument("transpose: expected 2-D tensor, got " + to_string(a.shape()));
   }
-  const auto m = a.dim(0), n = a.dim(1);
-  Tensor t(Shape{n, m});
-  const auto* pa = a.data().data();
-  auto* pt = t.data().data();
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j) pt[j * m + i] = pa[i * n + j];
+  Tensor t(Shape{a.dim(1), a.dim(0)});
+  transpose_into(t, a);
   return t;
 }
 
-Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
+void add_row_broadcast_into(Tensor& out, const Tensor& a, const Tensor& bias) {
   if (a.ndim() != 2 || bias.ndim() != 1 || a.dim(1) != bias.dim(0)) {
     throw std::invalid_argument("add_row_broadcast: incompatible shapes " + to_string(a.shape()) +
                                 " and " + to_string(bias.shape()));
   }
+  check_out_shape(out, a.shape(), "add_row_broadcast");
   const auto m = a.dim(0), n = a.dim(1);
-  Tensor out(a.shape());
   const auto* pa = a.data().data();
   const auto* pb = bias.data().data();
   auto* po = out.data().data();
@@ -174,19 +265,40 @@ Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
     for (std::int64_t i = lo; i < hi; ++i)
       for (std::int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pb[j];
   });
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
+  if (a.ndim() != 2) {
+    throw std::invalid_argument("add_row_broadcast: incompatible shapes " + to_string(a.shape()) +
+                                " and " + to_string(bias.shape()));
+  }
+  Tensor out(a.shape());
+  add_row_broadcast_into(out, a, bias);
   return out;
+}
+
+void sum_rows_into(Tensor& out, const Tensor& a) {
+  if (a.ndim() != 2) {
+    throw std::invalid_argument("sum_rows: expected 2-D tensor, got " + to_string(a.shape()));
+  }
+  const auto m = a.dim(0), n = a.dim(1);
+  if (out.ndim() != 1 || out.dim(0) != n) {
+    throw std::invalid_argument("sum_rows: output shape " + to_string(out.shape()) +
+                                " does not match [" + std::to_string(n) + "]");
+  }
+  const auto* pa = a.data().data();
+  auto* po = out.data().data();
+  core::fill(out.data(), 0.0);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
 }
 
 Tensor sum_rows(const Tensor& a) {
   if (a.ndim() != 2) {
     throw std::invalid_argument("sum_rows: expected 2-D tensor, got " + to_string(a.shape()));
   }
-  const auto m = a.dim(0), n = a.dim(1);
-  Tensor out(Shape{n});
-  const auto* pa = a.data().data();
-  auto* po = out.data().data();
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
+  Tensor out(Shape{a.dim(1)});
+  sum_rows_into(out, a);
   return out;
 }
 

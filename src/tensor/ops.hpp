@@ -1,6 +1,11 @@
 // Elementwise and linear-algebra operations on yf::tensor::Tensor.
 //
 // All functions are pure (return fresh tensors) unless suffixed `_into`.
+// Every `_into` variant writes the result into a caller-owned tensor of
+// the correct shape -- the autograd tape routes the model hot path
+// through these so steady-state steps reuse workspace-backed outputs
+// instead of allocating (DESIGN.md §8). The pure forms are implemented
+// on top of the `_into` forms, so the two paths are bit-identical.
 // Shapes are validated eagerly; mismatches throw std::invalid_argument.
 #pragma once
 
@@ -52,6 +57,26 @@ Tensor transpose(const Tensor& a);
 Tensor add_row_broadcast(const Tensor& a, const Tensor& bias);
 /// Column-sums of a 2-D tensor -> rank-1 tensor of length n.
 Tensor sum_rows(const Tensor& a);
+
+// -- In-place variants writing into a preallocated output. --------------------
+// `out` must already have the result shape (and, for the accumulating
+// linear-algebra kernels, is zeroed first). `out` may not alias inputs.
+void copy_into(Tensor& out, const Tensor& a);  ///< out = a (shapes equal by size)
+void add_into(Tensor& out, const Tensor& a, const Tensor& b);
+void sub_into(Tensor& out, const Tensor& a, const Tensor& b);
+void mul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void add_scalar_into(Tensor& out, const Tensor& a, double s);
+void mul_scalar_into(Tensor& out, const Tensor& a, double s);
+void exp_into(Tensor& out, const Tensor& a);
+void log_into(Tensor& out, const Tensor& a);
+void square_into(Tensor& out, const Tensor& a);
+void tanh_into(Tensor& out, const Tensor& a);
+void sigmoid_into(Tensor& out, const Tensor& a);
+void relu_into(Tensor& out, const Tensor& a);
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void transpose_into(Tensor& out, const Tensor& a);
+void add_row_broadcast_into(Tensor& out, const Tensor& a, const Tensor& bias);
+void sum_rows_into(Tensor& out, const Tensor& a);
 
 // -- Comparison helpers (used heavily by tests). ------------------------------
 /// max_i |a_i - b_i|; shapes must match.

@@ -14,6 +14,9 @@ TrainResult train(optim::Optimizer& optimizer, const GradFn& grad_fn, const Trai
   TrainResult result;
   result.losses.reserve(static_cast<std::size_t>(opts.iterations));
   auto& params = const_cast<std::vector<autograd::Variable>&>(optimizer.params());
+  // The trainer owns the tape scope for the whole run: every grad_fn call
+  // below records onto (and, after warm-up, replays) the caller's tape.
+  autograd::TapeScope tape_scope(opts.tape);
 
   for (std::int64_t it = 0; it < opts.iterations; ++it) {
     if (result.diverged) {
@@ -24,6 +27,7 @@ TrainResult train(optim::Optimizer& optimizer, const GradFn& grad_fn, const Trai
       const auto epoch = it / opts.epoch_length;
       optimizer.set_lr(opts.base_lr * opts.schedule->factor(epoch));
     }
+    if (opts.tape) opts.tape->begin_step();
     optimizer.zero_grad();
     const double loss = grad_fn();
     if (!std::isfinite(loss) || loss > opts.divergence_bound) {

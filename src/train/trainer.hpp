@@ -6,6 +6,7 @@
 
 #include "async/async_simulator.hpp"  // for GradFn
 #include "async/param_server.hpp"
+#include "autograd/tape.hpp"
 #include "optim/lr_schedule.hpp"
 #include "optim/optimizer.hpp"
 
@@ -30,6 +31,11 @@ struct TrainOptions {
   /// Abort when loss is NaN/inf or exceeds this bound (divergence guard);
   /// remaining iterations are filled with the bound so curves stay rectangular.
   double divergence_bound = 1e9;
+  /// Optional autograd tape owned by the caller for the whole run: the
+  /// loop installs it on this thread and calls begin_step() before each
+  /// grad_fn, so model steps reuse the cached graph (zero steady-state
+  /// allocations, DESIGN.md §8). Null keeps the per-step heap graph.
+  autograd::GraphTape* tape = nullptr;
 };
 
 struct TrainResult {

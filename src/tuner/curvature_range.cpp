@@ -13,15 +13,23 @@ constexpr double kTiny = 1e-45;  // floor before log() so h_t = 0 is representab
 CurvatureRange::CurvatureRange(const CurvatureRangeOptions& opts)
     : opts_(opts), max_avg_(opts.beta), min_avg_(opts.beta) {
   if (opts.window < 1) throw std::invalid_argument("CurvatureRange: window must be >= 1");
+  window_.resize(static_cast<std::size_t>(opts.window));
 }
 
 void CurvatureRange::update(double h_t) {
   if (!(h_t >= 0.0)) throw std::invalid_argument("CurvatureRange: h_t must be non-negative");
-  window_.push_back(h_t);
-  while (static_cast<std::int64_t>(window_.size()) > opts_.window) window_.pop_front();
+  window_[window_next_] = h_t;
+  window_next_ = (window_next_ + 1) % window_.size();
+  if (window_count_ < window_.size()) ++window_count_;
 
-  double hmax_t = *std::max_element(window_.begin(), window_.end());
-  const double hmin_t = *std::min_element(window_.begin(), window_.end());
+  // Extremes over the occupied portion of the ring; order within the
+  // window does not affect max/min.
+  double hmax_t = window_[0];
+  double hmin_t = window_[0];
+  for (std::size_t i = 1; i < window_count_; ++i) {
+    hmax_t = std::max(hmax_t, window_[i]);
+    hmin_t = std::min(hmin_t, window_[i]);
+  }
 
   // Eq. (35): limit the growth rate of the envelope for clipping robustness.
   if (opts_.growth_cap > 0.0 && count_ > 0) {

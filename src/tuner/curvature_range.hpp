@@ -12,7 +12,8 @@
 //    current envelope before entering the EWMA (Eq. 35, Appendix F).
 #pragma once
 
-#include <deque>
+#include <cstdint>
+#include <vector>
 
 #include "tuner/ewma.hpp"
 
@@ -42,7 +43,13 @@ class CurvatureRange {
 
  private:
   CurvatureRangeOptions opts_;
-  std::deque<double> window_;
+  /// Sliding window as a fixed ring (allocated once in the constructor):
+  /// update() is on the per-step tuner hot path and must not touch the
+  /// heap, which a deque does whenever the window slides across a chunk
+  /// boundary.
+  std::vector<double> window_;
+  std::size_t window_count_ = 0;
+  std::size_t window_next_ = 0;
   Ewma max_avg_, min_avg_;
   std::int64_t count_ = 0;
 };

@@ -20,8 +20,31 @@ ag::Variable leaf(std::vector<double> v, bool rg = true) {
 TEST(Autograd, LeafValueAndGrad) {
   auto x = leaf({1, 2});
   EXPECT_TRUE(x.requires_grad());
+  // A fresh leaf has no materialized gradient: absent means zero, and
+  // grad() must neither allocate nor mutate the node.
+  EXPECT_FALSE(x.has_grad());
+  EXPECT_EQ(x.grad().size(), 0);
+  EXPECT_FALSE(x.has_grad());  // reading grad() did not materialize it
+  ag::sum(x).backward();
+  ASSERT_TRUE(x.has_grad());
   EXPECT_EQ(x.grad().size(), 2);
-  EXPECT_EQ(x.grad()[0], 0.0);
+  EXPECT_EQ(x.grad()[0], 1.0);
+}
+
+TEST(Autograd, EmptyGradStoryIsExplicit) {
+  auto x = leaf({1, 2, 3});
+  auto y = leaf({4, 5, 6});
+  // zero_grad on an absent gradient is a no-op (absent already means 0).
+  x.zero_grad();
+  EXPECT_FALSE(x.has_grad());
+  // The empty sentinel is shared, not per-variable state.
+  EXPECT_EQ(x.grad().data().data(), y.grad().data().data());
+  // ensure_grad() is the explicit way to materialize dense zeros.
+  x.node()->ensure_grad();
+  ASSERT_TRUE(x.has_grad());
+  EXPECT_EQ(x.grad().size(), 3);
+  EXPECT_EQ(x.grad()[2], 0.0);
+  EXPECT_FALSE(y.has_grad());
 }
 
 TEST(Autograd, UndefinedVariableThrows) {
@@ -100,8 +123,8 @@ TEST(Autograd, NoGradLeafIsIgnored) {
   auto y = leaf({3, 4});
   auto out = ag::sum(ag::mul(x, y));
   out.backward();
-  EXPECT_EQ(y.grad()[0], 1.0);  // dx values flow
-  EXPECT_EQ(x.grad()[0], 0.0);  // but x gets nothing
+  EXPECT_EQ(y.grad()[0], 1.0);   // dx values flow
+  EXPECT_FALSE(x.has_grad());    // but x gets nothing -- not even a buffer
 }
 
 TEST(Autograd, ConstantGraphBackwardIsNoop) {
