@@ -20,6 +20,7 @@ then commit the rewritten bench/baselines.json.
 import argparse
 import glob
 import json
+import math
 import os
 import sys
 
@@ -116,6 +117,18 @@ def main():
         mark = {"ok": "ok", "REGRESSED": "REGRESSED", "new": "new", "missing": "missing"}[status]
         lines.append(f"| `{key}` | {fmt(base)} | {fmt(now)} | {ratio_s} | {mark} |")
     lines.append("")
+    # Geomean speedup vs the checked-in baselines over matched entries:
+    # > 1.0x means the tree is faster than the baselines on average. The
+    # headline number for perf PRs (refresh with --update afterwards).
+    matched = [(base, now) for _, base, now, ratio, _ in rows
+               if base is not None and now is not None and base > 0 and now > 0]
+    if matched:
+        log_sum = sum(math.log(base / now) for base, now in matched)
+        geomean = math.exp(log_sum / len(matched))
+        direction = "faster" if geomean >= 1.0 else "slower"
+        lines.append(f"**Geomean vs baselines: {geomean:.2f}x {direction}** "
+                     f"({len(matched)} matched entries)")
+        lines.append("")
     if regressed:
         lines.append(f"**{len(regressed)} regression(s) over {threshold:.1f}x:** " +
                      ", ".join(f"`{k}`" for k in regressed))

@@ -1,0 +1,166 @@
+// GEMM microbenchmarks (google-benchmark): the packed register-tiled
+// subsystem (core/gemm.hpp) on LM-shaped products -- tied-embedding
+// decode (NT), LSTM 4-gate pre-activations (NN), conv im2col forward
+// (NT) and its dW pullback (TN) -- plus square compute-bound shapes,
+// each across the scalar and AVX2 kernel backends. Args are {m, n, k}
+// with C = m x n.
+//
+// BM_GemmPackedForced / BM_GemmSmallForced run the *forced* packed and
+// small engines on cubes around the dispatch thresholds; their output
+// pins core::detail::kGemmSmallWork / kGemmSmallRows (gemm.hpp).
+// Results land in BENCH_micro_gemm.json via yfb::JsonReporter.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/gemm.hpp"
+#include "core/kernels/backend.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+namespace core = yf::core;
+namespace t = yf::tensor;
+
+/// Force `backend` for one benchmark run (skips simd on machines
+/// without AVX2), restoring the process default on destruction.
+class BackendScope {
+ public:
+  BackendScope(benchmark::State& state, core::KernelBackend backend)
+      : previous_(core::active_kernel_backend()) {
+    if (backend == core::KernelBackend::kSimd && !core::simd_supported()) {
+      state.SkipWithError("simd backend unsupported on this machine");
+      ok_ = false;
+      return;
+    }
+    core::set_kernel_backend(backend);
+    state.SetLabel(core::kernel_backend_name(backend));
+  }
+  ~BackendScope() {
+    if (ok_) core::set_kernel_backend(previous_);
+  }
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+  explicit operator bool() const { return ok_; }
+
+ private:
+  core::KernelBackend previous_;
+  bool ok_ = true;
+};
+
+struct Operands {
+  t::Tensor a, b, c;
+};
+
+Operands make_operands(core::GemmVariant v, std::int64_t m, std::int64_t n, std::int64_t k) {
+  t::Rng rng(29);
+  Operands ops;
+  ops.a = v == core::GemmVariant::kTN ? rng.normal_tensor({k, m}) : rng.normal_tensor({m, k});
+  ops.b = v == core::GemmVariant::kNT ? rng.normal_tensor({n, k}) : rng.normal_tensor({k, n});
+  ops.c = t::Tensor(t::Shape{m, n});
+  return ops;
+}
+
+void run_gemm(benchmark::State& state, core::GemmVariant v, core::KernelBackend backend) {
+  BackendScope scope(state, backend);
+  if (!scope) return;
+  const auto m = state.range(0), n = state.range(1), k = state.range(2);
+  auto ops = make_operands(v, m, n, k);
+  for (auto _ : state) {
+    core::gemm(v, ops.c.data().data(), ops.a.data().data(), ops.b.data().data(), m, n, k);
+    benchmark::DoNotOptimize(ops.c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+
+void BM_GemmNn(benchmark::State& state, core::KernelBackend backend) {
+  run_gemm(state, core::GemmVariant::kNN, backend);
+}
+void BM_GemmNt(benchmark::State& state, core::KernelBackend backend) {
+  run_gemm(state, core::GemmVariant::kNT, backend);
+}
+void BM_GemmTn(benchmark::State& state, core::KernelBackend backend) {
+  run_gemm(state, core::GemmVariant::kTN, backend);
+}
+
+// LM shapes (micro_train_step's 8x17 config): LSTM 4-gate pre-activation
+// x[B,E] @ Wx[E,4H], BPTT-batched logits decode [B*T,H] @ E[V,H]^T, and
+// the matmul pullback's TN product; conv shapes from a MiniResNet-ish
+// im2col ([N*OH*OW, C*KH*KW] @ W[F,CKK]^T forward, TN for dW); square
+// shapes for headline packed throughput.
+#define YF_GEMM_BENCH(fn)                                                         \
+  BENCHMARK_CAPTURE(fn, scalar, core::KernelBackend::kScalar)->Apply(fn##_args);  \
+  BENCHMARK_CAPTURE(fn, simd, core::KernelBackend::kSimd)->Apply(fn##_args)
+
+void BM_GemmNn_args(benchmark::internal::Benchmark* b) {
+  b->Args({8, 96, 24})      // LSTM 4-gate: x[8,24] @ Wx[24,96]
+      ->Args({136, 96, 24})  // BPTT-batched gates (B*T rows)
+      ->Args({8, 512, 512})  // skinny headline shape (matmul baseline)
+      ->Args({256, 256, 256});
+}
+void BM_GemmNt_args(benchmark::internal::Benchmark* b) {
+  b->Args({136, 32, 24})    // tied decode [B*T,H] @ E[V,H]^T
+      ->Args({512, 8, 36})   // conv im2col forward: col @ W^T
+      ->Args({256, 256, 256});
+}
+void BM_GemmTn_args(benchmark::internal::Benchmark* b) {
+  b->Args({24, 96, 136})    // dWx = x^T @ dGates
+      ->Args({8, 36, 512})   // conv dW = dOut^T @ col
+      ->Args({256, 256, 256});
+}
+
+YF_GEMM_BENCH(BM_GemmNn);
+YF_GEMM_BENCH(BM_GemmNt);
+YF_GEMM_BENCH(BM_GemmTn);
+
+// -- Small-path crossover: forced engines on n^3 cubes. ----------------------
+// The dispatch thresholds in core/gemm.hpp are pinned from this table:
+// below the crossover the unpacked small path must win, above it the
+// packed hierarchy must win, on both backends.
+
+void BM_GemmPackedForced(benchmark::State& state, core::KernelBackend backend) {
+  BackendScope scope(state, backend);
+  if (!scope) return;
+  const auto n = state.range(0);
+  auto ops = make_operands(core::GemmVariant::kNN, n, n, n);
+  for (auto _ : state) {
+    core::detail::gemm_packed(core::GemmVariant::kNN, ops.c.data().data(), ops.a.data().data(),
+                              ops.b.data().data(), n, n, n);
+    benchmark::DoNotOptimize(ops.c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void BM_GemmSmallForced(benchmark::State& state, core::KernelBackend backend) {
+  BackendScope scope(state, backend);
+  if (!scope) return;
+  const auto n = state.range(0);
+  auto ops = make_operands(core::GemmVariant::kNN, n, n, n);
+  for (auto _ : state) {
+    core::detail::gemm_small(core::GemmVariant::kNN, ops.c.data().data(), ops.a.data().data(),
+                             ops.b.data().data(), n, n, n);
+    benchmark::DoNotOptimize(ops.c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void BM_GemmCrossover_args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t n : {8, 16, 24, 32, 48, 64}) b->Args({n});
+}
+BENCHMARK_CAPTURE(BM_GemmPackedForced, scalar, core::KernelBackend::kScalar)
+    ->Apply(BM_GemmCrossover_args);
+BENCHMARK_CAPTURE(BM_GemmPackedForced, simd, core::KernelBackend::kSimd)
+    ->Apply(BM_GemmCrossover_args);
+BENCHMARK_CAPTURE(BM_GemmSmallForced, scalar, core::KernelBackend::kScalar)
+    ->Apply(BM_GemmCrossover_args);
+BENCHMARK_CAPTURE(BM_GemmSmallForced, simd, core::KernelBackend::kSimd)
+    ->Apply(BM_GemmCrossover_args);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return yfb::benchmark_main_with_json(argc, argv, "micro_gemm");
+}

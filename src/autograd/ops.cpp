@@ -353,27 +353,56 @@ Variable matmul(const Variable& a, const Variable& b) {
   auto f = make_frame("matmul", parents, dims);
   t::matmul_into(f.node->value, av, bv);
   if (f.fresh && f.node->requires_grad) {
-    // dA = dC @ B^T ; dB = A^T @ dC -- computed through cached transpose
-    // and product scratch so replay stays allocation-free while keeping
-    // the historical materialize-then-multiply rounding.
-    t::Tensor bT, dA, aT, dB;
-    if (an->requires_grad) {
-      bT = make_scratch({n, k});
-      dA = make_scratch({m, k});
-    }
-    if (bn->requires_grad) {
-      aT = make_scratch({k, m});
-      dB = make_scratch({k, n});
-    }
-    f.node->backward_fn = [an, bn, bT, dA, aT, dB](Node& nn) mutable {
+    // dA = dC @ Bᵀ via the NT variant, dB = Aᵀ @ dC via TN: the packing
+    // step absorbs the transpose, so the only scratch left is the
+    // product buffer each gradient accumulates from.
+    t::Tensor dA, dB;
+    if (an->requires_grad) dA = make_scratch({m, k});
+    if (bn->requires_grad) dB = make_scratch({k, n});
+    f.node->backward_fn = [an, bn, dA, dB](Node& nn) mutable {
       if (an->requires_grad) {
-        t::transpose_into(bT, bn->value);
-        t::matmul_into(dA, nn.grad, bT);
+        t::matmul_nt_into(dA, nn.grad, bn->value);
         an->ensure_grad().add_(dA);
       }
       if (bn->requires_grad) {
-        t::transpose_into(aT, an->value);
-        t::matmul_into(dB, aT, nn.grad);
+        t::matmul_tn_into(dB, an->value, nn.grad);
+        bn->ensure_grad().add_(dB);
+      }
+    };
+  }
+  return Variable(std::move(f.handle));
+}
+
+Variable matmul_nt(const Variable& a, const Variable& b) {
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  if (av.ndim() != 2 || bv.ndim() != 2) {
+    throw std::invalid_argument("matmul_nt: expected 2-D tensors, got " +
+                                t::to_string(av.shape()) + " and " + t::to_string(bv.shape()));
+  }
+  if (av.dim(1) != bv.dim(1)) {
+    throw std::invalid_argument("matmul_nt: inner dimension mismatch " +
+                                t::to_string(av.shape()) + " vs " + t::to_string(bv.shape()));
+  }
+  const auto m = av.dim(0), k = av.dim(1), n = bv.dim(0);
+  auto an = a.node();
+  auto bn = b.node();
+  const NodePtr parents[] = {an, bn};
+  const std::int64_t dims[] = {m, n};
+  auto f = make_frame("matmul_nt", parents, dims);
+  t::matmul_nt_into(f.node->value, av, bv);
+  if (f.fresh && f.node->requires_grad) {
+    // C = A Bᵀ: dA = dC @ B (plain NN), dB = dCᵀ @ A (TN).
+    t::Tensor dA, dB;
+    if (an->requires_grad) dA = make_scratch({m, k});
+    if (bn->requires_grad) dB = make_scratch({n, k});
+    f.node->backward_fn = [an, bn, dA, dB](Node& nn) mutable {
+      if (an->requires_grad) {
+        t::matmul_into(dA, nn.grad, bn->value);
+        an->ensure_grad().add_(dA);
+      }
+      if (bn->requires_grad) {
+        t::matmul_tn_into(dB, nn.grad, an->value);
         bn->ensure_grad().add_(dB);
       }
     };
@@ -645,24 +674,23 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
   const std::int64_t rows = d.n * d.oh * d.ow;
   const std::int64_t ckk = d.c * d.kh * d.kw;
   if (f.fresh) {
-    f.node->scratch.push_back(make_scratch({rows, ckk}));  // [0] im2col matrix
-    f.node->scratch.push_back(make_scratch({ckk, d.f}));   // [1] W^T for the forward product
-    f.node->scratch.push_back(wn->value.reshape({d.f, ckk}));  // [2] weight view [F, CKK]
-    f.node->scratch.push_back(make_scratch({rows, d.f}));  // [3] forward product col @ W^T
+    f.node->scratch.push_back(make_scratch({rows, ckk}));      // [0] im2col matrix
+    f.node->scratch.push_back(wn->value.reshape({d.f, ckk}));  // [1] weight view [F, CKK]
+    f.node->scratch.push_back(make_scratch({rows, d.f}));      // [2] forward product col @ Wᵀ
   }
   // The weight view aliases the parameter's storage; if the parameter was
   // migrated (e.g. a new ParamArena flattened it), re-point the view.
-  if (!f.node->scratch[2].shares_storage_with(wn->value)) {
-    f.node->scratch[2] = wn->value.reshape({d.f, ckk});
+  if (!f.node->scratch[1].shares_storage_with(wn->value)) {
+    f.node->scratch[1] = wn->value.reshape({d.f, ckk});
   }
   t::Tensor& col = f.node->scratch[0];
-  t::Tensor& wmat_t = f.node->scratch[1];
-  const t::Tensor& wmat = f.node->scratch[2];
+  const t::Tensor& wmat = f.node->scratch[1];
 
   im2col_into(col, x, d);
-  t::transpose_into(wmat_t, wmat);
-  t::Tensor& outmat = f.node->scratch[3];
-  t::matmul_into(outmat, col, wmat_t);
+  t::Tensor& outmat = f.node->scratch[2];
+  // col @ Wᵀ through the NT variant: the packing step absorbs the
+  // transpose that used to be materialized into a [CKK, F] scratch.
+  t::matmul_nt_into(outmat, col, wmat);
   // Add bias and transpose to NCHW.
   auto& out = f.node->value;
   for (std::int64_t n = 0; n < d.n; ++n)
@@ -675,15 +703,12 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
 
   if (f.fresh && f.node->requires_grad) {
     t::Tensor doutmat = make_scratch({rows, d.f});
-    t::Tensor bias_sum, dout_t, dw, dcol;
+    t::Tensor bias_sum, dw, dcol;
     if (bn->requires_grad) bias_sum = make_scratch({d.f});
-    if (wn->requires_grad) {
-      dout_t = make_scratch({d.f, rows});
-      dw = make_scratch({d.f, ckk});
-    }
+    if (wn->requires_grad) dw = make_scratch({d.f, ckk});
     if (xn->requires_grad) dcol = make_scratch({rows, ckk});
     t::Tensor col_ref = col;  // shares storage with scratch[0]
-    f.node->backward_fn = [xn, wn, bn, d, col_ref, doutmat, bias_sum, dout_t, dw,
+    f.node->backward_fn = [xn, wn, bn, d, col_ref, doutmat, bias_sum, dw,
                            dcol](Node& n) mutable {
       // Reassemble dOut into matrix form [N*OH*OW, F].
       for (std::int64_t nn = 0; nn < d.n; ++nn)
@@ -698,13 +723,12 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
         bn->ensure_grad().add_(bias_sum);
       }
       if (wn->requires_grad) {
-        t::transpose_into(dout_t, doutmat);
-        t::matmul_into(dw, dout_t, col_ref);  // [F, CKK]
+        t::matmul_tn_into(dw, doutmat, col_ref);  // dOutᵀ @ col = [F, CKK]
         core::axpy(wn->ensure_grad().data(), dw.data(), 1.0);
       }
       if (xn->requires_grad) {
-        // n.scratch[2] is the weight view, refreshed by the forward pass.
-        t::matmul_into(dcol, doutmat, n.scratch[2]);  // [N*OH*OW, CKK]
+        // n.scratch[1] is the weight view, refreshed by the forward pass.
+        t::matmul_into(dcol, doutmat, n.scratch[1]);  // [N*OH*OW, CKK]
         col2im_add(dcol, d, xn->ensure_grad());
       }
     };

@@ -57,6 +57,11 @@ Variable concat_cols(const std::vector<Variable>& parts);
 
 // -- Linear algebra. -----------------------------------------------------------
 Variable matmul(const Variable& a, const Variable& b);
+/// C = A @ Bᵀ without materializing the transpose (A [m,k], B [n,k]):
+/// the GEMM NT variant absorbs it in the packing step. Used for the
+/// tied-embedding decode; the matmul/conv pullbacks use the tensor-level
+/// NT/TN kernels directly.
+Variable matmul_nt(const Variable& a, const Variable& b);
 /// Transpose of a 2-D variable.
 Variable transpose(const Variable& a);
 /// y[m,n] = a[m,n] + bias[n].

@@ -185,9 +185,4 @@ void rmsprop_step(std::span<double> x, std::span<double> sq, std::span<const dou
                });
 }
 
-void matmul_row(double* crow, const double* arow, const double* b, std::int64_t k,
-                std::int64_t n) {
-  detail::active_table().matmul_row(crow, arow, b, k, n);
-}
-
 }  // namespace yf::core

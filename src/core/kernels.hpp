@@ -15,8 +15,8 @@
 //  * reductions (sum, dot, squared_norm, ...) run on one thread in a
 //    fixed 8-lane blocked accumulation order (kernel_table.hpp) that
 //    every backend reproduces exactly;
-//  * the blocked matmul inner loop accumulates each output element in
-//    kk-ascending order within 256-column blocks on every backend.
+//  * matrix products live in core/gemm.hpp and accumulate each output
+//    element in the canonical KC-panel order (kernel_table.hpp).
 //
 // The fused optimizer sweeps below replicate the exact operation sequence
 // of the historical per-tensor implementations (e.g. momentum_step is
@@ -43,13 +43,6 @@ double sum(std::span<const double> x);
 double squared_norm(std::span<const double> x);
 double dot(std::span<const double> a, std::span<const double> b);
 double max_abs(std::span<const double> x);
-
-// -- Blocked matmul inner loop. ---------------------------------------------
-/// One output row: crow[0..n) += arow[0..k) * b (k x n, row-major).
-/// Canonical accumulation order on every backend: 256-column blocks,
-/// kk ascending within a block (tensor::matmul parallelizes over rows).
-void matmul_row(double* crow, const double* arow, const double* b, std::int64_t k,
-                std::int64_t n);
 
 // -- EWMA kernels (tuner measurement hot path). -----------------------------
 /// avg = beta*avg + (1-beta)*x, elementwise.

@@ -59,9 +59,15 @@ struct KernelTable {
   void (*rmsprop)(double* x, double* sq, const double* g, std::int64_t n, double lr, double decay,
                   double eps);
 
-  // -- Blocked matmul inner loop: one output row. ---------------------------
-  void (*matmul_row)(double* crow, const double* arow, const double* b, std::int64_t k,
-                     std::int64_t n);
+  // -- Packed GEMM microkernel + small-matrix fast paths (gemm.cpp). --------
+  void (*gemm_micro)(double* c, std::int64_t ldc, const double* ap, const double* bp,
+                     std::int64_t kc, std::int64_t rows, std::int64_t cols, bool beta0);
+  void (*gemm_small_nn)(double* c, const double* a, const double* b, std::int64_t m,
+                        std::int64_t n, std::int64_t k);
+  void (*gemm_small_nt)(double* c, const double* a, const double* b, std::int64_t m,
+                        std::int64_t n, std::int64_t k);
+  void (*gemm_small_tn)(double* c, const double* a, const double* b, std::int64_t m,
+                        std::int64_t n, std::int64_t k);
 
   // -- Lane-blocked deterministic reductions. -------------------------------
   double (*sum)(const double* x, std::int64_t n);
@@ -80,8 +86,79 @@ extern const KernelTable kAvx2Kernels;
 /// Table for the currently active backend (one relaxed atomic load).
 const KernelTable& active_table();
 
-/// Column-block width of the matmul inner loop; part of the canonical
-/// accumulation order (kk ascends within a block), shared by backends.
-inline constexpr std::int64_t kMatmulColBlock = 256;
+// -- GEMM tiling constants (core/gemm.cpp panel hierarchy). ------------------
+// The register tile is MR x NR = 4 x 8 (one broadcast lane times two
+// 256-bit vectors); KC is the k-panel depth. All three are part of the
+// canonical accumulation order below and therefore results-affecting:
+// changing any of them requires re-pinning the GEMM tests and baselines.
+inline constexpr std::int64_t kGemmMR = 4;
+inline constexpr std::int64_t kGemmNR = 8;
+inline constexpr std::int64_t kGemmKC = 256;
+
+// Cache blocking only (never results-affecting): rows per packed A block
+// (multiple of MR; MC x KC doubles ~ 192 KB, comfortably L2-resident) and
+// columns per packed B slab (multiple of NR; KC x NC doubles ~ 2 MB).
+inline constexpr std::int64_t kGemmMC = 96;
+inline constexpr std::int64_t kGemmNC = 1024;
+
+// Canonical GEMM accumulation order -- the determinism contract every
+// path (packed scalar, packed AVX2, both small fast paths) reproduces
+// exactly, making results invariant to backend, matrix size bucket,
+// thread count and partition:
+//
+//   C[i][j] = (((s_0) + s_1) + s_2) + ...          one s per KC panel
+//   s_p     = sum over kk in [p*KC, min(k,(p+1)*KC)), ascending, of
+//             op(A)[i][kk] * op(B)[kk][j], accumulated left-to-right
+//             in one accumulator starting at 0.0
+//
+// The first panel *overwrites* C (beta = 0), later panels accumulate.
+// No FMA anywhere: each mul and each add rounds separately, so 4-wide
+// vector lanes round exactly like 4 scalars.
+
+/// Reference MR x NR microkernel over packed panels: ap holds kc
+/// MR-groups (A tile column-major within the tile), bp holds kc
+/// NR-groups (B tile row-major within the tile). Writes the rows x cols
+/// valid corner of the tile into c (leading dimension ldc). The AVX2
+/// backend uses this exact function for edge tiles and an operation-
+/// for-operation vector twin for full tiles.
+inline void gemm_micro_ref(double* c, std::int64_t ldc, const double* ap, const double* bp,
+                           std::int64_t kc, std::int64_t rows, std::int64_t cols, bool beta0) {
+  double acc[kGemmMR][kGemmNR] = {};
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const double* a = ap + kk * kGemmMR;
+    const double* b = bp + kk * kGemmNR;
+    for (std::int64_t r = 0; r < kGemmMR; ++r) {
+      const double ar = a[r];
+      for (std::int64_t j = 0; j < kGemmNR; ++j) acc[r][j] += ar * b[j];
+    }
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double* crow = c + r * ldc;
+    if (beta0) {
+      for (std::int64_t j = 0; j < cols; ++j) crow[j] = acc[r][j];
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) crow[j] += acc[r][j];
+    }
+  }
+}
+
+/// Reference small-matrix path: unpacked operands, no pool, same
+/// canonical per-element order as the packed path (KC panel partial
+/// sums, kk ascending). `la(i, kk)` / `lb(kk, j)` read op(A) / op(B).
+template <typename LoadA, typename LoadB>
+inline void gemm_small_ref(double* c, std::int64_t m, std::int64_t n, std::int64_t k, LoadA la,
+                           LoadB lb) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    double* crow = c + i * n;
+    for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+      const std::int64_t ke = pc + kGemmKC < k ? pc + kGemmKC : k;
+      for (std::int64_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::int64_t kk = pc; kk < ke; ++kk) acc += la(i, kk) * lb(kk, j);
+        crow[j] = pc == 0 ? acc : crow[j] + acc;
+      }
+    }
+  }
+}
 
 }  // namespace yf::core::detail

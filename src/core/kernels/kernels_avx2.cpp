@@ -230,26 +230,193 @@ void rmsprop_avx2(double* x, double* sq, const double* g, std::int64_t n, double
   }
 }
 
-// -- Blocked matmul inner loop. ----------------------------------------------
+// -- Packed GEMM microkernel + small-matrix fast paths. ----------------------
 
-void matmul_row_avx2(double* crow, const double* arow, const double* b, std::int64_t k,
-                     std::int64_t n) {
-  for (std::int64_t jb = 0; jb < n; jb += kMatmulColBlock) {
-    const std::int64_t je = std::min(n, jb + kMatmulColBlock);
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const double aik = arow[kk];
-      if (aik == 0.0) continue;
-      const double* brow = b + kk * n;
-      const __m256d av = _mm256_set1_pd(aik);
-      std::int64_t j = jb;
-      for (; j + kVec <= je; j += kVec) {
-        const __m256d cj = _mm256_loadu_pd(crow + j);
-        const __m256d bj = _mm256_loadu_pd(brow + j);
-        _mm256_storeu_pd(crow + j, _mm256_add_pd(cj, _mm256_mul_pd(av, bj)));
+/// 4x8 register tile over packed panels: 8 ymm accumulators (4 rows x
+/// two 4-wide column vectors), one broadcast per row per kk. Each lane
+/// is one C element's accumulator, so the mul+add (never FMA) sequence
+/// per element is exactly gemm_micro_ref's. Edge tiles (rows < MR or
+/// cols < NR) run the shared reference directly -- same order, scalar
+/// stores that stay inside the valid corner.
+void gemm_micro_avx2(double* c, std::int64_t ldc, const double* ap, const double* bp,
+                     std::int64_t kc, std::int64_t rows, std::int64_t cols, bool beta0) {
+  if (rows < kGemmMR || cols < kGemmNR) {
+    gemm_micro_ref(c, ldc, ap, bp, kc, rows, cols, beta0);
+    return;
+  }
+  __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+  __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+  __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const double* a = ap + kk * kGemmMR;
+    const double* b = bp + kk * kGemmNR;
+    const __m256d b0 = _mm256_loadu_pd(b);
+    const __m256d b1 = _mm256_loadu_pd(b + kVec);
+    __m256d ar = _mm256_broadcast_sd(a + 0);
+    acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(ar, b0));
+    acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(ar, b1));
+    ar = _mm256_broadcast_sd(a + 1);
+    acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(ar, b0));
+    acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(ar, b1));
+    ar = _mm256_broadcast_sd(a + 2);
+    acc20 = _mm256_add_pd(acc20, _mm256_mul_pd(ar, b0));
+    acc21 = _mm256_add_pd(acc21, _mm256_mul_pd(ar, b1));
+    ar = _mm256_broadcast_sd(a + 3);
+    acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(ar, b0));
+    acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(ar, b1));
+  }
+  double* c0 = c;
+  double* c1 = c + ldc;
+  double* c2 = c + 2 * ldc;
+  double* c3 = c + 3 * ldc;
+  if (beta0) {
+    _mm256_storeu_pd(c0, acc00);
+    _mm256_storeu_pd(c0 + kVec, acc01);
+    _mm256_storeu_pd(c1, acc10);
+    _mm256_storeu_pd(c1 + kVec, acc11);
+    _mm256_storeu_pd(c2, acc20);
+    _mm256_storeu_pd(c2 + kVec, acc21);
+    _mm256_storeu_pd(c3, acc30);
+    _mm256_storeu_pd(c3 + kVec, acc31);
+  } else {
+    _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), acc00));
+    _mm256_storeu_pd(c0 + kVec, _mm256_add_pd(_mm256_loadu_pd(c0 + kVec), acc01));
+    _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), acc10));
+    _mm256_storeu_pd(c1 + kVec, _mm256_add_pd(_mm256_loadu_pd(c1 + kVec), acc11));
+    _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), acc20));
+    _mm256_storeu_pd(c2 + kVec, _mm256_add_pd(_mm256_loadu_pd(c2 + kVec), acc21));
+    _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), acc30));
+    _mm256_storeu_pd(c3 + kVec, _mm256_add_pd(_mm256_loadu_pd(c3 + kVec), acc31));
+  }
+}
+
+/// Small NN/TN paths: op(B) rows are contiguous, so the j loop
+/// vectorizes with one accumulator lane per column -- per element, the
+/// canonical panel order; only the A addressing differs between NN and
+/// TN. Rows are processed in MR-groups reading B *in place* (each
+/// kk-group of NR columns is contiguous in memory), i.e. the packed
+/// microkernel without the packing: B is streamed ceil(m/MR) times
+/// instead of being written and re-read through a packed copy, which is
+/// what makes this path the right one for skinny-m products (LM decode,
+/// the m <= 16 training matmuls). The NT small path has column-strided
+/// op(B) reads (a gather per kk), so it runs the shared scalar
+/// reference on both backends.
+template <typename LoadARow>
+void gemm_small_rowmajor_b_avx2(double* c, const double* b, std::int64_t m, std::int64_t n,
+                                std::int64_t k, LoadARow la) {
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    const std::int64_t ke = std::min(k, pc + kGemmKC);
+    const bool beta0 = pc == 0;
+    std::int64_t j = 0;
+    // Column strip outermost, row groups inner: every group after the
+    // first re-reads the same kc x NR strip of B while it is still
+    // L1-resident, so B is streamed from cold storage once per panel
+    // regardless of m.
+    for (; j + kGemmNR <= n; j += kGemmNR) {
+      std::int64_t i = 0;
+      for (; i + kGemmMR <= m; i += kGemmMR) {
+        __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+        __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+        __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+        __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+        for (std::int64_t kk = pc; kk < ke; ++kk) {
+          const double* brow = b + kk * n + j;
+          // The column-strip walk advances one page per kk when n is
+          // ~512+, which the L2 streamer (page-bounded) cannot follow;
+          // prefetching a few rows ahead hides that latency (both cache
+          // lines: an unaligned 64-byte strip straddles two). Prefetch
+          // never changes results.
+          _mm_prefetch(reinterpret_cast<const char*>(brow + 16 * n), _MM_HINT_T0);
+          _mm_prefetch(reinterpret_cast<const char*>(brow + 16 * n + kGemmNR - 1), _MM_HINT_T0);
+          const __m256d b0 = _mm256_loadu_pd(brow);
+          const __m256d b1 = _mm256_loadu_pd(brow + kVec);
+          __m256d ar = _mm256_set1_pd(la(i, kk));
+          acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(ar, b0));
+          acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(ar, b1));
+          ar = _mm256_set1_pd(la(i + 1, kk));
+          acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(ar, b0));
+          acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(ar, b1));
+          ar = _mm256_set1_pd(la(i + 2, kk));
+          acc20 = _mm256_add_pd(acc20, _mm256_mul_pd(ar, b0));
+          acc21 = _mm256_add_pd(acc21, _mm256_mul_pd(ar, b1));
+          ar = _mm256_set1_pd(la(i + 3, kk));
+          acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(ar, b0));
+          acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(ar, b1));
+        }
+        double* c0 = c + i * n + j;
+        double* c1 = c0 + n;
+        double* c2 = c0 + 2 * n;
+        double* c3 = c0 + 3 * n;
+        if (beta0) {
+          _mm256_storeu_pd(c0, acc00);
+          _mm256_storeu_pd(c0 + kVec, acc01);
+          _mm256_storeu_pd(c1, acc10);
+          _mm256_storeu_pd(c1 + kVec, acc11);
+          _mm256_storeu_pd(c2, acc20);
+          _mm256_storeu_pd(c2 + kVec, acc21);
+          _mm256_storeu_pd(c3, acc30);
+          _mm256_storeu_pd(c3 + kVec, acc31);
+        } else {
+          _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), acc00));
+          _mm256_storeu_pd(c0 + kVec, _mm256_add_pd(_mm256_loadu_pd(c0 + kVec), acc01));
+          _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), acc10));
+          _mm256_storeu_pd(c1 + kVec, _mm256_add_pd(_mm256_loadu_pd(c1 + kVec), acc11));
+          _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), acc20));
+          _mm256_storeu_pd(c2 + kVec, _mm256_add_pd(_mm256_loadu_pd(c2 + kVec), acc21));
+          _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), acc30));
+          _mm256_storeu_pd(c3 + kVec, _mm256_add_pd(_mm256_loadu_pd(c3 + kVec), acc31));
+        }
       }
-      for (; j < je; ++j) crow[j] += aik * brow[j];
+      // Row remainder on the (now hot) strip: one row, two 4-wide vecs.
+      for (; i < m; ++i) {
+        __m256d acc0 = _mm256_setzero_pd();
+        __m256d acc1 = _mm256_setzero_pd();
+        for (std::int64_t kk = pc; kk < ke; ++kk) {
+          const double* brow = b + kk * n + j;
+          const __m256d av = _mm256_set1_pd(la(i, kk));
+          acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(av, _mm256_loadu_pd(brow)));
+          acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(av, _mm256_loadu_pd(brow + kVec)));
+        }
+        double* crow = c + i * n + j;
+        if (beta0) {
+          _mm256_storeu_pd(crow, acc0);
+          _mm256_storeu_pd(crow + kVec, acc1);
+        } else {
+          _mm256_storeu_pd(crow, _mm256_add_pd(_mm256_loadu_pd(crow), acc0));
+          _mm256_storeu_pd(crow + kVec, _mm256_add_pd(_mm256_loadu_pd(crow + kVec), acc1));
+        }
+      }
+    }
+    // Column tail (< NR): scalar per element, same per-element order.
+    for (; j < n; ++j) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (std::int64_t kk = pc; kk < ke; ++kk) acc += la(i, kk) * b[kk * n + j];
+        double& cij = c[i * n + j];
+        cij = beta0 ? acc : cij + acc;
+      }
     }
   }
+}
+
+void gemm_small_nn_avx2(double* c, const double* a, const double* b, std::int64_t m,
+                        std::int64_t n, std::int64_t k) {
+  gemm_small_rowmajor_b_avx2(
+      c, b, m, n, k, [a, k](std::int64_t i, std::int64_t kk) { return a[i * k + kk]; });
+}
+
+void gemm_small_nt_avx2(double* c, const double* a, const double* b, std::int64_t m,
+                        std::int64_t n, std::int64_t k) {
+  gemm_small_ref(
+      c, m, n, k, [a, k](std::int64_t i, std::int64_t kk) { return a[i * k + kk]; },
+      [b, k](std::int64_t kk, std::int64_t j) { return b[j * k + kk]; });
+}
+
+void gemm_small_tn_avx2(double* c, const double* a, const double* b, std::int64_t m,
+                        std::int64_t n, std::int64_t k) {
+  gemm_small_rowmajor_b_avx2(
+      c, b, m, n, k, [a, m](std::int64_t i, std::int64_t kk) { return a[kk * m + i]; });
 }
 
 // -- Lane-blocked reductions. ------------------------------------------------
@@ -348,7 +515,10 @@ const KernelTable kAvx2Kernels = {
     .adam = adam_avx2,
     .adagrad = adagrad_avx2,
     .rmsprop = rmsprop_avx2,
-    .matmul_row = matmul_row_avx2,
+    .gemm_micro = gemm_micro_avx2,
+    .gemm_small_nn = gemm_small_nn_avx2,
+    .gemm_small_nt = gemm_small_nt_avx2,
+    .gemm_small_tn = gemm_small_tn_avx2,
     .sum = sum_avx2,
     .squared_norm = squared_norm_avx2,
     .dot = dot_avx2,

@@ -107,19 +107,96 @@ void rmsprop_scalar(double* x, double* sq, const double* g, std::int64_t n, doub
   }
 }
 
-// -- Blocked matmul inner loop. ----------------------------------------------
+// -- Packed GEMM microkernel + small-matrix fast paths. ----------------------
+// The scalar backend runs the shared reference implementations from
+// kernel_table.hpp directly: they ARE the canonical accumulation order
+// the AVX2 twins reproduce operation-for-operation.
 
-void matmul_row_scalar(double* crow, const double* arow, const double* b, std::int64_t k,
-                       std::int64_t n) {
-  for (std::int64_t jb = 0; jb < n; jb += kMatmulColBlock) {
-    const std::int64_t je = std::min(n, jb + kMatmulColBlock);
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const double aik = arow[kk];
-      if (aik == 0.0) continue;
-      const double* brow = b + kk * n;
-      for (std::int64_t j = jb; j < je; ++j) crow[j] += aik * brow[j];
+void gemm_micro_scalar(double* c, std::int64_t ldc, const double* ap, const double* bp,
+                       std::int64_t kc, std::int64_t rows, std::int64_t cols, bool beta0) {
+  gemm_micro_ref(c, ldc, ap, bp, kc, rows, cols, beta0);
+}
+
+/// Blocked small path for row-major op(B) (NN/TN): MR-row groups with an
+/// MR x NR accumulator block, mirroring the AVX2 small kernel's loop
+/// nest so B is streamed ceil(m/MR) times instead of once per row. Per
+/// element this is still gemm_small_ref's canonical order -- one
+/// accumulator per element, kk ascending within each KC panel. The
+/// prefetch matches the AVX2 twin: the column-strip walk advances one
+/// page per kk, which the hardware streamer cannot follow.
+template <typename LoadA>
+void gemm_small_rowmajor_b_scalar(double* c, const double* b, std::int64_t m, std::int64_t n,
+                                  std::int64_t k, LoadA la) {
+  for (std::int64_t pc = 0; pc < k; pc += kGemmKC) {
+    const std::int64_t ke = std::min(k, pc + kGemmKC);
+    const bool beta0 = pc == 0;
+    std::int64_t j = 0;
+    // Column strip outermost, row groups inner (like the AVX2 twin):
+    // every group after the first re-reads an L1-resident strip of B.
+    for (; j + kGemmNR <= n; j += kGemmNR) {
+      std::int64_t i = 0;
+      for (; i + kGemmMR <= m; i += kGemmMR) {
+        double acc[kGemmMR][kGemmNR] = {};
+        for (std::int64_t kk = pc; kk < ke; ++kk) {
+          const double* brow = b + kk * n + j;
+          __builtin_prefetch(brow + 16 * n);
+          for (std::int64_t r = 0; r < kGemmMR; ++r) {
+            const double ar = la(i + r, kk);
+            for (std::int64_t jj = 0; jj < kGemmNR; ++jj) acc[r][jj] += ar * brow[jj];
+          }
+        }
+        for (std::int64_t r = 0; r < kGemmMR; ++r) {
+          double* crow = c + (i + r) * n + j;
+          if (beta0) {
+            for (std::int64_t jj = 0; jj < kGemmNR; ++jj) crow[jj] = acc[r][jj];
+          } else {
+            for (std::int64_t jj = 0; jj < kGemmNR; ++jj) crow[jj] += acc[r][jj];
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        double acc[kGemmNR] = {};
+        for (std::int64_t kk = pc; kk < ke; ++kk) {
+          const double* brow = b + kk * n + j;
+          const double ar = la(i, kk);
+          for (std::int64_t jj = 0; jj < kGemmNR; ++jj) acc[jj] += ar * brow[jj];
+        }
+        double* crow = c + i * n + j;
+        if (beta0) {
+          for (std::int64_t jj = 0; jj < kGemmNR; ++jj) crow[jj] = acc[jj];
+        } else {
+          for (std::int64_t jj = 0; jj < kGemmNR; ++jj) crow[jj] += acc[jj];
+        }
+      }
+    }
+    for (; j < n; ++j) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (std::int64_t kk = pc; kk < ke; ++kk) acc += la(i, kk) * b[kk * n + j];
+        double& cij = c[i * n + j];
+        cij = beta0 ? acc : cij + acc;
+      }
     }
   }
+}
+
+void gemm_small_nn_scalar(double* c, const double* a, const double* b, std::int64_t m,
+                          std::int64_t n, std::int64_t k) {
+  gemm_small_rowmajor_b_scalar(
+      c, b, m, n, k, [a, k](std::int64_t i, std::int64_t kk) { return a[i * k + kk]; });
+}
+
+void gemm_small_nt_scalar(double* c, const double* a, const double* b, std::int64_t m,
+                          std::int64_t n, std::int64_t k) {
+  gemm_small_ref(
+      c, m, n, k, [a, k](std::int64_t i, std::int64_t kk) { return a[i * k + kk]; },
+      [b, k](std::int64_t kk, std::int64_t j) { return b[j * k + kk]; });
+}
+
+void gemm_small_tn_scalar(double* c, const double* a, const double* b, std::int64_t m,
+                          std::int64_t n, std::int64_t k) {
+  gemm_small_rowmajor_b_scalar(
+      c, b, m, n, k, [a, m](std::int64_t i, std::int64_t kk) { return a[kk * m + i]; });
 }
 
 // -- Lane-blocked reductions. ------------------------------------------------
@@ -179,7 +256,10 @@ const KernelTable kScalarKernels = {
     .adam = adam_scalar,
     .adagrad = adagrad_scalar,
     .rmsprop = rmsprop_scalar,
-    .matmul_row = matmul_row_scalar,
+    .gemm_micro = gemm_micro_scalar,
+    .gemm_small_nn = gemm_small_nn_scalar,
+    .gemm_small_nt = gemm_small_nt_scalar,
+    .gemm_small_tn = gemm_small_tn_scalar,
     .sum = sum_scalar,
     .squared_norm = squared_norm_scalar,
     .dot = dot_scalar,

@@ -28,9 +28,7 @@ Workspace::Workspace(std::int64_t initial_capacity) {
   }
 }
 
-tensor::Tensor Workspace::acquire(std::span<const std::int64_t> dims) {
-  tensor::Shape shape(dims.begin(), dims.end());
-  const std::int64_t n = tensor::numel(shape);
+std::int64_t Workspace::reserve(std::int64_t n) {
   const std::int64_t need = aligned(std::max<std::int64_t>(n, 1));
 
   // Advance past exhausted blocks; allocate a fresh one (geometric in the
@@ -45,11 +43,25 @@ tensor::Tensor Workspace::acquire(std::span<const std::int64_t> dims) {
     capacity_ += size;
   }
 
-  tensor::Tensor t = tensor::Tensor::view_of(blocks_[cur_], off_, std::move(shape));
-  core::fill(t.data(), 0.0);
+  const std::int64_t start = off_;
   off_ += need;
   held_ += need;
   high_ = std::max(high_, held_);
+  return start;
+}
+
+std::span<double> Workspace::acquire_span(std::int64_t n) {
+  const std::int64_t start = reserve(n);
+  return blocks_[cur_].data().subspan(static_cast<std::size_t>(start),
+                                      static_cast<std::size_t>(std::max<std::int64_t>(n, 0)));
+}
+
+tensor::Tensor Workspace::acquire(std::span<const std::int64_t> dims) {
+  tensor::Shape shape(dims.begin(), dims.end());
+  const std::int64_t n = tensor::numel(shape);
+  const std::int64_t start = reserve(n);
+  tensor::Tensor t = tensor::Tensor::view_of(blocks_[cur_], start, std::move(shape));
+  core::fill(t.data(), 0.0);
   return t;
 }
 

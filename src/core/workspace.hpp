@@ -52,6 +52,15 @@ class Workspace {
     return acquire(std::span<const std::int64_t>(dims.begin(), dims.size()));
   }
 
+  /// Raw uninitialized storage of `n` doubles: no zero fill, no Tensor
+  /// (a Tensor's Shape vector is itself a heap allocation). This is the
+  /// per-call hot-path form -- the GEMM packing panels acquire through
+  /// it on every matmul, overwrite every element (padding included), and
+  /// roll back before returning, so steady-state calls touch neither
+  /// the allocator nor memset. The span dies with the next rollback
+  /// across its acquisition, like any other workspace window.
+  std::span<double> acquire_span(std::int64_t n);
+
   Marker mark() const { return {cur_, off_, held_}; }
 
   /// Return the bump pointer to `m`. Every tensor acquired after the
@@ -71,6 +80,11 @@ class Workspace {
   std::size_t block_count() const { return blocks_.size(); }
 
  private:
+  /// Bump-allocate `n` doubles; returns the start offset within
+  /// `blocks_[cur_]` (the block the reservation landed in). The single
+  /// owner of the rounding/advance arithmetic for both acquire forms.
+  std::int64_t reserve(std::int64_t n);
+
   std::vector<tensor::Tensor> blocks_;  ///< rank-1 backing buffers
   std::size_t cur_ = 0;                 ///< block the bump pointer is in
   std::int64_t off_ = 0;                ///< next free double within it

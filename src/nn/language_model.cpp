@@ -47,8 +47,10 @@ autograd::Variable LSTMLanguageModel::logits(const std::vector<std::int64_t>& in
     if (out_) {
       step_logits_.push_back(out_->forward(h));
     } else {
-      // Tied weights (Press & Wolf): logits = h @ E^T.
-      step_logits_.push_back(ag::matmul(h, ag::transpose(embed_->weight)));
+      // Tied weights (Press & Wolf): logits = h @ Eᵀ. The NT matmul
+      // absorbs the transpose in the GEMM packing, so no [E, V] copy of
+      // the embedding is materialized per step.
+      step_logits_.push_back(ag::matmul_nt(h, embed_->weight));
     }
   }
   // Interleave rows so that row = b*T + t: concat columns of [B, V] steps

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/gemm.hpp"
+
 namespace yf::sim {
 
 SmallMatrix SmallMatrix::zero(std::size_t n) {
@@ -21,12 +23,12 @@ SmallMatrix SmallMatrix::identity(std::size_t n) {
 SmallMatrix matmul(const SmallMatrix& x, const SmallMatrix& y) {
   if (x.n != y.n) throw std::invalid_argument("SmallMatrix matmul: size mismatch");
   SmallMatrix out = SmallMatrix::zero(x.n);
-  for (std::size_t i = 0; i < x.n; ++i)
-    for (std::size_t k = 0; k < x.n; ++k) {
-      const double v = x(i, k);
-      if (v == 0.0) continue;
-      for (std::size_t j = 0; j < x.n; ++j) out(i, j) += v * y(k, j);
-    }
+  // Route through the GEMM small-matrix fast path: the simulator's
+  // momentum-operator matrices sit far below the packed threshold, so
+  // this is the unpacked, pool-free kernel (no parallel_for or grain
+  // bookkeeping per matpow squaring).
+  const auto n = static_cast<std::int64_t>(x.n);
+  core::gemm(core::GemmVariant::kNN, out.a.data(), x.a.data(), y.a.data(), n, n, n);
   return out;
 }
 

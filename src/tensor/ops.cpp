@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/gemm.hpp"
 #include "core/kernels.hpp"
 #include "core/parallel.hpp"
 
@@ -176,40 +177,57 @@ double dot(const Tensor& a, const Tensor& b) {
   return core::dot(a.data(), b.data());
 }
 
-void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+namespace {
+
+/// Shared validation for the three matmul layouts. Extracts (m, n, k)
+/// from the operand shapes given where each one keeps its k axis.
+struct MatmulDims {
+  std::int64_t m, n, k;
+};
+
+MatmulDims check_matmul(const Tensor& out, const Tensor& a, const Tensor& b,
+                        core::GemmVariant v, const char* op) {
   if (a.ndim() != 2 || b.ndim() != 2) {
-    throw std::invalid_argument("matmul: expected 2-D tensors, got " + to_string(a.shape()) +
-                                " and " + to_string(b.shape()));
+    throw std::invalid_argument(std::string(op) + ": expected 2-D tensors, got " +
+                                to_string(a.shape()) + " and " + to_string(b.shape()));
   }
-  const auto m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
-  if (k != k2) {
-    throw std::invalid_argument("matmul: inner dimension mismatch " + to_string(a.shape()) +
-                                " vs " + to_string(b.shape()));
+  MatmulDims d;
+  d.m = v == core::GemmVariant::kTN ? a.dim(1) : a.dim(0);
+  d.k = v == core::GemmVariant::kTN ? a.dim(0) : a.dim(1);
+  d.n = v == core::GemmVariant::kNT ? b.dim(0) : b.dim(1);
+  const auto bk = v == core::GemmVariant::kNT ? b.dim(1) : b.dim(0);
+  if (d.k != bk) {
+    throw std::invalid_argument(std::string(op) + ": inner dimension mismatch " +
+                                to_string(a.shape()) + " vs " + to_string(b.shape()));
   }
-  if (out.ndim() != 2 || out.dim(0) != m || out.dim(1) != n) {
-    throw std::invalid_argument("matmul: output shape " + to_string(out.shape()) +
-                                " does not match [" + std::to_string(m) + ", " +
-                                std::to_string(n) + "]");
+  if (out.ndim() != 2 || out.dim(0) != d.m || out.dim(1) != d.n) {
+    throw std::invalid_argument(std::string(op) + ": output shape " + to_string(out.shape()) +
+                                " does not match [" + std::to_string(d.m) + ", " +
+                                std::to_string(d.n) + "]");
   }
-  const auto* pa = a.data().data();
-  const auto* pb = b.data().data();
-  auto* pc = out.data().data();
-  // The kernel accumulates, so a reused output must start from zero --
-  // exactly the state a freshly constructed tensor starts in.
-  core::fill(out.data(), 0.0);
-  // Each output row is an independent i-k-j accumulation (streams through
-  // B and C rows), so rows parallelise without changing any element's
-  // accumulation order. The blocked inner loop lives in the kernel layer
-  // (core::matmul_row) so it vectorizes under the active backend while
-  // keeping the canonical per-element accumulation order.
-  const std::int64_t flops_per_row = k * n;
-  const std::int64_t row_grain =
-      std::max<std::int64_t>(1, core::kDefaultGrain * 4 / std::max<std::int64_t>(1, flops_per_row));
-  core::parallel_for(m, row_grain, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      core::matmul_row(pc + i * n, pa + i * k, pb, k, n);
-    }
-  });
+  return d;
+}
+
+void gemm_into(Tensor& out, const Tensor& a, const Tensor& b, core::GemmVariant v,
+               const char* op) {
+  const MatmulDims d = check_matmul(out, a, b, v, op);
+  // The GEMM overwrites out (beta = 0 on the first k-panel), so no
+  // zeroing pass: a dirty reused output is as good as a fresh one.
+  core::gemm(v, out.data().data(), a.data().data(), b.data().data(), d.m, d.n, d.k);
+}
+
+}  // namespace
+
+void matmul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  gemm_into(out, a, b, core::GemmVariant::kNN, "matmul");
+}
+
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  gemm_into(out, a, b, core::GemmVariant::kNT, "matmul_nt");
+}
+
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  gemm_into(out, a, b, core::GemmVariant::kTN, "matmul_tn");
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -219,6 +237,26 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   Tensor c(Shape{a.dim(0), b.dim(1)});
   matmul_into(c, a, b);
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("matmul_nt: expected 2-D tensors, got " + to_string(a.shape()) +
+                                " and " + to_string(b.shape()));
+  }
+  Tensor c(Shape{a.dim(0), b.dim(0)});
+  matmul_nt_into(c, a, b);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("matmul_tn: expected 2-D tensors, got " + to_string(a.shape()) +
+                                " and " + to_string(b.shape()));
+  }
+  Tensor c(Shape{a.dim(1), b.dim(1)});
+  matmul_tn_into(c, a, b);
   return c;
 }
 

@@ -49,8 +49,16 @@ double norm(const Tensor& a);
 double dot(const Tensor& a, const Tensor& b);
 
 // -- 2-D linear algebra. -------------------------------------------------------
+// All three matmul layouts route through the packed GEMM subsystem
+// (core/gemm.hpp): the NT/TN forms absorb the transpose in the packing
+// step, so callers (autograd pullbacks, tied-embedding decode, conv)
+// never materialize a transposed operand.
 /// C[m,n] = A[m,k] @ B[k,n].
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// C[m,n] = A[m,k] @ B[n,k]ᵀ.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+/// C[m,n] = A[k,m]ᵀ @ B[k,n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
 /// Transpose of a 2-D tensor.
 Tensor transpose(const Tensor& a);
 /// y[m,n] = A[m,n] + b[n] (bias broadcast over rows).
@@ -59,8 +67,9 @@ Tensor add_row_broadcast(const Tensor& a, const Tensor& bias);
 Tensor sum_rows(const Tensor& a);
 
 // -- In-place variants writing into a preallocated output. --------------------
-// `out` must already have the result shape (and, for the accumulating
-// linear-algebra kernels, is zeroed first). `out` may not alias inputs.
+// `out` must already have the result shape. `out` may not alias inputs.
+// The matmul variants *overwrite* `out` (beta = 0 inside the GEMM), so a
+// dirty reused output needs no zeroing pass.
 void copy_into(Tensor& out, const Tensor& a);  ///< out = a (shapes equal by size)
 void add_into(Tensor& out, const Tensor& a, const Tensor& b);
 void sub_into(Tensor& out, const Tensor& a, const Tensor& b);
@@ -74,6 +83,8 @@ void tanh_into(Tensor& out, const Tensor& a);
 void sigmoid_into(Tensor& out, const Tensor& a);
 void relu_into(Tensor& out, const Tensor& a);
 void matmul_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_nt_into(Tensor& out, const Tensor& a, const Tensor& b);
+void matmul_tn_into(Tensor& out, const Tensor& a, const Tensor& b);
 void transpose_into(Tensor& out, const Tensor& a);
 void add_row_broadcast_into(Tensor& out, const Tensor& a, const Tensor& bias);
 void sum_rows_into(Tensor& out, const Tensor& a);

@@ -20,6 +20,8 @@
 #include "data/markov_text.hpp"
 #include "nn/language_model.hpp"
 #include "optim/momentum_sgd.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
 #include "train/trainer.hpp"
 #include "tuner/yellowfin.hpp"
 
@@ -156,6 +158,56 @@ TEST(AllocCount, SyncLmTrainStepIsAllocationFreeAfterWarmup) {
     for (int i = 3; i < 3 + rounds; ++i) step(i);
   });
   EXPECT_EQ(n, 0u) << "steady-state LM train steps must not touch the heap";
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(AllocCount, GemmPackingIsAllocationFreeInSteadyState) {
+  force_inline_parallelism();
+  // Shapes large enough to take the packed GEMM path (packing buffers
+  // come from the per-thread workspace): after the first call of the
+  // peak shape has sized the high-water mark, every later call -- all
+  // three layout variants, plus a tape-driven training step whose
+  // pullbacks run NT/TN -- must be heap-free.
+  t::Rng rng(23);
+  const auto a = rng.normal_tensor({48, 96});
+  const auto b = rng.normal_tensor({96, 64});
+  const auto bt = rng.normal_tensor({64, 96});
+  const auto at = rng.normal_tensor({96, 48});
+  t::Tensor out(t::Shape{48, 64});
+  auto sweep = [&] {
+    t::matmul_into(out, a, b);
+    t::matmul_nt_into(out, a, bt);
+    t::matmul_tn_into(out, at, b);
+  };
+  sweep();  // warm-up: pack workspace blocks for the peak shapes
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 16; ++i) sweep();
+  });
+  EXPECT_EQ(n, 0u) << "steady-state GEMM packing must reuse workspace high-water storage";
+
+  // And through the full training step: an autograd quadratic whose
+  // matmuls sit above the packed threshold, on a tape.
+  ag::Variable w(rng.normal_tensor({96, 48}), /*requires_grad=*/true);
+  ag::Variable x(rng.normal_tensor({32, 96}));
+  ag::Variable y(rng.normal_tensor({32, 48}));
+  yf::optim::MomentumSGD opt({w}, 1e-3, 0.9);
+  ag::GraphTape tape;
+  ag::TapeScope scope(&tape);
+  double sink = 0.0;
+  auto step = [&] {
+    tape.begin_step();
+    opt.zero_grad();
+    auto loss = ag::mean(ag::square(ag::sub(ag::matmul(x, w), y)));
+    loss.backward();
+    opt.step();
+    sink += loss.value().item();
+  };
+  for (int i = 0; i < 3; ++i) step();
+  const auto steps_allocs = allocations_during([&] {
+    for (int i = 0; i < 16; ++i) step();
+  });
+  EXPECT_EQ(steps_allocs, 0u)
+      << "packed-GEMM training steps must not touch the heap after warm-up";
   EXPECT_TRUE(std::isfinite(sink));
 }
 

@@ -441,27 +441,9 @@ TEST(KernelBackend, ReductionParityBitIdentical) {
   });
 }
 
-TEST(KernelBackend, MatmulRowParityBitIdentical) {
-  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
-  // k x n shapes straddle the column block (256) and the vector width.
-  const std::int64_t cases[][2] = {{1, 1}, {3, 5}, {7, 64}, {5, 255}, {4, 257}, {9, 300}};
-  for (const auto& kn : cases) {
-    const auto k = kn[0], n = kn[1];
-    auto arow = random_vec(static_cast<std::size_t>(k), 126);
-    arow[0] = 0.0;  // exercise the aik == 0 skip
-    const auto b = random_vec(static_cast<std::size_t>(k * n), 127);
-    auto run = [&] {
-      std::vector<double> crow(static_cast<std::size_t>(n), 0.25);
-      core::matmul_row(crow.data(), arow.data(), b.data(), k, n);
-      return crow;
-    };
-    const auto scalar_out = with_backend(core::KernelBackend::kScalar, run);
-    const auto simd_out = with_backend(core::KernelBackend::kSimd, run);
-    for (std::size_t i = 0; i < scalar_out.size(); ++i) {
-      EXPECT_EQ(scalar_out[i], simd_out[i]) << k << "x" << n << " @" << i;
-    }
-  }
-}
+// Matmul backend parity moved to tests/gemm_test.cpp: the row kernel
+// became the packed GEMM subsystem (core/gemm.hpp), whose scalar-vs-simd
+// bit-identity is pinned there across all three layout variants.
 
 TEST(KernelBackend, MaxAbsNanParity) {
   // std::max(m, NaN) keeps m, so the scalar backend drops NaN terms; the

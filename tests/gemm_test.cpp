@@ -1,0 +1,390 @@
+// GEMM subsystem tests (core/gemm.hpp, DESIGN.md §9).
+//
+// The determinism contract under test: every path -- packed or small,
+// scalar or AVX2 backend, any pool fan-out -- accumulates each output
+// element in the canonical KC-panel order (kernel_table.hpp), so all of
+// them are EXPECT_EQ-bit-identical to the independent reference
+// reimplemented here, and the NT/TN layout variants are bit-identical
+// to materializing the transpose and running NN (packing reorders
+// *reads*, never arithmetic). That compositionally pins the autograd
+// rewrite: the matmul/conv pullbacks that used to transpose-then-multiply
+// now call the NT/TN kernels, and the op-level equalities below prove
+// gradients could not have moved.
+#include "core/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "core/kernels/backend.hpp"
+#include "core/parallel.hpp"
+#include "data/markov_text.hpp"
+#include "nn/language_model.hpp"
+#include "optim/momentum_sgd.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace ag = yf::autograd;
+namespace core = yf::core;
+namespace t = yf::tensor;
+
+namespace {
+
+std::vector<double> random_vec(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+/// Run `fn` under a forced kernel backend, restoring the previous one.
+template <typename F>
+auto with_backend(core::KernelBackend backend, F&& fn) {
+  const auto previous = core::active_kernel_backend();
+  core::set_kernel_backend(backend);
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    core::set_kernel_backend(previous);
+  } else {
+    auto result = fn();
+    core::set_kernel_backend(previous);
+    return result;
+  }
+}
+
+/// Independent reimplementation of the canonical accumulation order
+/// (kernel_table.hpp): per element, one partial sum per 256-deep k
+/// panel (kk ascending, single accumulator from 0.0), panels combined
+/// in ascending order with the first overwriting C. Deliberately not
+/// written via the library's helpers.
+void ref_gemm(core::GemmVariant v, double* c, const double* a, const double* b, std::int64_t m,
+              std::int64_t n, std::int64_t k) {
+  constexpr std::int64_t kPanel = 256;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double out = 0.0;
+      for (std::int64_t p0 = 0; p0 < k || p0 == 0; p0 += kPanel) {
+        double acc = 0.0;
+        const std::int64_t pe = std::min(k, p0 + kPanel);
+        for (std::int64_t kk = p0; kk < pe; ++kk) {
+          const double av = v == core::GemmVariant::kTN ? a[kk * m + i] : a[i * k + kk];
+          const double bv = v == core::GemmVariant::kNT ? b[j * k + kk] : b[kk * n + j];
+          acc += av * bv;
+        }
+        out = p0 == 0 ? acc : out + acc;
+        if (k == 0) break;
+      }
+      c[i * n + j] = out;
+    }
+  }
+}
+
+struct Shape {
+  std::int64_t m, n, k;
+};
+
+/// Shapes straddling every tail case: n mod NR (8), k mod KC (256),
+/// 1 x N row products, M x 1 column products, k == 0, plus shapes on
+/// both sides of the small-path thresholds (flops and row count).
+const Shape kShapes[] = {
+    {1, 1, 1},    {3, 5, 7},     {1, 300, 40}, {40, 1, 33},   {8, 64, 512},
+    {5, 9, 300},  {17, 96, 256}, {33, 70, 71}, {96, 100, 257}, {97, 103, 300},
+    {64, 64, 64}, {2, 8, 0},
+};
+
+std::int64_t a_len(core::GemmVariant v, const Shape& s) {
+  return std::max<std::int64_t>(1, v == core::GemmVariant::kTN ? s.k * s.m : s.m * s.k);
+}
+std::int64_t b_len(core::GemmVariant v, const Shape& s) {
+  return std::max<std::int64_t>(1, v == core::GemmVariant::kNT ? s.n * s.k : s.k * s.n);
+}
+
+const core::GemmVariant kVariants[] = {core::GemmVariant::kNN, core::GemmVariant::kNT,
+                                       core::GemmVariant::kTN};
+
+const char* variant_name(core::GemmVariant v) {
+  switch (v) {
+    case core::GemmVariant::kNN: return "nn";
+    case core::GemmVariant::kNT: return "nt";
+    case core::GemmVariant::kTN: return "tn";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TEST(Gemm, MatchesCanonicalReferenceBitwise) {
+  for (const auto& s : kShapes) {
+    for (const auto v : kVariants) {
+      const auto a = random_vec(static_cast<std::size_t>(a_len(v, s)), 11);
+      const auto b = random_vec(static_cast<std::size_t>(b_len(v, s)), 12);
+      std::vector<double> c(static_cast<std::size_t>(s.m * s.n), 0.5);
+      std::vector<double> expect(c.size(), -0.25);
+      core::gemm(v, c.data(), a.data(), b.data(), s.m, s.n, s.k);
+      ref_gemm(v, expect.data(), a.data(), b.data(), s.m, s.n, s.k);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        ASSERT_EQ(c[i], expect[i]) << variant_name(v) << " " << s.m << "x" << s.n << "x" << s.k
+                                   << " @" << i;
+      }
+    }
+  }
+}
+
+TEST(Gemm, PackedAndSmallPathsBitIdentical) {
+  // The size-bucket dispatch must be invisible in results: force both
+  // engines on shapes that would naturally pick either one.
+  for (const auto& s : kShapes) {
+    if (s.m * s.n * s.k == 0) continue;
+    for (const auto v : kVariants) {
+      const auto a = random_vec(static_cast<std::size_t>(a_len(v, s)), 21);
+      const auto b = random_vec(static_cast<std::size_t>(b_len(v, s)), 22);
+      std::vector<double> packed(static_cast<std::size_t>(s.m * s.n), 1.0);
+      std::vector<double> small(packed.size(), 2.0);
+      core::detail::gemm_packed(v, packed.data(), a.data(), b.data(), s.m, s.n, s.k);
+      core::detail::gemm_small(v, small.data(), a.data(), b.data(), s.m, s.n, s.k);
+      for (std::size_t i = 0; i < packed.size(); ++i) {
+        ASSERT_EQ(packed[i], small[i]) << variant_name(v) << " " << s.m << "x" << s.n << "x"
+                                       << s.k << " @" << i;
+      }
+    }
+  }
+}
+
+TEST(Gemm, ScalarSimdParityBitIdentical) {
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  for (const auto& s : kShapes) {
+    for (const auto v : kVariants) {
+      const auto a = random_vec(static_cast<std::size_t>(a_len(v, s)), 31);
+      const auto b = random_vec(static_cast<std::size_t>(b_len(v, s)), 32);
+      // Both forced paths, both backends: 2x2 bitwise agreement.
+      for (const bool packed : {false, true}) {
+        if (packed && s.k == 0) continue;
+        auto run = [&](core::KernelBackend backend) {
+          return with_backend(backend, [&] {
+            std::vector<double> c(static_cast<std::size_t>(s.m * s.n), 3.0);
+            if (packed) {
+              core::detail::gemm_packed(v, c.data(), a.data(), b.data(), s.m, s.n, s.k);
+            } else {
+              core::detail::gemm_small(v, c.data(), a.data(), b.data(), s.m, s.n, s.k);
+            }
+            return c;
+          });
+        };
+        const auto scalar_out = run(core::KernelBackend::kScalar);
+        const auto simd_out = run(core::KernelBackend::kSimd);
+        for (std::size_t i = 0; i < scalar_out.size(); ++i) {
+          ASSERT_EQ(scalar_out[i], simd_out[i])
+              << variant_name(v) << (packed ? " packed " : " small ") << s.m << "x" << s.n << "x"
+              << s.k << " @" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Gemm, ThreadCountAndPartitionInvariant) {
+  // Row-block parallelism partitions disjoint output rows; any fan-out
+  // (including several chunks per worker) must be bitwise invisible.
+  const Shape s{200, 96, 300};  // 3 row blocks in the packed path
+  const auto a = random_vec(static_cast<std::size_t>(s.m * s.k), 41);
+  const auto b = random_vec(static_cast<std::size_t>(s.k * s.n), 42);
+  auto& pool = core::ThreadPool::instance();
+  const auto old_fanout = pool.fanout();
+  auto run = [&](std::size_t fanout) {
+    pool.set_fanout(fanout);
+    std::vector<double> c(static_cast<std::size_t>(s.m * s.n));
+    core::detail::gemm_packed(core::GemmVariant::kNN, c.data(), a.data(), b.data(), s.m, s.n,
+                              s.k);
+    return c;
+  };
+  const auto one = run(1);
+  for (const std::size_t fanout : {2u, 3u, 8u}) {
+    const auto many = run(fanout);
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      ASSERT_EQ(one[i], many[i]) << "fanout " << fanout << " @" << i;
+    }
+  }
+  pool.set_fanout(old_fanout);
+}
+
+TEST(Gemm, DirtyReusedOutputIsOverwritten) {
+  // matmul_into used to zero the output before an accumulating kernel;
+  // the GEMM's beta=0 first panel makes that pass unnecessary. A reused
+  // output full of garbage (including NaN, which any read-modify-write
+  // would propagate) must produce exactly the fresh-output result.
+  t::Rng rng(7);
+  for (const auto& s : {Shape{6, 10, 12}, Shape{40, 70, 300}}) {
+    const auto a = rng.normal_tensor({s.m, s.k});
+    const auto b = rng.normal_tensor({s.k, s.n});
+    const auto fresh = t::matmul(a, b);
+    t::Tensor dirty(t::Shape{s.m, s.n});
+    dirty.fill(std::numeric_limits<double>::quiet_NaN());
+    t::matmul_into(dirty, a, b);
+    for (std::int64_t i = 0; i < dirty.size(); ++i) ASSERT_EQ(dirty[i], fresh[i]) << i;
+  }
+  // k == 0 must zero the output, not leave it dirty.
+  t::Tensor empty_a(t::Shape{3, 0}), empty_b(t::Shape{0, 4});
+  t::Tensor dirty(t::Shape{3, 4});
+  dirty.fill(123.0);
+  t::matmul_into(dirty, empty_a, empty_b);
+  for (std::int64_t i = 0; i < dirty.size(); ++i) ASSERT_EQ(dirty[i], 0.0) << i;
+}
+
+TEST(Gemm, NtTnMatchMaterializedTransposeBitwise) {
+  // The packing step absorbs op(B)/op(A); element arithmetic is
+  // untouched, so NT/TN must equal transpose-then-NN exactly.
+  t::Rng rng(9);
+  for (const auto& s : {Shape{5, 9, 11}, Shape{33, 70, 280}}) {
+    const auto a = rng.normal_tensor({s.m, s.k});
+    const auto bt = rng.normal_tensor({s.n, s.k});  // NT operand
+    const auto at = rng.normal_tensor({s.k, s.m});  // TN operand
+    const auto b = rng.normal_tensor({s.k, s.n});
+    const auto nt = t::matmul_nt(a, bt);
+    const auto nt_ref = t::matmul(a, t::transpose(bt));
+    const auto tn = t::matmul_tn(at, b);
+    const auto tn_ref = t::matmul(t::transpose(at), b);
+    for (std::int64_t i = 0; i < nt.size(); ++i) ASSERT_EQ(nt[i], nt_ref[i]) << "nt @" << i;
+    for (std::int64_t i = 0; i < tn.size(); ++i) ASSERT_EQ(tn[i], tn_ref[i]) << "tn @" << i;
+  }
+}
+
+TEST(Gemm, MatmulPullbackMatchesMaterializedTransposeBitwise) {
+  // The autograd matmul pullback moved from transpose_into + matmul_into
+  // onto the NT/TN variants. Gradients must be bit-identical to the
+  // historical materialize-then-multiply formulation.
+  t::Rng rng(13);
+  const auto av = rng.normal_tensor({7, 12});
+  const auto bv = rng.normal_tensor({12, 9});
+  ag::Variable a(av.clone(), /*requires_grad=*/true);
+  ag::Variable b(bv.clone(), /*requires_grad=*/true);
+  auto loss = ag::sum(ag::square(ag::matmul(a, b)));
+  loss.backward();
+
+  // Reference: dC = 2 * C elementwise (from sum-of-squares), then the
+  // pre-rewrite gradient products with explicit transposes.
+  const auto c = t::matmul(av, bv);
+  t::Tensor dC(t::Shape{7, 9});
+  for (std::int64_t i = 0; i < dC.size(); ++i) dC[i] = 2.0 * c[i];
+  const auto dA = t::matmul(dC, t::transpose(bv));
+  const auto dB = t::matmul(t::transpose(av), dC);
+  for (std::int64_t i = 0; i < dA.size(); ++i) ASSERT_EQ(a.grad()[i], dA[i]) << "dA @" << i;
+  for (std::int64_t i = 0; i < dB.size(); ++i) ASSERT_EQ(b.grad()[i], dB[i]) << "dB @" << i;
+}
+
+TEST(Gemm, MatmulNtOpMatchesTransposeCompositionBitwise) {
+  // ag::matmul_nt (the tied-embedding decode) against the op composition
+  // it replaced: value AND both gradients, EXPECT_EQ.
+  t::Rng rng(17);
+  const auto hv = rng.normal_tensor({6, 16});
+  const auto ev = rng.normal_tensor({40, 16});
+  auto run = [&](bool use_nt) {
+    ag::Variable h(hv.clone(), /*requires_grad=*/true);
+    ag::Variable e(ev.clone(), /*requires_grad=*/true);
+    auto logits = use_nt ? ag::matmul_nt(h, e) : ag::matmul(h, ag::transpose(e));
+    auto loss = ag::sum(ag::square(logits));
+    loss.backward();
+    return std::tuple{logits.value().clone(), h.grad().clone(), e.grad().clone()};
+  };
+  const auto [val_nt, dh_nt, de_nt] = run(true);
+  const auto [val_tr, dh_tr, de_tr] = run(false);
+  for (std::int64_t i = 0; i < val_nt.size(); ++i) ASSERT_EQ(val_nt[i], val_tr[i]) << "C @" << i;
+  for (std::int64_t i = 0; i < dh_nt.size(); ++i) ASSERT_EQ(dh_nt[i], dh_tr[i]) << "dH @" << i;
+  for (std::int64_t i = 0; i < de_nt.size(); ++i) ASSERT_EQ(de_nt[i], de_tr[i]) << "dE @" << i;
+}
+
+TEST(Gemm, MatmulNtGradcheck) {
+  t::Rng rng(19);
+  auto result = ag::gradcheck(
+      [](const std::vector<ag::Variable>& in) {
+        return ag::sum(ag::square(ag::matmul_nt(in[0], in[1])));
+      },
+      {ag::Variable(rng.normal_tensor({3, 5}), true),
+       ag::Variable(rng.normal_tensor({4, 5}), true)});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+namespace {
+
+/// Train a tiny tied-weights LM (decode runs through ag::matmul_nt; the
+/// LSTM gates and pullbacks run through all three GEMM layouts) and
+/// return every parameter after `steps` steps.
+std::vector<t::Tensor> lm_trajectory(std::int64_t steps) {
+  yf::data::MarkovTextConfig dcfg;
+  dcfg.vocab = 20;
+  dcfg.branching = 2;
+  yf::data::MarkovText dataset(dcfg);
+  t::Rng data_rng(3);
+  const std::int64_t batch = 4, seq_plus1 = 7;
+
+  yf::nn::LanguageModelConfig cfg;
+  cfg.vocab = 20;
+  cfg.embed_dim = 12;
+  cfg.hidden = 12;
+  cfg.layers = 1;
+  cfg.tie_weights = true;
+  t::Rng model_rng(1);
+  yf::nn::LSTMLanguageModel model(cfg, model_rng);
+  yf::optim::MomentumSGD opt(model.parameters(), 0.1, 0.9);
+  for (std::int64_t i = 0; i < steps; ++i) {
+    opt.zero_grad();
+    auto loss = model.loss(dataset.sample_batch(batch, seq_plus1, data_rng), batch, seq_plus1);
+    loss.backward();
+    opt.step();
+  }
+  std::vector<t::Tensor> out;
+  for (const auto& p : model.parameters()) out.push_back(p.value().clone());
+  return out;
+}
+
+/// Train a lone conv2d + bias layer (im2col forward NT, dW through TN)
+/// and return weight and bias.
+std::vector<t::Tensor> conv_trajectory(std::int64_t steps) {
+  t::Rng rng(5);
+  ag::Variable w(rng.normal_tensor({4, 3, 3, 3}, 0.0, 0.2), /*requires_grad=*/true);
+  ag::Variable bias(t::Tensor::zeros({4}), /*requires_grad=*/true);
+  const auto x = rng.normal_tensor({2, 3, 8, 8});
+  const auto target = rng.normal_tensor({2, 4, 8, 8});
+  yf::optim::MomentumSGD opt({w, bias}, 0.05, 0.9);
+  for (std::int64_t i = 0; i < steps; ++i) {
+    opt.zero_grad();
+    auto out = ag::conv2d(ag::Variable(x), w, bias, /*stride=*/1, /*pad=*/1);
+    auto loss = ag::mean(ag::square(ag::sub(out, ag::Variable(target))));
+    loss.backward();
+    opt.step();
+  }
+  return {w.value().clone(), bias.value().clone()};
+}
+
+void expect_tensors_eq(const std::vector<t::Tensor>& x, const std::vector<t::Tensor>& y,
+                       const char* what) {
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    ASSERT_EQ(x[p].size(), y[p].size());
+    for (std::int64_t i = 0; i < x[p].size(); ++i) {
+      ASSERT_EQ(x[p][i], y[p][i]) << what << " param " << p << " @" << i;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Gemm, LmTrainingTrajectoryBackendBitIdentical) {
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  const auto scalar = with_backend(core::KernelBackend::kScalar, [] { return lm_trajectory(4); });
+  const auto simd = with_backend(core::KernelBackend::kSimd, [] { return lm_trajectory(4); });
+  expect_tensors_eq(scalar, simd, "lm");
+}
+
+TEST(Gemm, ConvTrainingTrajectoryBackendBitIdentical) {
+  if (!core::simd_supported()) GTEST_SKIP() << "no AVX2 on this machine";
+  const auto scalar = with_backend(core::KernelBackend::kScalar, [] { return conv_trajectory(4); });
+  const auto simd = with_backend(core::KernelBackend::kSimd, [] { return conv_trajectory(4); });
+  expect_tensors_eq(scalar, simd, "conv");
+}
