@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "async/param_server.hpp"
@@ -89,6 +90,13 @@ class JsonReporter : public benchmark::ConsoleReporter {
       const auto items = run.counters.find("items_per_second");
       entry.items_per_second =
           items != run.counters.end() ? static_cast<double>(items->second) : 0.0;
+      // Any other user counter (per-phase ns, thread counts, ...) is
+      // carried into the JSON verbatim so downstream tooling can graph
+      // phase breakdowns without reparsing console output.
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "items_per_second") continue;
+        entry.counters.emplace_back(name, static_cast<double>(counter));
+      }
       entries_.push_back(std::move(entry));
     }
   }
@@ -114,7 +122,16 @@ class JsonReporter : public benchmark::ConsoleReporter {
       out << "    {\"name\": \"" << escape(e.name) << "\", \"shape\": \"" << escape(e.shape)
           << "\", \"backend\": \"" << escape(e.backend) << "\", \"ns_per_op\": " << e.ns_per_op
           << ", \"items_per_second\": " << e.items_per_second
-          << ", \"iterations\": " << e.iterations << "}";
+          << ", \"iterations\": " << e.iterations;
+      if (!e.counters.empty()) {
+        out << ", \"counters\": {";
+        for (std::size_t c = 0; c < e.counters.size(); ++c) {
+          out << (c == 0 ? "" : ", ") << "\"" << escape(e.counters[c].first)
+              << "\": " << e.counters[c].second;
+        }
+        out << "}";
+      }
+      out << "}";
     }
     out << "\n  ]\n}\n";
     std::cout << "JSON written to " << path << "\n";
@@ -128,6 +145,7 @@ class JsonReporter : public benchmark::ConsoleReporter {
     std::int64_t iterations = 0;
     double ns_per_op = 0.0;
     double items_per_second = 0.0;
+    std::vector<std::pair<std::string, double>> counters;  ///< user counters
   };
 
   static std::string escape(const std::string& s) {

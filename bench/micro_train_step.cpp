@@ -10,17 +10,29 @@
 //                 zero; this bench measures what it buys in wall time).
 //
 // Both engines produce bit-identical trajectories (tests/tape_test.cpp),
-// so the delta is pure memory-management overhead. Args: the LM runs
-// {batch, seq_len_plus1}, the quadratic runs {rows, dim}. Results land
-// in BENCH_micro_train_step.json via yfb::JsonReporter.
+// so the delta is pure memory-management overhead. The Tape variants take
+// a trailing `threads` arg (1/2/4) driving the parallel backward engine
+// (DESIGN.md §10) -- trajectories stay bit-identical across thread
+// counts, so the per-thread delta is pure scheduling. Every train-step
+// bench also reports per-phase wall time (forward_ns / backward_ns /
+// apply_ns averaged per step) as counters, which JsonReporter carries
+// into BENCH_micro_train_step.json next to ns/op. The _TapeOverlap
+// variant fuses the apply into backward via completion hooks
+// (optim::OverlappedApply), so its backward_ns absorbs most of apply_ns.
+//
+// Args: the LM runs {batch, seq_len_plus1[, threads]}, the quadratic
+// runs {rows, dim[, threads]}.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "autograd/ops.hpp"
 #include "autograd/tape.hpp"
 #include "common.hpp"
+#include "core/parallel.hpp"
 #include "data/markov_text.hpp"
 #include "nn/language_model.hpp"
 #include "optim/momentum_sgd.hpp"
@@ -32,6 +44,46 @@ namespace {
 namespace ag = yf::autograd;
 namespace nn = yf::nn;
 namespace t = yf::tensor;
+
+/// Accumulated per-phase wall time; reported as mean ns/step counters so
+/// the JSON carries the forward/backward/apply split alongside ns/op.
+struct PhaseClock {
+  double forward_ns = 0.0, backward_ns = 0.0, apply_ns = 0.0;
+
+  template <typename F>
+  double timed(double PhaseClock::* phase, F&& f) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<decltype(f())>) {
+      f();
+      this->*phase += std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      return 0.0;
+    } else {
+      const double out = f();
+      this->*phase += std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      return out;
+    }
+  }
+
+  void report(benchmark::State& state) const {
+    const double n = static_cast<double>(state.iterations() > 0 ? state.iterations() : 1);
+    state.counters["forward_ns"] = benchmark::Counter(forward_ns / n);
+    state.counters["backward_ns"] = benchmark::Counter(backward_ns / n);
+    state.counters["apply_ns"] = benchmark::Counter(apply_ns / n);
+  }
+};
+
+/// Tape benches take a trailing threads arg; spin up the pool helpers
+/// outside the timed region and point the tape's backward engine at them.
+void use_backward_threads(ag::GraphTape& tape, std::int64_t threads) {
+  if (threads > 1) {
+    yf::core::ThreadPool::instance().ensure_workers(static_cast<std::size_t>(threads - 1));
+  }
+  tape.set_backward_threads(static_cast<int>(threads));
+}
 
 struct LmTask {
   std::vector<std::vector<std::int64_t>> batches;
@@ -59,43 +111,57 @@ struct LmTask {
     opt = std::make_unique<yf::tuner::YellowFin>(model->parameters());
   }
 
-  double step(std::size_t i) {
+  double step(std::size_t i, PhaseClock& clock) {
     opt->zero_grad();
-    auto loss = model->loss(batches[i % batches.size()], batch, seq_plus1);
-    loss.backward();
-    opt->step();
-    return loss.value().item();
+    ag::Variable loss;
+    const double out = clock.timed(&PhaseClock::forward_ns, [&] {
+      loss = model->loss(batches[i % batches.size()], batch, seq_plus1);
+      return loss.value().item();
+    });
+    clock.timed(&PhaseClock::backward_ns, [&] { loss.backward(); });
+    clock.timed(&PhaseClock::apply_ns, [&] { opt->step(); });
+    return out;
   }
 };
 
 void BM_LmTrainStep_Heap(benchmark::State& state) {
   LmTask task(state.range(0), state.range(1));
+  PhaseClock clock;
   std::size_t i = 0;
   double sink = 0.0;
-  for (auto _ : state) sink += task.step(i++);
+  for (auto _ : state) sink += task.step(i++, clock);
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations());
+  clock.report(state);
 }
 
 void BM_LmTrainStep_Tape(benchmark::State& state) {
   LmTask task(state.range(0), state.range(1));
   ag::GraphTape tape;
+  use_backward_threads(tape, state.range(2));
   ag::TapeScope scope(&tape);
+  PhaseClock warmup_clock, clock;
   std::size_t i = 0;
   double sink = 0.0;
-  // Warm-up outside the timed loop: record the graph, size the workspace.
+  // Warm-up outside the timed loop: record the graph, size the workspace,
+  // build the backward engine's dependency plan.
   tape.begin_step();
-  sink += task.step(i++);
+  sink += task.step(i++, warmup_clock);
   for (auto _ : state) {
     tape.begin_step();
-    sink += task.step(i++);
+    sink += task.step(i++, clock);
   }
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations());
+  clock.report(state);
 }
 
 BENCHMARK(BM_LmTrainStep_Heap)->Args({4, 9})->Args({8, 17});
-BENCHMARK(BM_LmTrainStep_Tape)->Args({4, 9})->Args({8, 17});
+BENCHMARK(BM_LmTrainStep_Tape)
+    ->Args({4, 9, 1})
+    ->Args({8, 17, 1})
+    ->Args({8, 17, 2})
+    ->Args({8, 17, 4});
 
 struct QuadraticTask {
   ag::Variable w, x, y;
@@ -109,39 +175,86 @@ struct QuadraticTask {
     opt = std::make_unique<yf::optim::MomentumSGD>(std::vector<ag::Variable>{w}, 1e-3, 0.9);
   }
 
-  double step() {
+  double step(PhaseClock& clock) {
     opt->zero_grad();
-    auto loss = ag::mean(ag::square(ag::sub(ag::matmul(x, w), y)));
-    loss.backward();
-    opt->step();
-    return loss.value().item();
+    ag::Variable loss;
+    const double out = clock.timed(&PhaseClock::forward_ns, [&] {
+      loss = ag::mean(ag::square(ag::sub(ag::matmul(x, w), y)));
+      return loss.value().item();
+    });
+    clock.timed(&PhaseClock::backward_ns, [&] { loss.backward(); });
+    clock.timed(&PhaseClock::apply_ns, [&] { opt->step(); });
+    return out;
   }
 };
 
 void BM_QuadraticTrainStep_Heap(benchmark::State& state) {
   QuadraticTask task(state.range(0), state.range(1));
+  PhaseClock clock;
   double sink = 0.0;
-  for (auto _ : state) sink += task.step();
+  for (auto _ : state) sink += task.step(clock);
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations());
+  clock.report(state);
 }
 
 void BM_QuadraticTrainStep_Tape(benchmark::State& state) {
   QuadraticTask task(state.range(0), state.range(1));
   ag::GraphTape tape;
+  use_backward_threads(tape, state.range(2));
   ag::TapeScope scope(&tape);
+  PhaseClock warmup_clock, clock;
   tape.begin_step();
-  double sink = task.step();
+  double sink = task.step(warmup_clock);
   for (auto _ : state) {
     tape.begin_step();
-    sink += task.step();
+    sink += task.step(clock);
   }
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations());
+  clock.report(state);
+}
+
+/// Backward/apply overlap: MomentumSGD shard updates fire from the tape's
+/// completion hooks while backward drains (optim::OverlappedApply), so
+/// the apply phase collapses into backward_ns.
+void BM_QuadraticTrainStep_TapeOverlap(benchmark::State& state) {
+  QuadraticTask task(state.range(0), state.range(1));
+  ag::GraphTape tape;
+  use_backward_threads(tape, state.range(2));
+  ag::TapeScope scope(&tape);
+  yf::optim::OverlappedApply overlap(*task.opt, tape, /*max_shards=*/4);
+  PhaseClock clock;
+  auto step = [&](PhaseClock& c) {
+    tape.begin_step();
+    task.opt->zero_grad();
+    overlap.begin_step();
+    ag::Variable loss;
+    const double out = c.timed(&PhaseClock::forward_ns, [&] {
+      loss = ag::mean(ag::square(ag::sub(ag::matmul(task.x, task.w), task.y)));
+      return loss.value().item();
+    });
+    c.timed(&PhaseClock::backward_ns, [&] { loss.backward(); });
+    c.timed(&PhaseClock::apply_ns, [&] { overlap.finish(); });
+    return out;
+  };
+  PhaseClock warmup_clock;
+  double sink = step(warmup_clock);
+  for (auto _ : state) sink += step(clock);
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+  clock.report(state);
 }
 
 BENCHMARK(BM_QuadraticTrainStep_Heap)->Args({16, 16})->Args({32, 64});
-BENCHMARK(BM_QuadraticTrainStep_Tape)->Args({16, 16})->Args({32, 64});
+BENCHMARK(BM_QuadraticTrainStep_Tape)
+    ->Args({16, 16, 1})
+    ->Args({32, 64, 1})
+    ->Args({32, 64, 2})
+    ->Args({32, 64, 4});
+BENCHMARK(BM_QuadraticTrainStep_TapeOverlap)
+    ->Args({32, 64, 1})
+    ->Args({32, 64, 4});
 
 }  // namespace
 

@@ -111,9 +111,12 @@ void force_inline_parallelism() { yf::core::ThreadPool::instance().set_fanout(1)
 }  // namespace
 
 TEST(AllocCount, CountingAllocatorIsInstalled) {
+  // Call the allocation function directly: the compiler may legally elide
+  // a paired new-expression/delete ([expr.new]/10), but a direct call to
+  // the replaceable ::operator new must happen.
   const auto n = allocations_during([] {
-    auto* p = new int(7);
-    delete p;
+    void* p = ::operator new(16);
+    ::operator delete(p);
   });
   EXPECT_GE(n, 1u);
 }
@@ -266,6 +269,78 @@ TEST(AllocCount, TrainLoopWithTapeIsAllocationFreePerStep) {
   const auto short_run = run(16);
   const auto long_run = run(64);
   EXPECT_EQ(short_run, long_run) << "per-run allocations must not scale with iterations";
+}
+
+TEST(AllocCount, ParallelBackwardStepIsAllocationFreeAfterWarmup) {
+  force_inline_parallelism();
+  // The multithreaded backward engine (DESIGN.md §10) on 3 threads: the
+  // dependency-count plan, pending counters, ready ring, and helper task
+  // batch are all preallocated by the first pass, so steady-state steps
+  // must stay heap-free even while engine helpers drain the graph.
+  yf::core::ThreadPool::instance().ensure_workers(3);
+  t::Rng rng(29);
+  ag::Variable w(rng.normal_tensor({6, 4}), /*requires_grad=*/true);
+  ag::Variable x(rng.normal_tensor({8, 6}));
+  ag::Variable y(rng.normal_tensor({8, 4}));
+  yf::optim::MomentumSGD opt({w}, 0.05, 0.9);
+
+  ag::GraphTape tape;
+  tape.set_backward_threads(3);
+  ag::TapeScope scope(&tape);
+  double sink = 0.0;
+  auto step = [&] {
+    tape.begin_step();
+    opt.zero_grad();
+    auto loss = ag::mean(ag::square(ag::sub(ag::matmul(x, w), y)));
+    loss.backward();
+    opt.step();
+    sink += loss.value().item();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warm-up: plan + ring + helpers
+
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 16; ++i) step();
+  });
+  EXPECT_EQ(n, 0u) << "steady-state parallel backward must not touch the heap";
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(AllocCount, OverlappedApplyStepIsAllocationFreeAfterWarmup) {
+  force_inline_parallelism();
+  // Backward/optimizer overlap: completion hooks fire fused shard updates
+  // from inside the parallel backward drain. The shard table, applied
+  // flags, and hook group counters live in the driver/tape, so overlapped
+  // steps inherit the zero-allocation contract of sequential ones.
+  yf::core::ThreadPool::instance().ensure_workers(3);
+  t::Rng rng(31);
+  ag::Variable w1(rng.normal_tensor({6, 4}), /*requires_grad=*/true);
+  ag::Variable w2(rng.normal_tensor({4, 3}), /*requires_grad=*/true);
+  ag::Variable x(rng.normal_tensor({8, 6}));
+  ag::Variable y(rng.normal_tensor({8, 3}));
+  yf::optim::MomentumSGD opt({w1, w2}, 0.05, 0.9);
+
+  ag::GraphTape tape;
+  tape.set_backward_threads(3);
+  ag::TapeScope scope(&tape);
+  yf::optim::OverlappedApply overlap(opt, tape, /*max_shards=*/4);
+  double sink = 0.0;
+  auto step = [&] {
+    tape.begin_step();
+    opt.zero_grad();
+    overlap.begin_step();
+    auto loss = ag::mean(ag::square(ag::sub(ag::matmul(ag::matmul(x, w1), w2), y)));
+    loss.backward();
+    overlap.finish();
+    sink += loss.value().item();
+  };
+  for (int i = 0; i < 3; ++i) step();  // warm-up: hook groups + plan
+
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 16; ++i) step();
+  });
+  EXPECT_EQ(n, 0u) << "steady-state overlapped apply must not touch the heap";
+  EXPECT_TRUE(std::isfinite(sink));
+  EXPECT_GT(overlap.overlapped(), 0);
 }
 
 TEST(AllocCount, ShardedServerWithTwoWorkersIsAllocationFreePerStep) {

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <tuple>
+#include <utility>
 
 #include "autograd/gradcheck.hpp"
 #include "autograd/ops.hpp"
+#include "core/parallel.hpp"
 #include "data/markov_text.hpp"
 #include "data/synth_cifar.hpp"
 #include "nn/language_model.hpp"
@@ -343,5 +347,174 @@ TEST(GraphTapeModels, ResNetTrainingTrajectoryIsBitIdenticalToHeapPath) {
   }
   for (std::int64_t i = 0; i < heap.second.size(); ++i) {
     EXPECT_EQ(heap.second[i], taped.second[i]) << "parameter " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel backward engine (DESIGN.md §10): the dependency-counting
+// ready-queue executor must produce bit-identical trajectories at every
+// participant count, because sequence gates replay every accumulation
+// into a shared parent in the canonical serial order.
+// ---------------------------------------------------------------------------
+
+TEST(GraphTapeParallel, SharedParentAccumulationOrderIsCanonical) {
+  yf::core::ThreadPool::instance().ensure_workers(8);
+  // A wide fan-out onto one shared parent, with branch scales spread
+  // across 16 orders of magnitude: if the engine ever accumulated
+  // first-come-first-served instead of in canonical order, the float
+  // rounding of x.grad would differ between runs.
+  auto run = [](int threads) {
+    ag::GraphTape tape;
+    tape.set_backward_threads(threads);
+    ag::TapeScope scope(&tape);
+    auto x = leaf({0.1234567891234, -7.77e3, 3.3e-7});
+    std::vector<double> grads;
+    for (int step = 0; step < 3; ++step) {
+      tape.begin_step();
+      x.zero_grad();
+      auto acc = ag::mul_scalar(x, 1.0e8);
+      for (int b = 1; b < 12; ++b) {
+        const double scale = (b % 2 == 0 ? 1.0 : -1.0) * std::pow(10.0, 8 - 1.5 * b);
+        acc = ag::add(acc, ag::tanh(ag::mul_scalar(x, scale)));
+      }
+      auto y = ag::sum(acc);
+      y.backward();
+      const auto g = x.grad().data();
+      grads.insert(grads.end(), g.begin(), g.end());
+    }
+    return grads;
+  };
+
+  const auto serial = run(1);
+  for (const int threads : {2, 8}) {
+    const auto parallel = run(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << "grad " << i << " at threads=" << threads;
+    }
+  }
+}
+
+TEST(GraphTapeParallel, LmYellowFinTrajectoryIsThreadCountInvariant) {
+  yf::core::ThreadPool::instance().ensure_workers(8);
+  const std::int64_t batch = 4, seq_plus1 = 7, steps = 6;
+  yf::data::MarkovTextConfig dcfg;
+  dcfg.vocab = 12;
+  dcfg.branching = 2;
+  yf::data::MarkovText dataset(dcfg);
+  t::Rng data_rng(11);
+  std::vector<std::vector<std::int64_t>> batches;
+  for (std::int64_t s = 0; s < steps; ++s) {
+    batches.push_back(dataset.sample_batch(batch, seq_plus1, data_rng));
+  }
+
+  auto run = [&](int threads) {
+    nn::LanguageModelConfig cfg;
+    cfg.vocab = 12;
+    cfg.embed_dim = 6;
+    cfg.hidden = 8;
+    cfg.layers = 2;
+    t::Rng model_rng(1);
+    nn::LSTMLanguageModel model(cfg, model_rng);
+    yf::tuner::YellowFin opt(model.parameters());
+    ag::GraphTape tape;
+    tape.set_backward_threads(threads);
+    ag::TapeScope scope(&tape);
+    std::vector<double> losses;
+    for (std::int64_t s = 0; s < steps; ++s) {
+      tape.begin_step();
+      opt.zero_grad();
+      auto loss = model.loss(batches[static_cast<std::size_t>(s)], batch, seq_plus1);
+      loss.backward();
+      opt.step();
+      losses.push_back(loss.value().item());
+    }
+    return std::pair{losses, yf::nn::flatten_values(opt.params())};
+  };
+
+  const auto serial = run(1);
+  for (const int threads : {2, 8}) {
+    const auto parallel = run(threads);
+    for (std::int64_t s = 0; s < steps; ++s) {
+      EXPECT_EQ(serial.first[static_cast<std::size_t>(s)],
+                parallel.first[static_cast<std::size_t>(s)])
+          << "loss diverged at step " << s << " threads=" << threads;
+    }
+    ASSERT_EQ(serial.second.size(), parallel.second.size());
+    for (std::int64_t i = 0; i < serial.second.size(); ++i) {
+      EXPECT_EQ(serial.second[i], parallel.second[i])
+          << "parameter " << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(GraphTapeParallel, ResNetOverlappedApplyTrajectoryIsBitIdentical) {
+  yf::core::ThreadPool::instance().ensure_workers(8);
+  const std::int64_t steps = 3;
+  yf::data::SynthCifarConfig dcfg;
+  dcfg.classes = 3;
+  dcfg.height = 8;
+  dcfg.width = 8;
+  yf::data::SynthCifar dataset(dcfg);
+  t::Rng data_rng(21);
+  std::vector<yf::data::ImageBatch> batches;
+  for (std::int64_t s = 0; s < steps; ++s) batches.push_back(dataset.sample(4, data_rng));
+
+  // overlap < 0: sequential opt.step(); otherwise OverlappedApply with
+  // that many shards, the fused sweeps racing backward shard by shard.
+  auto run = [&](int threads, int overlap_shards) {
+    nn::MiniResNetConfig cfg;
+    cfg.base_channels = 4;
+    cfg.blocks_per_stage = 1;
+    cfg.num_classes = 3;
+    cfg.with_batchnorm = true;
+    t::Rng model_rng(2);
+    nn::MiniResNet model(cfg, model_rng);
+    yf::optim::MomentumSGD opt(model.parameters(), 0.05, 0.9);
+    ag::GraphTape tape;
+    tape.set_backward_threads(threads);
+    std::optional<yf::optim::OverlappedApply> overlap;
+    if (overlap_shards >= 0) {
+      overlap.emplace(opt, tape, static_cast<std::size_t>(overlap_shards));
+    }
+    ag::TapeScope scope(&tape);
+    ag::Variable images(batches[0].images.clone());
+    std::vector<double> losses;
+    for (std::int64_t s = 0; s < steps; ++s) {
+      tape.begin_step();
+      const auto& b = batches[static_cast<std::size_t>(s)];
+      t::copy_into(images.value(), b.images);
+      opt.zero_grad();
+      auto loss = ag::softmax_cross_entropy(model.forward(images), b.labels);
+      if (overlap) {
+        overlap->begin_step();
+        loss.backward();
+        overlap->finish();
+      } else {
+        loss.backward();
+        opt.step();
+      }
+      losses.push_back(loss.value().item());
+    }
+    const std::int64_t overlapped = overlap ? overlap->overlapped() : 0;
+    return std::tuple{losses, yf::nn::flatten_values(opt.params()), overlapped};
+  };
+
+  const auto baseline = run(1, -1);
+  for (const auto [threads, shards] : {std::pair{1, 4}, std::pair{4, 4}, std::pair{4, 8}}) {
+    const auto overlapped_run = run(threads, shards);
+    for (std::int64_t s = 0; s < steps; ++s) {
+      EXPECT_EQ(std::get<0>(baseline)[static_cast<std::size_t>(s)],
+                std::get<0>(overlapped_run)[static_cast<std::size_t>(s)])
+          << "loss diverged at step " << s << " threads=" << threads;
+    }
+    ASSERT_EQ(std::get<1>(baseline).size(), std::get<1>(overlapped_run).size());
+    for (std::int64_t i = 0; i < std::get<1>(baseline).size(); ++i) {
+      EXPECT_EQ(std::get<1>(baseline)[i], std::get<1>(overlapped_run)[i])
+          << "parameter " << i << " threads=" << threads << " shards=" << shards;
+    }
+    // Every ResNet parameter is on the traversal, so every shard's
+    // update ran inside backward.
+    EXPECT_GT(std::get<2>(overlapped_run), 0) << "no overlap at threads=" << threads;
   }
 }
