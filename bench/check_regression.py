@@ -26,22 +26,44 @@ import sys
 
 
 def load_results(directory):
-    """{'<bench>::<name>': {'ns_per_op': float, 'backend': str}} over BENCH_*.json."""
+    """({'<bench>::<name>': {...}}, [error strings]) over BENCH_*.json.
+
+    A poisoned file (truncated write, bare inf/nan from an old reporter,
+    null-sanitized non-finite counters) must surface as a reported gate
+    failure, never as a json/float traceback that obscures every other
+    bench's result.
+    """
     results = {}
+    errors = []
     files = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
     for path in files:
-        with open(path) as f:
-            doc = json.load(f)
+        name = os.path.basename(path)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            errors.append(f"{name}: unreadable JSON ({exc})")
+            continue
+        if not isinstance(doc, dict):
+            errors.append(f"{name}: expected a JSON object at top level")
+            continue
         for entry in doc.get("results", []):
-            ns = float(entry["ns_per_op"])
+            if not isinstance(entry, dict) or "name" not in entry:
+                errors.append(f"{name}: malformed result entry {entry!r}")
+                continue
+            key = f"{doc.get('bench', name)}::{entry['name']}"
+            ns = entry.get("ns_per_op")
+            if not isinstance(ns, (int, float)) or isinstance(ns, bool) \
+                    or not math.isfinite(ns):
+                errors.append(f"{name}: non-numeric ns_per_op for `{key}`: {ns!r}")
+                continue
             if ns <= 0:  # skipped/errored run: never a result or a baseline
                 continue
-            key = f"{doc.get('bench', os.path.basename(path))}::{entry['name']}"
             results[key] = {
-                "ns_per_op": ns,
+                "ns_per_op": float(ns),
                 "backend": entry.get("backend", ""),
             }
-    return files, results
+    return files, results, errors
 
 
 def main():
@@ -60,12 +82,18 @@ def main():
                         help="rewrite the baseline file from the current results and exit")
     args = parser.parse_args()
 
-    files, current = load_results(args.dir)
-    if not current:
+    files, current, invalid = load_results(args.dir)
+    for err in invalid:
+        print(f"check_regression: invalid bench JSON: {err}", file=sys.stderr)
+    if not current and not invalid:
         print(f"check_regression: no BENCH_*.json under {args.dir}", file=sys.stderr)
         return 2
 
     if args.update:
+        if invalid:
+            print("check_regression: refusing to --update from invalid bench JSON",
+                  file=sys.stderr)
+            return 1
         doc = {
             "note": "ns/op baselines for bench/check_regression.py, refreshed with --update "
                     "on a 1-core CI-class runner. Generous threshold: the gate catches "
@@ -136,7 +164,10 @@ def main():
         lines.append(f"**{len(missing)} baseline(s) with no current result** (bench skipped, "
                      "renamed, or no longer emitting JSON — refresh with --update if "
                      "intentional): " + ", ".join(f"`{k}`" for k in missing))
-    if not regressed and not missing:
+    if invalid:
+        lines.append(f"**{len(invalid)} invalid bench JSON problem(s)** (reporter emitted "
+                     "non-finite/garbage output): " + "; ".join(invalid))
+    if not regressed and not missing and not invalid:
         lines.append("No regressions.")
     table = "\n".join(lines)
 
@@ -145,7 +176,7 @@ def main():
         with open(args.summary, "a") as f:
             f.write(table + "\n")
 
-    return 1 if regressed or missing else 0
+    return 1 if regressed or missing or invalid else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate-side tests for bench/check_regression.py.
+
+The regression gate must *report* a poisoned BENCH file (bare inf/nan from
+an unsanitized reporter, truncated write, null-sanitized counters) with a
+nonzero exit, never die with a json/float traceback — a traceback hides
+every other bench's status and reads as CI infrastructure flake.
+
+Registered with CTest (check_regression_gate_test) so the gate's failure
+mode is itself under test.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "check_regression.py")
+
+
+def run_gate(bench_dir, baselines):
+    return subprocess.run(
+        [sys.executable, SCRIPT, "--dir", bench_dir, "--baselines", baselines],
+        capture_output=True, text=True)
+
+
+class CheckRegressionGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+        self.baselines = os.path.join(self.dir, "baselines.json")
+        with open(self.baselines, "w") as f:
+            json.dump({"threshold": 2.0,
+                       "entries": {"demo::BM_Ok/1": 100.0}}, f)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write_bench(self, name, text):
+        with open(os.path.join(self.dir, f"BENCH_{name}.json"), "w") as f:
+            f.write(text)
+
+    def assert_reported_not_traceback(self, proc):
+        self.assertEqual(proc.returncode, 1, proc.stderr + proc.stdout)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertNotIn("Traceback", proc.stdout)
+        self.assertIn("invalid bench JSON", proc.stderr)
+
+    def test_clean_file_passes(self):
+        self.write_bench("demo", json.dumps({
+            "bench": "demo",
+            "results": [{"name": "BM_Ok/1", "ns_per_op": 120.0}]}))
+        proc = run_gate(self.dir, self.baselines)
+        self.assertEqual(proc.returncode, 0, proc.stderr + proc.stdout)
+
+    def test_bare_inf_is_reported(self):
+        # What the pre-fix JsonReporter wrote for a non-finite counter:
+        # bare `inf` is not a JSON token, so json.load used to traceback.
+        self.write_bench("demo", '{"bench": "demo", "results": '
+                                 '[{"name": "BM_Ok/1", "ns_per_op": inf}]}')
+        self.assert_reported_not_traceback(run_gate(self.dir, self.baselines))
+
+    def test_null_ns_per_op_is_reported(self):
+        # The sanitized reporter emits null for non-finite values; the gate
+        # must flag the entry (float(None) used to traceback) and still
+        # fail on the now-missing baseline.
+        self.write_bench("demo", json.dumps({
+            "bench": "demo",
+            "results": [{"name": "BM_Ok/1", "ns_per_op": None}]}))
+        self.assert_reported_not_traceback(run_gate(self.dir, self.baselines))
+
+    def test_truncated_file_is_reported(self):
+        self.write_bench("demo", '{"bench": "demo", "results": [')
+        self.assert_reported_not_traceback(run_gate(self.dir, self.baselines))
+
+    def test_poisoned_file_does_not_hide_other_results(self):
+        self.write_bench("demo", json.dumps({
+            "bench": "demo",
+            "results": [{"name": "BM_Ok/1", "ns_per_op": 120.0}]}))
+        self.write_bench("poison", '{"bench": "poison", "results": '
+                                   '[{"name": "BM_Bad/1", "ns_per_op": nan}]}')
+        proc = run_gate(self.dir, self.baselines)
+        self.assert_reported_not_traceback(proc)
+        self.assertIn("BM_Ok/1", proc.stdout)  # healthy bench still in the table
+
+
+if __name__ == "__main__":
+    unittest.main()

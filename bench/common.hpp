@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "async/param_server.hpp"
+#include "core/env.hpp"
 #include "core/kernels/backend.hpp"
 #include "autograd/ops.hpp"
 #include "data/bracket_lang.hpp"
@@ -59,6 +60,7 @@ inline std::string env_or(const char* name, const std::string& fallback) {
 #if __has_include(<benchmark/benchmark.h>)
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <fstream>
 #include <iostream>
 
@@ -120,14 +122,16 @@ class JsonReporter : public benchmark::ConsoleReporter {
       const Entry& e = entries_[i];
       out << (i == 0 ? "\n" : ",\n");
       out << "    {\"name\": \"" << escape(e.name) << "\", \"shape\": \"" << escape(e.shape)
-          << "\", \"backend\": \"" << escape(e.backend) << "\", \"ns_per_op\": " << e.ns_per_op
-          << ", \"items_per_second\": " << e.items_per_second
-          << ", \"iterations\": " << e.iterations;
+          << "\", \"backend\": \"" << escape(e.backend) << "\", \"ns_per_op\": ";
+      write_number(out, e.ns_per_op);
+      out << ", \"items_per_second\": ";
+      write_number(out, e.items_per_second);
+      out << ", \"iterations\": " << e.iterations;
       if (!e.counters.empty()) {
         out << ", \"counters\": {";
         for (std::size_t c = 0; c < e.counters.size(); ++c) {
-          out << (c == 0 ? "" : ", ") << "\"" << escape(e.counters[c].first)
-              << "\": " << e.counters[c].second;
+          out << (c == 0 ? "" : ", ") << "\"" << escape(e.counters[c].first) << "\": ";
+          write_number(out, e.counters[c].second);
         }
         out << "}";
       }
@@ -147,6 +151,18 @@ class JsonReporter : public benchmark::ConsoleReporter {
     double items_per_second = 0.0;
     std::vector<std::pair<std::string, double>> counters;  ///< user counters
   };
+
+  /// JSON has no inf/nan literal: a non-finite counter streamed bare
+  /// ("ns_per_op": inf) makes the whole file unparseable and used to take
+  /// down the regression gate. Emit null instead; check_regression.py
+  /// reports null-valued entries as invalid rather than crashing.
+  static void write_number(std::ostream& out, double v) {
+    if (std::isfinite(v)) {
+      out << v;
+    } else {
+      out << "null";
+    }
+  }
 
   static std::string escape(const std::string& s) {
     std::string out;
@@ -193,8 +209,9 @@ inline std::string engine() {
 }
 
 inline std::int64_t env_int(const char* name, std::int64_t fallback) {
-  const char* env = std::getenv(name);
-  return env != nullptr ? std::atoll(env) : fallback;
+  // Checked parse (core/env.hpp): malformed values warn and fall back
+  // instead of atoll-ing to 0 workers/shards.
+  return yf::core::checked_env_int(name, fallback);
 }
 
 inline std::int64_t server_workers() { return std::max<std::int64_t>(1, env_int("YF_WORKERS", 1)); }

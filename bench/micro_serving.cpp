@@ -1,0 +1,182 @@
+// Serving-engine microbenchmarks (DESIGN.md §11): request latency and
+// throughput of the forward-only LMServer.
+//
+//   BM_ServeSingleClient   -- one client, max_wait 0: pure request
+//                             latency through enqueue -> batched forward
+//                             -> scatter, no coalescing in play.
+//   BM_ServeLoaded         -- N background clients keep the queue busy
+//                             while the measured thread records its own
+//                             request latencies; items/s counts *all*
+//                             served requests (engine stats), so the
+//                             coalescing win shows up as throughput.
+//   BM_ServeWithPublisher  -- single client with a trainer-like thread
+//                             publishing new parameter versions as fast
+//                             as it can: measures snapshot-pin overhead
+//                             under publish pressure.
+//
+// Every variant reports p50_ns / p99_ns request-latency counters, which
+// JsonReporter carries into BENCH_micro_serving.json next to ns/op for
+// the regression gate. Args: {seq_len}, plus {background_clients} for
+// the loaded variant.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "nn/language_model.hpp"
+#include "serve/engine.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+namespace nn = yf::nn;
+namespace t = yf::tensor;
+namespace serve = yf::serve;
+
+nn::LanguageModelConfig bench_lm_config() {
+  nn::LanguageModelConfig cfg;
+  cfg.vocab = 16;
+  cfg.embed_dim = 8;
+  cfg.hidden = 16;
+  cfg.layers = 1;
+  return cfg;
+}
+
+std::vector<std::int64_t> bench_tokens(std::int64_t n, std::int64_t vocab, std::uint64_t seed) {
+  t::Rng rng(seed);
+  std::vector<std::int64_t> toks(static_cast<std::size_t>(n));
+  for (auto& tok : toks) tok = rng.index(vocab);
+  return toks;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+void report_latency(benchmark::State& state, const std::vector<double>& lat_ns) {
+  state.counters["p50_ns"] = benchmark::Counter(percentile(lat_ns, 0.50));
+  state.counters["p99_ns"] = benchmark::Counter(percentile(lat_ns, 0.99));
+}
+
+void BM_ServeSingleClient(benchmark::State& state) {
+  const std::int64_t seq_len = state.range(0);
+  const auto cfg = bench_lm_config();
+  t::Rng rng(1);
+  nn::LSTMLanguageModel model(cfg, rng);
+  serve::ServeOptions opts;
+  opts.seq_len = seq_len;
+  opts.max_batch = 4;
+  opts.max_wait_us = 0;  // lone client: coalescing wait would be pure latency
+  serve::LMServer server(model, opts);
+
+  const auto tokens = bench_tokens(seq_len, cfg.vocab, 2);
+  std::vector<double> logits(static_cast<std::size_t>(seq_len * cfg.vocab), 0.0);
+  std::vector<double> lat_ns;
+  lat_ns.reserve(1 << 16);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(server.infer(tokens, logits));
+    lat_ns.push_back(
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0).count());
+  }
+  report_latency(state, lat_ns);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ServeLoaded(benchmark::State& state) {
+  const std::int64_t seq_len = state.range(0);
+  const int background = static_cast<int>(state.range(1));
+  const auto cfg = bench_lm_config();
+  t::Rng rng(1);
+  nn::LSTMLanguageModel model(cfg, rng);
+  serve::ServeOptions opts;
+  opts.seq_len = seq_len;
+  opts.max_batch = static_cast<std::int64_t>(background) + 1;
+  opts.max_wait_us = 100;
+  serve::LMServer server(model, opts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < background; ++c) {
+    clients.emplace_back([&, c] {
+      const auto toks = bench_tokens(seq_len, cfg.vocab, 10 + static_cast<std::uint64_t>(c));
+      std::vector<double> out(static_cast<std::size_t>(seq_len * cfg.vocab), 0.0);
+      while (!stop.load()) (void)server.infer(toks, out);
+    });
+  }
+
+  const auto tokens = bench_tokens(seq_len, cfg.vocab, 2);
+  std::vector<double> logits(static_cast<std::size_t>(seq_len * cfg.vocab), 0.0);
+  std::vector<double> lat_ns;
+  lat_ns.reserve(1 << 16);
+  const auto before = server.stats();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(server.infer(tokens, logits));
+    lat_ns.push_back(
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0).count());
+  }
+  const auto after = server.stats();
+  stop.store(true);
+  for (auto& th : clients) th.join();
+
+  report_latency(state, lat_ns);
+  const auto served = after.requests - before.requests;
+  const auto batches = after.batches - before.batches;
+  state.counters["coalesce"] =
+      benchmark::Counter(batches > 0 ? static_cast<double>(served) / static_cast<double>(batches)
+                                     : 0.0);
+  // Throughput counts every request served while the measured thread ran,
+  // background clients included -- that is what micro-batching buys.
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+
+void BM_ServeWithPublisher(benchmark::State& state) {
+  const std::int64_t seq_len = state.range(0);
+  const auto cfg = bench_lm_config();
+  t::Rng rng(1);
+  nn::LSTMLanguageModel model(cfg, rng);
+  serve::ServeOptions opts;
+  opts.seq_len = seq_len;
+  opts.max_batch = 4;
+  opts.max_wait_us = 0;
+  serve::LMServer server(model, opts);
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    while (!stop.load()) (void)server.publish();
+  });
+
+  const auto tokens = bench_tokens(seq_len, cfg.vocab, 2);
+  std::vector<double> logits(static_cast<std::size_t>(seq_len * cfg.vocab), 0.0);
+  std::vector<double> lat_ns;
+  lat_ns.reserve(1 << 16);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(server.infer(tokens, logits));
+    lat_ns.push_back(
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0).count());
+  }
+  stop.store(true);
+  publisher.join();
+  report_latency(state, lat_ns);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ServeSingleClient)->Args({8})->Args({16});
+BENCHMARK(BM_ServeLoaded)->Args({8, 3});
+BENCHMARK(BM_ServeWithPublisher)->Args({8});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return yfb::benchmark_main_with_json(argc, argv, "micro_serving");
+}

@@ -3,15 +3,15 @@
 // CMake-registered example_*_smoke tests set it to a small value).
 #pragma once
 
-#include <cstdlib>
+#include "core/env.hpp"
 
 namespace yfx {
 
 inline int example_iters(int default_iters) {
-  const char* env = std::getenv("YF_EXAMPLE_ITERS");
-  if (env == nullptr) return default_iters;
-  const int v = std::atoi(env);
-  return v > 0 ? v : default_iters;
+  // Checked parse (core/env.hpp): a malformed value warns and keeps the
+  // example's own budget instead of atoi-ing to 0.
+  const auto v = yf::core::checked_env_int("YF_EXAMPLE_ITERS", default_iters);
+  return v > 0 ? static_cast<int>(v) : default_iters;
 }
 
 }  // namespace yfx

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "autograd/tape.hpp"
+#include "core/conv_math.hpp"
 #include "core/kernels.hpp"
 #include "tensor/ops.hpp"
 
@@ -573,71 +574,12 @@ Variable embedding(const Variable& weight, const std::vector<std::int64_t>& indi
   return Variable(std::move(f.handle));
 }
 
-namespace {
-
-struct ConvDims {
-  std::int64_t n, c, h, w;       // input
-  std::int64_t f, kh, kw;        // filters
-  std::int64_t oh, ow;           // output spatial
-  std::int64_t stride, pad;
-};
-
-/// im2col: input [N,C,H,W] -> col [N*OH*OW, C*KH*KW].
-void im2col_into(t::Tensor& col, const t::Tensor& input, const ConvDims& d) {
-  const auto* in = input.data().data();
-  auto* pc = col.data().data();
-  const auto row_len = d.c * d.kh * d.kw;
-  for (std::int64_t n = 0; n < d.n; ++n) {
-    for (std::int64_t oy = 0; oy < d.oh; ++oy) {
-      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
-        const auto row = (n * d.oh + oy) * d.ow + ox;
-        double* dst = pc + row * row_len;
-        for (std::int64_t c = 0; c < d.c; ++c) {
-          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
-            const auto iy = oy * d.stride + ky - d.pad;
-            for (std::int64_t kx = 0; kx < d.kw; ++kx) {
-              const auto ix = ox * d.stride + kx - d.pad;
-              const auto dst_i = (c * d.kh + ky) * d.kw + kx;
-              if (iy >= 0 && iy < d.h && ix >= 0 && ix < d.w) {
-                dst[dst_i] = in[((n * d.c + c) * d.h + iy) * d.w + ix];
-              } else {
-                dst[dst_i] = 0.0;
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-}
-
-/// col2im: scatter-add of col gradient back to input layout.
-void col2im_add(const t::Tensor& dcol, const ConvDims& d, t::Tensor& dinput) {
-  const auto* pc = dcol.data().data();
-  auto* din = dinput.data().data();
-  const auto row_len = d.c * d.kh * d.kw;
-  for (std::int64_t n = 0; n < d.n; ++n) {
-    for (std::int64_t oy = 0; oy < d.oh; ++oy) {
-      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
-        const auto row = (n * d.oh + oy) * d.ow + ox;
-        const double* src = pc + row * row_len;
-        for (std::int64_t c = 0; c < d.c; ++c) {
-          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
-            const auto iy = oy * d.stride + ky - d.pad;
-            if (iy < 0 || iy >= d.h) continue;
-            for (std::int64_t kx = 0; kx < d.kw; ++kx) {
-              const auto ix = ox * d.stride + kx - d.pad;
-              if (ix < 0 || ix >= d.w) continue;
-              din[((n * d.c + c) * d.h + iy) * d.w + ix] += src[(c * d.kh + ky) * d.kw + kx];
-            }
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
+// Conv value-path math (ConvDims/im2col/col2im/bias-transpose) lives in
+// core/conv_math.hpp, shared verbatim with the tape-free serving engine
+// so served activations are bit-identical to this forward.
+using core::Conv2dDims;
+using core::col2im_add;
+using core::im2col_into;
 
 Variable conv2d(const Variable& input, const Variable& weight, const Variable& bias,
                 std::int64_t stride, std::int64_t pad) {
@@ -647,21 +589,11 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
   if (x.ndim() != 4 || w.ndim() != 4 || b.ndim() != 1) {
     throw std::invalid_argument("conv2d: expected input [N,C,H,W], weight [F,C,KH,KW], bias [F]");
   }
-  ConvDims d;
-  d.n = x.dim(0);
-  d.c = x.dim(1);
-  d.h = x.dim(2);
-  d.w = x.dim(3);
-  d.f = w.dim(0);
-  d.kh = w.dim(2);
-  d.kw = w.dim(3);
-  d.stride = stride;
-  d.pad = pad;
+  if (stride < 1) throw std::invalid_argument("conv2d: stride must be >= 1");
+  const Conv2dDims d = core::conv2d_dims(x.dim(0), x.dim(1), x.dim(2), x.dim(3), w.dim(0),
+                                         w.dim(2), w.dim(3), stride, pad);
   if (w.dim(1) != d.c) throw std::invalid_argument("conv2d: channel mismatch");
   if (b.dim(0) != d.f) throw std::invalid_argument("conv2d: bias size mismatch");
-  if (stride < 1) throw std::invalid_argument("conv2d: stride must be >= 1");
-  d.oh = (d.h + 2 * pad - d.kh) / stride + 1;
-  d.ow = (d.w + 2 * pad - d.kw) / stride + 1;
   if (d.oh < 1 || d.ow < 1) throw std::invalid_argument("conv2d: kernel larger than padded input");
 
   auto xn = input.node();
@@ -692,14 +624,7 @@ Variable conv2d(const Variable& input, const Variable& weight, const Variable& b
   // transpose that used to be materialized into a [CKK, F] scratch.
   t::matmul_nt_into(outmat, col, wmat);
   // Add bias and transpose to NCHW.
-  auto& out = f.node->value;
-  for (std::int64_t n = 0; n < d.n; ++n)
-    for (std::int64_t oy = 0; oy < d.oh; ++oy)
-      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
-        const auto row = (n * d.oh + oy) * d.ow + ox;
-        for (std::int64_t fi = 0; fi < d.f; ++fi)
-          out[((n * d.f + fi) * d.oh + oy) * d.ow + ox] = outmat[row * d.f + fi] + b[fi];
-      }
+  core::conv2d_bias_nchw_into(f.node->value, outmat, b, d);
 
   if (f.fresh && f.node->requires_grad) {
     t::Tensor doutmat = make_scratch({rows, d.f});
@@ -763,32 +688,11 @@ Variable batch_norm2d(const Variable& input, const Variable& gamma, const Variab
   t::Tensor& inv_std = f.node->scratch[1];
   t::Tensor& xhat = f.node->scratch[2];
 
-  // Channel statistics and normalized activations (cached for backward).
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    double s = 0.0;
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t k = 0; k < h * w; ++k) s += x[(i * c + ch) * h * w + k];
-    const double mu = s * inv_m;
-    double var = 0.0;
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t k = 0; k < h * w; ++k) {
-        const double dd = x[(i * c + ch) * h * w + k] - mu;
-        var += dd * dd;
-      }
-    var *= inv_m;
-    mean[ch] = mu;
-    inv_std[ch] = 1.0 / std::sqrt(var + eps);
-  }
-  auto& out = f.node->value;
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    const double g = gamma.value()[ch], b = beta.value()[ch];
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t k = 0; k < h * w; ++k) {
-        const auto idx = (i * c + ch) * h * w + k;
-        xhat[idx] = (x[idx] - mean[ch]) * inv_std[ch];
-        out[idx] = g * xhat[idx] + b;
-      }
-  }
+  // Channel statistics and normalized activations (cached for backward);
+  // shared with the serving engine via core/conv_math.
+  core::batchnorm2d_stats_into(mean, inv_std, x, n, c, h, w, eps);
+  core::batchnorm2d_normalize_into(f.node->value, xhat, x, gamma.value(), beta.value(), mean,
+                                   inv_std, n, c, h, w);
 
   if (f.fresh && f.node->requires_grad) {
     t::Tensor xhat_ref = xhat;
@@ -832,13 +736,7 @@ Variable global_avg_pool(const Variable& input) {
   const NodePtr parents[] = {xn};
   const std::int64_t dims[] = {n, c};
   auto f = make_frame("global_avg_pool", parents, dims);
-  auto& out = f.node->value;
-  for (std::int64_t i = 0; i < n; ++i)
-    for (std::int64_t j = 0; j < c; ++j) {
-      double s = 0.0;
-      for (std::int64_t k = 0; k < h * w; ++k) s += x[(i * c + j) * h * w + k];
-      out[i * c + j] = s * inv;
-    }
+  core::global_avg_pool_into(f.node->value, x, n, c, h, w);
   if (f.fresh && f.node->requires_grad) {
     f.node->backward_fn = [xn, n, c, h, w, inv](Node& nn) {
       if (!xn->requires_grad) return;

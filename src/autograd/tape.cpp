@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/env.hpp"
 #include "core/parallel.hpp"
 
 namespace yf::autograd {
@@ -23,12 +24,14 @@ std::atomic<std::uint64_t> g_visit_epoch{0};
 constexpr int kMaxBackwardThreads = 64;
 
 /// Process default participant count: YF_BACKWARD_THREADS when set
-/// (0 = match the pool fan-out), else 1 (serial).
+/// (0 = match the pool fan-out), else 1 (serial). The checked parse keeps
+/// a typo'd value ("four") from strtol-ing to 0 and silently flipping
+/// serial backward into match-the-pool mode.
 int default_backward_threads() {
   static const int v = [] {
-    if (const char* env = std::getenv("YF_BACKWARD_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
-      if (n >= 0) return static_cast<int>(std::min<long>(n, kMaxBackwardThreads));
+    if (const auto env = core::env_int_value("YF_BACKWARD_THREADS")) {
+      const auto n = *env;
+      if (n >= 0) return static_cast<int>(std::min<std::int64_t>(n, kMaxBackwardThreads));
     }
     return 1;
   }();

@@ -1,0 +1,139 @@
+#include "core/conv_math.hpp"
+
+#include <cmath>
+
+namespace yf::core {
+
+namespace t = yf::tensor;
+
+Conv2dDims conv2d_dims(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w,
+                       std::int64_t f, std::int64_t kh, std::int64_t kw, std::int64_t stride,
+                       std::int64_t pad) {
+  Conv2dDims d;
+  d.n = n;
+  d.c = c;
+  d.h = h;
+  d.w = w;
+  d.f = f;
+  d.kh = kh;
+  d.kw = kw;
+  d.stride = stride;
+  d.pad = pad;
+  d.oh = (h + 2 * pad - kh) / stride + 1;
+  d.ow = (w + 2 * pad - kw) / stride + 1;
+  return d;
+}
+
+void im2col_into(t::Tensor& col, const t::Tensor& input, const Conv2dDims& d) {
+  const auto* in = input.data().data();
+  auto* pc = col.data().data();
+  const auto row_len = d.c * d.kh * d.kw;
+  for (std::int64_t n = 0; n < d.n; ++n) {
+    for (std::int64_t oy = 0; oy < d.oh; ++oy) {
+      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+        const auto row = (n * d.oh + oy) * d.ow + ox;
+        double* dst = pc + row * row_len;
+        for (std::int64_t c = 0; c < d.c; ++c) {
+          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+            const auto iy = oy * d.stride + ky - d.pad;
+            for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+              const auto ix = ox * d.stride + kx - d.pad;
+              const auto dst_i = (c * d.kh + ky) * d.kw + kx;
+              if (iy >= 0 && iy < d.h && ix >= 0 && ix < d.w) {
+                dst[dst_i] = in[((n * d.c + c) * d.h + iy) * d.w + ix];
+              } else {
+                dst[dst_i] = 0.0;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_add(const t::Tensor& dcol, const Conv2dDims& d, t::Tensor& dinput) {
+  const auto* pc = dcol.data().data();
+  auto* din = dinput.data().data();
+  const auto row_len = d.c * d.kh * d.kw;
+  for (std::int64_t n = 0; n < d.n; ++n) {
+    for (std::int64_t oy = 0; oy < d.oh; ++oy) {
+      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+        const auto row = (n * d.oh + oy) * d.ow + ox;
+        const double* src = pc + row * row_len;
+        for (std::int64_t c = 0; c < d.c; ++c) {
+          for (std::int64_t ky = 0; ky < d.kh; ++ky) {
+            const auto iy = oy * d.stride + ky - d.pad;
+            if (iy < 0 || iy >= d.h) continue;
+            for (std::int64_t kx = 0; kx < d.kw; ++kx) {
+              const auto ix = ox * d.stride + kx - d.pad;
+              if (ix < 0 || ix >= d.w) continue;
+              din[((n * d.c + c) * d.h + iy) * d.w + ix] += src[(c * d.kh + ky) * d.kw + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_bias_nchw_into(t::Tensor& out, const t::Tensor& outmat, const t::Tensor& bias,
+                           const Conv2dDims& d) {
+  for (std::int64_t n = 0; n < d.n; ++n)
+    for (std::int64_t oy = 0; oy < d.oh; ++oy)
+      for (std::int64_t ox = 0; ox < d.ow; ++ox) {
+        const auto row = (n * d.oh + oy) * d.ow + ox;
+        for (std::int64_t fi = 0; fi < d.f; ++fi)
+          out[((n * d.f + fi) * d.oh + oy) * d.ow + ox] = outmat[row * d.f + fi] + bias[fi];
+      }
+}
+
+void batchnorm2d_stats_into(t::Tensor& mean, t::Tensor& inv_std, const t::Tensor& x,
+                            std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w,
+                            double eps) {
+  const auto m = n * h * w;  // elements per channel
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t k = 0; k < h * w; ++k) s += x[(i * c + ch) * h * w + k];
+    const double mu = s * inv_m;
+    double var = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t k = 0; k < h * w; ++k) {
+        const double dd = x[(i * c + ch) * h * w + k] - mu;
+        var += dd * dd;
+      }
+    var *= inv_m;
+    mean[ch] = mu;
+    inv_std[ch] = 1.0 / std::sqrt(var + eps);
+  }
+}
+
+void batchnorm2d_normalize_into(t::Tensor& out, t::Tensor& xhat, const t::Tensor& x,
+                                const t::Tensor& gamma, const t::Tensor& beta,
+                                const t::Tensor& mean, const t::Tensor& inv_std, std::int64_t n,
+                                std::int64_t c, std::int64_t h, std::int64_t w) {
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const double g = gamma[ch], b = beta[ch];
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t k = 0; k < h * w; ++k) {
+        const auto idx = (i * c + ch) * h * w + k;
+        xhat[idx] = (x[idx] - mean[ch]) * inv_std[ch];
+        out[idx] = g * xhat[idx] + b;
+      }
+  }
+}
+
+void global_avg_pool_into(t::Tensor& out, const t::Tensor& x, std::int64_t n, std::int64_t c,
+                          std::int64_t h, std::int64_t w) {
+  const double inv = 1.0 / static_cast<double>(h * w);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < c; ++j) {
+      double s = 0.0;
+      for (std::int64_t k = 0; k < h * w; ++k) s += x[(i * c + j) * h * w + k];
+      out[i * c + j] = s * inv;
+    }
+}
+
+}  // namespace yf::core

@@ -1,0 +1,26 @@
+// Checked environment-variable parsing.
+//
+// std::strtol / std::atoi silently map a typo'd value ("fast", "4x") to 0,
+// and 0 is a *meaningful* setting for several knobs (YF_BACKWARD_THREADS=0
+// means "match the pool fan-out"). Every env-int consumer routes through
+// these helpers so a malformed value falls back to the documented default
+// with a one-line warning instead of silently flipping semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace yf::core {
+
+/// Strict base-10 parse of env var `name`: the whole value (modulo
+/// surrounding whitespace) must be an integer. Returns nullopt when the
+/// variable is unset, and nullopt *plus a one-line stderr warning* when it
+/// is set but malformed — so "0" parses to 0 while "zero" warns and falls
+/// back, keeping the two cases distinguishable at every call site.
+std::optional<std::int64_t> env_int_value(const char* name);
+
+/// env_int_value with an inline default: unset or malformed -> `fallback`
+/// (malformed still warns).
+std::int64_t checked_env_int(const char* name, std::int64_t fallback);
+
+}  // namespace yf::core

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/env.hpp"
+
 namespace yf::core {
 
 namespace {
@@ -69,9 +71,10 @@ struct ThreadPool::Impl {
 
 ThreadPool::ThreadPool() : impl_(std::make_unique<Impl>()) {
   std::size_t n = std::max(1u, std::thread::hardware_concurrency());
-  if (const char* env = std::getenv("YF_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) n = static_cast<std::size_t>(v);
+  // Checked parse (core/env.hpp): a malformed YF_THREADS warns and keeps
+  // the hardware default instead of silently strtol-ing to 0.
+  if (const auto v = env_int_value("YF_THREADS"); v.has_value() && *v > 0) {
+    n = static_cast<std::size_t>(*v);
   }
   std::scoped_lock lock(impl_->mu);
   impl_->fanout = n;

@@ -38,6 +38,13 @@ class LSTMLanguageModel : public Module {
 
   const LanguageModelConfig& config() const { return cfg_; }
 
+  // Structural accessors for the tape-free serving engine (src/serve/),
+  // which mirrors this model's forward over snapshot-backed weights.
+  const Embedding& embed() const { return *embed_; }
+  const LSTM& lstm() const { return *lstm_; }
+  /// Output projection; null when `tie_weights` (logits = h @ Eᵀ).
+  const Linear* out_layer() const { return out_.get(); }
+
  private:
   LanguageModelConfig cfg_;
   std::shared_ptr<Embedding> embed_;

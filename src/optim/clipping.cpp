@@ -1,6 +1,8 @@
 #include "optim/clipping.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/kernels.hpp"
@@ -16,16 +18,77 @@ double global_grad_norm(const std::vector<autograd::Variable>& params) {
   return std::sqrt(sq);
 }
 
+namespace {
+
+/// Overflow-safe global norm: max-abs scaling keeps the squared sum
+/// representable when gradient magnitudes are ~1e160+ (their squares
+/// overflow and global_grad_norm returns inf even though every element is
+/// finite). Returns a non-finite value iff some element is inf/nan.
+double rescaled_global_norm(const std::vector<autograd::Variable>& params) {
+  double maxabs = 0.0;
+  for (const auto& p : params) {
+    for (const double g : p.grad().data()) {
+      if (!std::isfinite(g)) return g - g;  // inf - inf and nan - nan are both nan
+      maxabs = std::max(maxabs, std::abs(g));
+    }
+  }
+  if (maxabs == 0.0) return 0.0;
+  const double inv = 1.0 / maxabs;
+  double sq = 0.0;
+  for (const auto& p : params) {
+    for (const double g : p.grad().data()) {
+      const double s = g * inv;
+      sq += s * s;
+    }
+  }
+  return maxabs * std::sqrt(sq);
+}
+
+void zero_grads(std::vector<autograd::Variable>& params) {
+  for (auto& p : params) {
+    auto d = p.node()->ensure_grad().data();
+    std::fill(d.begin(), d.end(), 0.0);
+  }
+}
+
+}  // namespace
+
 double clip_grad_norm(std::vector<autograd::Variable>& params, double max_norm) {
   if (max_norm <= 0.0) throw std::invalid_argument("clip_grad_norm: max_norm must be positive");
   const double norm = global_grad_norm(params);
-  if (norm > max_norm) {
-    const double scale = max_norm / norm;
-    for (auto& p : params) {
-      // grad() is const-ref; mutate via node to keep the public API const-safe.
-      core::scale(p.node()->ensure_grad().data(), scale);
+  if (std::isfinite(norm)) {
+    if (norm > max_norm) {
+      const double scale = max_norm / norm;
+      for (auto& p : params) {
+        // grad() is const-ref; mutate via node to keep the public API const-safe.
+        core::scale(p.node()->ensure_grad().data(), scale);
+      }
+    }
+    return norm;
+  }
+  // Non-finite norm. The naive path would misbehave either way: an inf
+  // norm gives scale = max_norm/inf = 0 and silently zeroes every
+  // gradient, while a NaN norm fails `norm > max_norm` and passes NaNs
+  // through unclipped into the optimizer state. Deterministic recovery:
+  //  * inf from squared-sum overflow over *finite* elements -> clip to
+  //    max_norm using a max-abs-rescaled norm (the clip the caller asked
+  //    for, just computed without overflow);
+  //  * any inf/nan element -> the gradient is garbage; skip-and-report
+  //    (zero all gradients so the step is a no-op) and return the
+  //    non-finite norm so callers can count skipped steps.
+  if (!std::isnan(norm)) {
+    const double safe = rescaled_global_norm(params);
+    if (std::isfinite(safe) && safe > 0.0) {
+      const double scale = max_norm / safe;
+      for (auto& p : params) core::scale(p.node()->ensure_grad().data(), scale);
+      std::fprintf(stderr,
+                   "yf: clip_grad_norm: squared-norm overflow (norm %.3e); clipped to %.3e\n",
+                   safe, max_norm);
+      return safe;
     }
   }
+  zero_grads(params);
+  std::fprintf(stderr, "yf: clip_grad_norm: non-finite gradient norm (%f); step skipped\n", norm);
   return norm;
 }
 

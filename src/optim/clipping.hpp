@@ -13,6 +13,14 @@ double global_grad_norm(const std::vector<autograd::Variable>& params);
 
 /// Scale all gradients so the global norm is at most `max_norm`.
 /// Returns the pre-clip norm.
+///
+/// Non-finite norms recover deterministically instead of poisoning the
+/// step: an inf norm caused purely by squared-sum overflow (all elements
+/// finite) is re-measured with max-abs rescaling and clipped to
+/// `max_norm` (returns the rescaled pre-clip norm); any inf/nan gradient
+/// *element* zeroes every gradient (skip-and-report, the step becomes a
+/// no-op) and returns the non-finite norm so callers can count skips.
+/// Both paths emit a one-line stderr warning.
 double clip_grad_norm(std::vector<autograd::Variable>& params, double max_norm);
 
 }  // namespace yf::optim

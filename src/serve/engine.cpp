@@ -1,0 +1,143 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/lm_forward.hpp"
+
+namespace yf::serve {
+
+LMServer::LMServer(const nn::LSTMLanguageModel& model, ServeOptions opts)
+    : model_(&model),
+      opts_(opts),
+      vocab_(model.config().vocab),
+      arena_(model.parameters()),
+      store_(arena_.size(), opts.snapshot_slots) {
+  if (opts_.seq_len < 1) throw std::invalid_argument("LMServer: seq_len must be positive");
+  if (opts_.max_batch < 1) throw std::invalid_argument("LMServer: max_batch must be positive");
+  if (opts_.workers < 1) throw std::invalid_argument("LMServer: need at least one worker");
+  if (opts_.queue_capacity < opts_.max_batch) {
+    throw std::invalid_argument("LMServer: queue_capacity must cover one batch");
+  }
+  ring_.resize(static_cast<std::size_t>(opts_.queue_capacity), nullptr);
+  store_.publish(arena_.values());
+  threads_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+LMServer::~LMServer() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+std::uint64_t LMServer::infer(std::span<const std::int64_t> tokens, std::span<double> logits_out) {
+  if (static_cast<std::int64_t>(tokens.size()) != opts_.seq_len) {
+    throw std::invalid_argument("LMServer::infer: expected exactly seq_len tokens");
+  }
+  if (static_cast<std::int64_t>(logits_out.size()) != opts_.seq_len * vocab_) {
+    throw std::invalid_argument("LMServer::infer: logits buffer must hold seq_len * vocab");
+  }
+  // Validate before enqueueing so a bad request cannot poison a coalesced
+  // batch after a worker has already picked it up.
+  for (const auto tok : tokens) {
+    if (tok < 0 || tok >= vocab_) throw std::out_of_range("LMServer::infer: token out of range");
+  }
+  Request req;
+  req.tokens = tokens;
+  req.out = logits_out;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    space_cv_.wait(lk, [this] { return stopping_ || count_ < opts_.queue_capacity; });
+    if (stopping_) throw std::runtime_error("LMServer::infer: server is shutting down");
+    ring_[static_cast<std::size_t>((head_ + count_) % opts_.queue_capacity)] = &req;
+    ++count_;
+    // notify_all, not _one: a worker parked on the straggler wait must not
+    // swallow the only wakeup another idle worker needs.
+    queue_cv_.notify_all();
+    done_cv_.wait(lk, [&req] { return req.done; });
+  }
+  return req.version;
+}
+
+ServeStats LMServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void LMServer::worker_loop() {
+  // Each worker owns its forward plans (and its thread-local GEMM packing
+  // workspace); warming here moves every allocation out of steady state.
+  LMForward fwd(*model_, arena_, store_, opts_.seq_len, opts_.max_batch);
+  {
+    const auto pin = store_.acquire();
+    fwd.warm_all(pin.slot());
+  }
+  const std::int64_t T = opts_.seq_len;
+  const std::int64_t V = vocab_;
+  std::vector<Request*> batch(static_cast<std::size_t>(opts_.max_batch), nullptr);
+  std::vector<std::int64_t> tokens(static_cast<std::size_t>(opts_.max_batch * T), 0);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    queue_cv_.wait(lk, [this] { return stopping_ || count_ > 0; });
+    if (count_ == 0) return;  // stopping and drained
+    if (opts_.max_wait_us > 0 && count_ < opts_.max_batch) {
+      // Straggler budget: hold the batch open briefly so concurrent
+      // clients coalesce into one forward instead of max_batch of them.
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(opts_.max_wait_us);
+      queue_cv_.wait_until(lk, deadline,
+                           [this] { return stopping_ || count_ >= opts_.max_batch; });
+    }
+    const std::int64_t b = std::min(count_, opts_.max_batch);
+    if (b == 0) continue;  // another worker drained the queue while we coalesced
+    for (std::int64_t i = 0; i < b; ++i) {
+      batch[static_cast<std::size_t>(i)] = ring_[static_cast<std::size_t>(head_)];
+      head_ = (head_ + 1) % opts_.queue_capacity;
+    }
+    count_ -= b;
+    space_cv_.notify_all();
+    lk.unlock();
+
+    for (std::int64_t i = 0; i < b; ++i) {
+      const auto& src = batch[static_cast<std::size_t>(i)]->tokens;
+      std::memcpy(tokens.data() + i * T, src.data(),
+                  static_cast<std::size_t>(T) * sizeof(std::int64_t));
+    }
+    std::uint64_t version = 0;
+    {
+      auto pin = store_.acquire();
+      version = pin.version();
+      const auto& logits =
+          fwd.forward(std::span<const std::int64_t>(tokens.data(),
+                                                    static_cast<std::size_t>(b * T)),
+                      b, pin.slot());
+      // Request i owns rows [i*T, (i+1)*T) of the batched logits -- one
+      // contiguous copy per request.
+      for (std::int64_t i = 0; i < b; ++i) {
+        std::memcpy(batch[static_cast<std::size_t>(i)]->out.data(),
+                    logits.data().data() + i * T * V,
+                    static_cast<std::size_t>(T * V) * sizeof(double));
+      }
+    }
+
+    lk.lock();
+    for (std::int64_t i = 0; i < b; ++i) {
+      batch[static_cast<std::size_t>(i)]->version = version;
+      batch[static_cast<std::size_t>(i)]->done = true;
+    }
+    stats_.requests += static_cast<std::uint64_t>(b);
+    stats_.batches += 1;
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace yf::serve

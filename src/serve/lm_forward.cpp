@@ -1,0 +1,192 @@
+#include "serve/lm_forward.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace yf::serve {
+
+namespace t = yf::tensor;
+
+namespace {
+
+/// Shaped per-slot view of one arena parameter inside a snapshot buffer.
+t::Tensor snapshot_view(const SnapshotStore& store, int slot, const core::ParamArena& arena,
+                        std::size_t param_slot, t::Shape shape) {
+  return t::Tensor::view_of(store.slot_buffer(slot), arena.offset(param_slot), std::move(shape));
+}
+
+}  // namespace
+
+/// Per-batch-size buffer set. Persistent state (h/c) ping-pongs across
+/// steps; everything else is single-step scratch reused for every (t, l).
+struct LMForward::Plan {
+  std::int64_t batch = 0;
+  t::Tensor emb;                            ///< [b, E] current step embedding
+  t::Tensor zx, zh, z, zb;                  ///< [b, 4H] gate projections
+  std::array<t::Tensor, 4> slice;           ///< [b, H] gate pre-activations (i|f|g|o)
+  std::array<t::Tensor, 4> act;             ///< [b, H] gate activations
+  t::Tensor fc, ig, tc;                     ///< [b, H] cell-update scratch
+  std::vector<std::array<t::Tensor, 2>> h;  ///< [L][2] ping-pong hidden state
+  std::vector<std::array<t::Tensor, 2>> c;  ///< [L][2] ping-pong cell state
+  t::Tensor zero_state;                     ///< [b, H] all-zero initial h/c
+  t::Tensor sl, slb;                        ///< [b, V] step logits (slb: +bias)
+  t::Tensor logits;                         ///< [b*T, V]
+};
+
+LMForward::LMForward(const nn::LSTMLanguageModel& model, const core::ParamArena& arena,
+                     const SnapshotStore& store, std::int64_t seq_len, std::int64_t max_batch)
+    : seq_len_(seq_len), max_batch_(max_batch), store_(&store) {
+  if (seq_len < 1) throw std::invalid_argument("LMForward: seq_len must be positive");
+  if (max_batch < 1) throw std::invalid_argument("LMForward: max_batch must be positive");
+  const auto& cfg = model.config();
+  vocab_ = cfg.vocab;
+  embed_dim_ = cfg.embed_dim;
+  hidden_ = cfg.hidden;
+  layers_ = cfg.layers;
+  tied_ = cfg.tie_weights;
+  if (store.size() != arena.size()) {
+    throw std::invalid_argument("LMForward: snapshot store does not match the arena");
+  }
+
+  // Map each weight Variable to its arena slot once, then build shaped
+  // views into every snapshot buffer. Views alias the slot storage, so a
+  // forward against slot s reads exactly the version pinned there.
+  const auto embed_slot = arena.slot_index(model.embed().weight);
+  slots_.reserve(static_cast<std::size_t>(store.slot_count()));
+  for (int s = 0; s < store.slot_count(); ++s) {
+    SlotWeights w;
+    w.embed = snapshot_view(store, s, arena, embed_slot, {vocab_, embed_dim_});
+    w.layers.reserve(static_cast<std::size_t>(layers_));
+    for (std::int64_t l = 0; l < layers_; ++l) {
+      const auto& cell = model.lstm().cell(l);
+      const std::int64_t in = cell.input_size();
+      LayerWeights lw;
+      lw.w_x = snapshot_view(store, s, arena, arena.slot_index(cell.w_x), {in, 4 * hidden_});
+      lw.w_h = snapshot_view(store, s, arena, arena.slot_index(cell.w_h), {hidden_, 4 * hidden_});
+      lw.b = snapshot_view(store, s, arena, arena.slot_index(cell.b), {4 * hidden_});
+      w.layers.push_back(std::move(lw));
+    }
+    if (const auto* out = model.out_layer()) {
+      w.w_out = snapshot_view(store, s, arena, arena.slot_index(out->weight), {hidden_, vocab_});
+      w.b_out = snapshot_view(store, s, arena, arena.slot_index(out->bias), {vocab_});
+    }
+    slots_.push_back(std::move(w));
+  }
+  plans_.resize(static_cast<std::size_t>(max_batch_));
+}
+
+LMForward::~LMForward() = default;
+
+LMForward::Plan& LMForward::plan(std::int64_t batch) {
+  auto& slot = plans_[static_cast<std::size_t>(batch - 1)];
+  if (slot) return *slot;
+  auto p = std::make_unique<Plan>();
+  p->batch = batch;
+  const auto b = batch;
+  p->emb = ws_.acquire({b, embed_dim_});
+  p->zx = ws_.acquire({b, 4 * hidden_});
+  p->zh = ws_.acquire({b, 4 * hidden_});
+  p->z = ws_.acquire({b, 4 * hidden_});
+  p->zb = ws_.acquire({b, 4 * hidden_});
+  for (auto& s : p->slice) s = ws_.acquire({b, hidden_});
+  for (auto& a : p->act) a = ws_.acquire({b, hidden_});
+  p->fc = ws_.acquire({b, hidden_});
+  p->ig = ws_.acquire({b, hidden_});
+  p->tc = ws_.acquire({b, hidden_});
+  p->h.resize(static_cast<std::size_t>(layers_));
+  p->c.resize(static_cast<std::size_t>(layers_));
+  for (std::int64_t l = 0; l < layers_; ++l) {
+    for (int k = 0; k < 2; ++k) {
+      p->h[static_cast<std::size_t>(l)][k] = ws_.acquire({b, hidden_});
+      p->c[static_cast<std::size_t>(l)][k] = ws_.acquire({b, hidden_});
+    }
+  }
+  p->zero_state = ws_.acquire({b, hidden_});  // acquired zero-filled, never written
+  p->sl = ws_.acquire({b, vocab_});
+  if (!tied_) p->slb = ws_.acquire({b, vocab_});
+  p->logits = ws_.acquire({b * seq_len_, vocab_});
+  slot = std::move(p);
+  return *slot;
+}
+
+const t::Tensor& LMForward::forward(std::span<const std::int64_t> tokens, std::int64_t batch,
+                                    int slot) {
+  if (batch < 1 || batch > max_batch_) throw std::invalid_argument("LMForward: bad batch size");
+  if (static_cast<std::int64_t>(tokens.size()) != batch * seq_len_) {
+    throw std::invalid_argument("LMForward: token count mismatch");
+  }
+  for (const auto tok : tokens) {
+    if (tok < 0 || tok >= vocab_) throw std::out_of_range("LMForward: token out of range");
+  }
+  Plan& p = plan(batch);
+  const SlotWeights& W = slots_[static_cast<std::size_t>(slot)];
+  const auto H = hidden_, E = embed_dim_, V = vocab_, T = seq_len_;
+  const auto& embed = W.embed;
+
+  for (std::int64_t tstep = 0; tstep < T; ++tstep) {
+    // Embedding gather of token column t (same loop as autograd::embedding).
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+      const auto idx = tokens[static_cast<std::size_t>(bi * T + tstep)];
+      for (std::int64_t j = 0; j < E; ++j) p.emb[bi * E + j] = embed[idx * E + j];
+    }
+    const t::Tensor* x = &p.emb;
+    for (std::int64_t l = 0; l < layers_; ++l) {
+      const auto lu = static_cast<std::size_t>(l);
+      const LayerWeights& lw = W.layers[lu];
+      const t::Tensor& h_prev = tstep == 0 ? p.zero_state : p.h[lu][(tstep - 1) & 1];
+      const t::Tensor& c_prev = tstep == 0 ? p.zero_state : p.c[lu][(tstep - 1) & 1];
+      t::Tensor& h_next = p.h[lu][tstep & 1];
+      t::Tensor& c_next = p.c[lu][tstep & 1];
+      // z = x @ w_x + h_prev @ w_h + b  (LSTMCell::forward kernel order).
+      t::matmul_into(p.zx, *x, lw.w_x);
+      t::matmul_into(p.zh, h_prev, lw.w_h);
+      t::add_into(p.z, p.zx, p.zh);
+      t::add_row_broadcast_into(p.zb, p.z, lw.b);
+      // Gate slices (autograd::slice_cols loop) and activations, i|f|g|o.
+      for (int g = 0; g < 4; ++g) {
+        auto& sl = p.slice[static_cast<std::size_t>(g)];
+        for (std::int64_t i = 0; i < batch; ++i)
+          for (std::int64_t j = 0; j < H; ++j) sl[i * H + j] = p.zb[i * 4 * H + g * H + j];
+      }
+      t::sigmoid_into(p.act[0], p.slice[0]);  // i
+      t::sigmoid_into(p.act[1], p.slice[1]);  // f
+      t::tanh_into(p.act[2], p.slice[2]);     // g
+      t::sigmoid_into(p.act[3], p.slice[3]);  // o
+      // c = f*c_prev + i*g;  h = o * tanh(c).
+      t::mul_into(p.fc, p.act[1], c_prev);
+      t::mul_into(p.ig, p.act[0], p.act[2]);
+      t::add_into(c_next, p.fc, p.ig);
+      t::tanh_into(p.tc, c_next);
+      t::mul_into(h_next, p.act[3], p.tc);
+      x = &h_next;
+    }
+    // Output projection of the top-layer h, then scatter into the final
+    // [b*T, V] layout (row = b*T + t), matching concat_cols + reshape.
+    const t::Tensor* step_logits;
+    if (tied_) {
+      t::matmul_nt_into(p.sl, *x, embed);
+      step_logits = &p.sl;
+    } else {
+      t::matmul_into(p.sl, *x, W.w_out);
+      t::add_row_broadcast_into(p.slb, p.sl, W.b_out);
+      step_logits = &p.slb;
+    }
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+      const std::int64_t row = bi * T + tstep;
+      for (std::int64_t j = 0; j < V; ++j) p.logits[row * V + j] = (*step_logits)[bi * V + j];
+    }
+  }
+  return p.logits;
+}
+
+void LMForward::warm_all(int slot) {
+  std::vector<std::int64_t> zeros(static_cast<std::size_t>(max_batch_ * seq_len_), 0);
+  for (std::int64_t b = 1; b <= max_batch_; ++b) {
+    forward(std::span<const std::int64_t>(zeros.data(), static_cast<std::size_t>(b * seq_len_)),
+            b, slot);
+  }
+}
+
+}  // namespace yf::serve

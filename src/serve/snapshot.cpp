@@ -1,0 +1,104 @@
+#include "serve/snapshot.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace yf::serve {
+
+SnapshotStore::SnapshotStore(std::int64_t size, int slots) : size_(size), slot_count_(slots) {
+  if (size < 1) throw std::invalid_argument("SnapshotStore: size must be positive");
+  if (slots < 3) {
+    // 2 slots deadlock-prone by design: with `latest` pinned by a slow
+    // reader the single remaining slot is the one being published over,
+    // and a second publish has nowhere to go.
+    throw std::invalid_argument("SnapshotStore: need at least 3 slots");
+  }
+  slots_ = std::make_unique<Slot[]>(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) {
+    slots_[static_cast<std::size_t>(s)].buf = tensor::Tensor({size});
+  }
+}
+
+std::uint64_t SnapshotStore::publish(std::span<const double> values) {
+  if (static_cast<std::int64_t>(values.size()) != size_) {
+    throw std::invalid_argument("SnapshotStore::publish: size mismatch");
+  }
+  for (;;) {
+    const int cur = latest_.load();
+    for (int s = 0; s < slot_count_; ++s) {
+      if (s == cur) continue;
+      Slot& slot = slots_[static_cast<std::size_t>(s)];
+      // Claim first, then check pins: a reader that pinned before seeing
+      // our claim is counted here; one that pins after will observe
+      // writing == true and retry (see acquire()).
+      if (slot.writing.exchange(true)) continue;  // another publisher owns it
+      if (slot.pins.load() != 0) {
+        slot.writing.store(false);  // a reader is draining this slot; skip it
+        continue;
+      }
+      const std::uint64_t version = version_counter_.fetch_add(1) + 1;
+      std::memcpy(slot.buf.data().data(), values.data(),
+                  static_cast<std::size_t>(size_) * sizeof(double));
+      slot.version.store(version);
+      slot.writing.store(false);
+      latest_.store(s);
+      return version;
+    }
+    // Every non-latest slot pinned or mid-publish: transient (readers pin
+    // for one batched forward), so yield rather than grow.
+    std::this_thread::yield();
+  }
+}
+
+SnapshotStore::Pin SnapshotStore::acquire() const {
+  for (;;) {
+    const int i = latest_.load();
+    if (i < 0) return Pin{};  // nothing published yet
+    const Slot& slot = slots_[static_cast<std::size_t>(i)];
+    slot.pins.fetch_add(1);
+    if (!slot.writing.load()) {
+      // Either our pin landed before a publisher's claim (it will see
+      // pins >= 1 and back off) or the slot's copy is complete; in both
+      // cases the buffer is frozen while we hold the pin.
+      return Pin{this, i, slot.version.load()};
+    }
+    slot.pins.fetch_sub(1);
+    std::this_thread::yield();
+  }
+}
+
+std::uint64_t SnapshotStore::latest_version() const {
+  const int i = latest_.load();
+  if (i < 0) return 0;
+  return slots_[static_cast<std::size_t>(i)].version.load();
+}
+
+SnapshotStore::Pin& SnapshotStore::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    release();
+    store_ = other.store_;
+    slot_ = other.slot_;
+    version_ = other.version_;
+    other.store_ = nullptr;
+    other.slot_ = -1;
+    other.version_ = 0;
+  }
+  return *this;
+}
+
+std::span<const double> SnapshotStore::Pin::values() const {
+  if (store_ == nullptr) return {};
+  return store_->slot_buffer(slot_).data();
+}
+
+void SnapshotStore::Pin::release() {
+  if (store_ != nullptr) {
+    store_->slots_[static_cast<std::size_t>(slot_)].pins.fetch_sub(1);
+    store_ = nullptr;
+    slot_ = -1;
+    version_ = 0;
+  }
+}
+
+}  // namespace yf::serve

@@ -1,0 +1,105 @@
+// Versioned parameter snapshots for the serving engine (DESIGN.md §11).
+//
+// The trainer owns the live ParamArena and mutates it in place every
+// step; inference must read a *consistent* parameter version without ever
+// blocking the trainer (and without the trainer blocking inference). A
+// SnapshotStore holds N flat copies of the arena value buffer ("slots")
+// behind a pin/publish protocol:
+//
+//  * publish() (trainer thread, at a step boundary): claim a non-latest
+//    slot whose pin count is zero, memcpy the arena values into it, stamp
+//    a monotonically increasing version, and flip the `latest` index.
+//    A pinned slot is skipped, never waited on -- with >= 3 slots there
+//    is always a free one (latest + the draining previous latest + one
+//    spare), so publish is wait-free in steady state.
+//  * acquire() (serving threads): read `latest`, increment that slot's
+//    pin count, then re-check the slot's `writing` flag. Under the
+//    seq_cst total order this either (a) ordered the pin before the
+//    writer's claim -- in which case the writer sees pins >= 1 and backs
+//    off the slot -- or (b) observed writing == false *after* the copy
+//    completed, so the slot is stable for the lifetime of the Pin.
+//    No locks, no allocation, no blocking on the trainer.
+//
+// All protocol atomics use seq_cst: publishes happen at most once per
+// training step and pins twice per served batch, so the fence cost is
+// noise, and the invariant argument above stays simple enough to prove.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace yf::serve {
+
+class SnapshotStore {
+ public:
+  /// `size` doubles per snapshot, `slots` >= 3 resident versions.
+  explicit SnapshotStore(std::int64_t size, int slots = 4);
+
+  /// RAII read pin on one published snapshot version. Movable, not
+  /// copyable; an empty pin (default-constructed or acquired before the
+  /// first publish) has version() == 0 and no data.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept { *this = std::move(other); }
+    Pin& operator=(Pin&& other) noexcept;
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    bool valid() const { return store_ != nullptr; }
+    std::uint64_t version() const { return version_; }
+    int slot() const { return slot_; }
+    std::span<const double> values() const;
+    void release();
+
+   private:
+    friend class SnapshotStore;
+    Pin(const SnapshotStore* store, int slot, std::uint64_t version)
+        : store_(store), slot_(slot), version_(version) {}
+
+    const SnapshotStore* store_ = nullptr;
+    int slot_ = -1;
+    std::uint64_t version_ = 0;
+  };
+
+  /// Copy `values` into a free slot and make it the latest snapshot.
+  /// Returns the published version (1, 2, ...). Trainer-side; safe to
+  /// call concurrently with any number of acquire()s. Allocation-free.
+  std::uint64_t publish(std::span<const double> values);
+
+  /// Pin the latest published snapshot (empty Pin before first publish).
+  /// Never blocks on the trainer; lock- and allocation-free.
+  Pin acquire() const;
+
+  std::uint64_t latest_version() const;
+  bool has_snapshot() const { return latest_version() > 0; }
+
+  std::int64_t size() const { return size_; }
+  int slot_count() const { return slot_count_; }
+
+  /// Backing buffer of slot `s` (rank-1, `size()` doubles). The serving
+  /// engine builds per-slot weight views into these once at startup; the
+  /// views are only *read* while a Pin holds the slot.
+  const tensor::Tensor& slot_buffer(int s) const { return slots_[static_cast<std::size_t>(s)].buf; }
+
+ private:
+  struct Slot {
+    tensor::Tensor buf;
+    std::atomic<std::uint64_t> version{0};
+    mutable std::atomic<std::int32_t> pins{0};
+    std::atomic<bool> writing{false};
+  };
+
+  std::int64_t size_;
+  int slot_count_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<int> latest_{-1};
+  std::atomic<std::uint64_t> version_counter_{0};
+};
+
+}  // namespace yf::serve

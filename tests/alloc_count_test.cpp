@@ -20,6 +20,7 @@
 #include "data/markov_text.hpp"
 #include "nn/language_model.hpp"
 #include "optim/momentum_sgd.hpp"
+#include "serve/engine.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
 #include "train/trainer.hpp"
@@ -341,6 +342,46 @@ TEST(AllocCount, OverlappedApplyStepIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(n, 0u) << "steady-state overlapped apply must not touch the heap";
   EXPECT_TRUE(std::isfinite(sink));
   EXPECT_GT(overlap.overlapped(), 0);
+}
+
+TEST(AllocCount, ServingSteadyStateIsAllocationFree) {
+  force_inline_parallelism();
+  // Forward-only serving engine (DESIGN.md §11): after the worker has
+  // warmed its per-batch-size plans, a served request -- enqueue,
+  // coalesce, pinned snapshot forward, scatter, wake -- plus a trainer
+  // publish must not touch the heap. Requests use caller-owned stack/
+  // preallocated buffers; the worker's logits come from its Workspace.
+  yf::nn::LanguageModelConfig cfg;
+  cfg.vocab = 12;
+  cfg.embed_dim = 6;
+  cfg.hidden = 8;
+  cfg.layers = 1;
+  t::Rng rng(41);
+  nn::LSTMLanguageModel model(cfg, rng);
+  yf::serve::ServeOptions opts;
+  opts.seq_len = 5;
+  opts.max_batch = 2;
+  opts.max_wait_us = 0;  // single client: no straggler wait
+  yf::serve::LMServer server(model, opts);
+
+  std::vector<std::int64_t> tokens(static_cast<std::size_t>(opts.seq_len));
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    tokens[i] = static_cast<std::int64_t>(i) % cfg.vocab;
+  }
+  std::vector<double> logits(static_cast<std::size_t>(opts.seq_len * cfg.vocab), 0.0);
+  double sink = 0.0;
+  auto round = [&] {
+    (void)server.infer(tokens, logits);
+    (void)server.publish();
+    sink += logits[0];
+  };
+  for (int i = 0; i < 4; ++i) round();  // warm-up: plans + packing workspace
+
+  const auto n = allocations_during([&] {
+    for (int i = 0; i < 32; ++i) round();
+  });
+  EXPECT_EQ(n, 0u) << "steady-state serving must not touch the heap";
+  EXPECT_TRUE(std::isfinite(sink));
 }
 
 TEST(AllocCount, ShardedServerWithTwoWorkersIsAllocationFreePerStep) {

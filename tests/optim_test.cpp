@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "autograd/ops.hpp"
 #include "optim/adagrad.hpp"
 #include "optim/adam.hpp"
 #include "optim/clipping.hpp"
@@ -9,6 +11,7 @@
 #include "optim/momentum_sgd.hpp"
 #include "optim/rmsprop.hpp"
 #include "optim/sgd.hpp"
+#include "tensor/random.hpp"
 
 namespace ag = yf::autograd;
 namespace optim = yf::optim;
@@ -215,6 +218,80 @@ TEST(Clipping, RejectsNonPositiveThreshold) {
   ScalarParam a(0.0);
   std::vector<ag::Variable> params = {a.p};
   EXPECT_THROW(optim::clip_grad_norm(params, 0.0), std::invalid_argument);
+}
+
+TEST(Clipping, SquaredNormOverflowClipsInsteadOfZeroing) {
+  // Finite elements whose squares overflow: the naive norm is inf and the
+  // old code computed scale = max_norm/inf = 0, silently zeroing the
+  // gradient. The fix clips to max_norm via a rescaled norm instead.
+  ScalarParam a(0.0), b(0.0);
+  a.set_grad(1e200);
+  b.set_grad(2e200);
+  std::vector<ag::Variable> params = {a.p, b.p};
+  EXPECT_TRUE(std::isinf(optim::global_grad_norm(params)));
+  const double pre = optim::clip_grad_norm(params, 1.0);
+  EXPECT_TRUE(std::isfinite(pre));
+  EXPECT_NEAR(pre, std::sqrt(5.0) * 1e200, 1e188);
+  EXPECT_NEAR(optim::global_grad_norm(params), 1.0, 1e-12);
+  // Direction is preserved, only the magnitude is clipped.
+  EXPECT_NEAR(a.p.grad()[0] * 2.0, b.p.grad()[0], 1e-12);
+}
+
+TEST(Clipping, NanGradientSkipsStepDeterministically) {
+  // A NaN norm fails `norm > max_norm`, so the old code passed NaNs
+  // through unclipped into the optimizer state. The fix zeroes every
+  // gradient (step becomes a no-op) and returns the non-finite norm so
+  // callers can count skipped steps.
+  ScalarParam a(0.5), b(0.5);
+  a.set_grad(std::numeric_limits<double>::quiet_NaN());
+  b.set_grad(3.0);
+  std::vector<ag::Variable> params = {a.p, b.p};
+  const double pre = optim::clip_grad_norm(params, 1.0);
+  EXPECT_TRUE(std::isnan(pre));
+  EXPECT_EQ(a.p.grad()[0], 0.0);
+  EXPECT_EQ(b.p.grad()[0], 0.0);
+  optim::MomentumSGD opt(params, 0.1, 0.9);
+  opt.step();
+  EXPECT_EQ(a.x(), 0.5);
+  EXPECT_EQ(b.x(), 0.5);
+}
+
+TEST(Clipping, InfiniteGradientElementSkipsStep) {
+  // An actually-infinite element cannot be rescued by rescaling -- the
+  // gradient is garbage, so it is zeroed like the NaN case.
+  ScalarParam a(0.0), b(0.0);
+  a.set_grad(std::numeric_limits<double>::infinity());
+  b.set_grad(1.0);
+  std::vector<ag::Variable> params = {a.p, b.p};
+  const double pre = optim::clip_grad_norm(params, 1.0);
+  EXPECT_FALSE(std::isfinite(pre));
+  EXPECT_EQ(a.p.grad()[0], 0.0);
+  EXPECT_EQ(b.p.grad()[0], 0.0);
+}
+
+TEST(Clipping, ExplodingBackwardRecoversThroughBothPaths) {
+  // End-to-end through autograd: a loss scaled by 1e160 produces huge but
+  // finite gradients (squared-sum overflow -> rescale path); scaling by
+  // 1e160 twice overflows the gradients themselves (-> skip path).
+  t::Rng rng(17);
+  ag::Variable w(rng.normal_tensor({4, 3}), /*requires_grad=*/true);
+  ag::Variable x(rng.normal_tensor({5, 4}));
+  std::vector<ag::Variable> params = {w};
+
+  auto backward_scaled = [&](double s1, double s2) {
+    w.zero_grad();
+    auto loss = ag::mul_scalar(ag::mul_scalar(ag::mean(ag::square(ag::matmul(x, w))), s1), s2);
+    loss.backward();
+  };
+
+  backward_scaled(1e160, 1.0);  // grads ~1e160: finite, norm overflows
+  EXPECT_TRUE(std::isinf(optim::global_grad_norm(params)));
+  EXPECT_TRUE(std::isfinite(optim::clip_grad_norm(params, 1.0)));
+  EXPECT_NEAR(optim::global_grad_norm(params), 1.0, 1e-9);
+
+  backward_scaled(1e160, 1e160);  // grads overflow to inf: unrecoverable
+  EXPECT_FALSE(std::isfinite(optim::clip_grad_norm(params, 1.0)));
+  EXPECT_EQ(optim::global_grad_norm(params), 0.0);
 }
 
 TEST(LrSchedule, ConstantIsOne) {
