@@ -38,13 +38,13 @@
 namespace yfb {
 
 inline bool full_mode() {
-  const char* env = std::getenv("YF_FULL");
-  return env != nullptr && std::string(env) == "1";
+  // Routed through core::env_str like every other knob (README operator
+  // table): YF_FULL is a strict "1", anything else is quick mode.
+  return yf::core::env_str("YF_FULL", "0") == "1";
 }
 
 inline std::string env_or(const char* name, const std::string& fallback) {
-  const char* env = std::getenv(name);
-  return env != nullptr ? std::string(env) : fallback;
+  return yf::core::env_str(name, fallback.c_str());
 }
 
 }  // namespace yfb
@@ -203,10 +203,7 @@ namespace yfb {
 // Table 2 numbers are directly comparable across engines.
 // ---------------------------------------------------------------------------
 
-inline std::string engine() {
-  const char* env = std::getenv("YF_ENGINE");
-  return env != nullptr ? std::string(env) : std::string("sync");
-}
+inline std::string engine() { return yf::core::env_str("YF_ENGINE", "sync"); }
 
 inline std::int64_t env_int(const char* name, std::int64_t fallback) {
   // Checked parse (core/env.hpp): malformed values warn and fall back

@@ -1,0 +1,265 @@
+// Distributed training example: a real multi-process parameter server on
+// localhost (DESIGN.md §12).
+//
+// With no arguments it orchestrates the whole topology itself: fork a
+// master process (ShardedParamServer + MasterServer on an ephemeral
+// port), read the port over a pipe, fork two worker processes that each
+// connect a RemoteParamClient and train a noisy quadratic bowl, then
+// reap all three and fail loudly unless the master saw both clean
+// shutdowns AND the loss collapsed. The CI dist smoke job runs exactly
+// this (it is also the example_dist_training_smoke ctest).
+//
+// The same binary is the operator's entry point for running the roles by
+// hand across terminals or hosts:
+//
+//   example_dist_training --role master --port 7070
+//   example_dist_training --role worker --host 127.0.0.1 --port 7070
+//
+// Forking happens at the very top of main, before any YF call can spawn
+// a thread -- fork() and threads do not mix, and the compute pool is
+// created lazily on first use, so each child builds its own.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "async/param_server.hpp"
+#include "dist/channel.hpp"
+#include "dist/client.hpp"
+#include "dist/master.hpp"
+#include "example_common.hpp"
+#include "optim/momentum_sgd.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ag = yf::autograd;
+namespace async = yf::async;
+namespace dist = yf::dist;
+namespace t = yf::tensor;
+
+namespace {
+
+constexpr std::int64_t kDim = 64;
+constexpr double kMuTarget = 0.5;
+constexpr int kWorkers = 2;
+
+/// Master role: serve the bowl parameters until `workers` clients have
+/// departed cleanly, then report. `port_pipe_fd` >= 0 (auto mode) means
+/// "bind ephemeral and send the port up the pipe".
+int run_master(std::uint16_t port, int workers, int port_pipe_fd) {
+  ag::Variable x(t::Tensor::full({kDim}, 1.5), true);
+  auto opt = std::make_shared<yf::optim::MomentumSGD>(std::vector<ag::Variable>{x}, 0.05,
+                                                      kMuTarget);
+  async::ParamServerOptions sopts;
+  sopts.shards = 4;
+  sopts.closed_loop = true;  // Algorithm 5 under real network staleness
+  sopts.mu_target = kMuTarget;
+  async::ShardedParamServer server(opt, sopts);
+
+  dist::MasterOptions mopts;
+  mopts.port = port;
+  dist::MasterServer net(server, mopts);
+  std::printf("[master %d] serving %lld params, %lld shards on port %u\n",
+              static_cast<int>(getpid()), static_cast<long long>(server.size()),
+              static_cast<long long>(server.shard_count()),
+              static_cast<unsigned>(net.port()));
+  if (port_pipe_fd >= 0) {
+    char buf[16];
+    const int n = std::snprintf(buf, sizeof(buf), "%u\n", static_cast<unsigned>(net.port()));
+    if (write(port_pipe_fd, buf, static_cast<std::size_t>(n)) != n) {
+      std::perror("master: write port pipe");
+      return 1;
+    }
+    ::close(port_pipe_fd);
+  }
+
+  if (!net.wait_for_clients(workers, std::chrono::seconds(120))) {
+    std::fprintf(stderr, "[master] timed out waiting for %d clean worker shutdowns\n", workers);
+    return 1;
+  }
+  net.shutdown();
+
+  double loss = 0.0;
+  for (const double v : x.value().data()) loss += 0.5 * v * v;
+  const auto stats = net.stats();
+  std::printf("[master] done: %lld updates, %lld pulls, %lld pushes, %lld clean shutdowns, "
+              "final loss %.6f\n",
+              static_cast<long long>(server.updates()), static_cast<long long>(stats.pulls),
+              static_cast<long long>(stats.pushes),
+              static_cast<long long>(stats.clean_shutdowns), loss);
+  // From 0.5 * 64 * 1.5^2 = 72: even the smoke budget must collapse this.
+  if (loss >= 1.0) {
+    std::fprintf(stderr, "[master] FAIL: loss %.6f did not converge below 1.0\n", loss);
+    return 1;
+  }
+  if (stats.errors != 0 || stats.clean_shutdowns < workers) {
+    std::fprintf(stderr, "[master] FAIL: protocol errors %lld, clean shutdowns %lld\n",
+                 static_cast<long long>(stats.errors),
+                 static_cast<long long>(stats.clean_shutdowns));
+    return 1;
+  }
+  return 0;
+}
+
+/// Worker role: one RemoteParamClient training the bowl for `steps`
+/// pull/compute/push rounds, then the clean-departure handshake.
+int run_worker(const std::string& host, std::uint16_t port, int steps, std::uint64_t seed) {
+  dist::RemoteParamClient client(host, port, std::chrono::seconds(10));
+  std::printf("[worker %d] connected: %lld params, %lld shards\n", static_cast<int>(getpid()),
+              static_cast<long long>(client.size()), static_cast<long long>(client.shard_count()));
+
+  ag::Variable x(t::Tensor::full({kDim}, 1.5), true);
+  auto rng = std::make_shared<t::Rng>(seed);
+  dist::ChannelWorker worker;
+  worker.channel = &client;
+  worker.params = {x};
+  worker.grad_fn = [x, rng] {
+    auto g = x.node()->ensure_grad().data();
+    const auto v = x.value().data();
+    double loss = 0.0;
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      loss += 0.5 * v[j] * v[j];
+      g[j] = v[j] + 0.05 * rng->normal();
+    }
+    return loss;
+  };
+  dist::ChannelRunOptions ropts;
+  ropts.steps_per_worker = steps;
+  const auto run = dist::run_channel_workers({worker}, ropts);
+  client.shutdown();
+  std::printf("[worker %d] %zu steps, first loss %.4f, last loss %.4f\n",
+              static_cast<int>(getpid()), run.losses.size(),
+              run.losses.empty() ? 0.0 : run.losses.front(),
+              run.losses.empty() ? 0.0 : run.losses.back());
+  return 0;
+}
+
+/// Child epilogue: _exit skips stdio flush, and the children's stdout is
+/// a fully-buffered pipe under ctest -- flush or lose the report.
+[[noreturn]] void child_exit(int code) {
+  std::fflush(nullptr);
+  _exit(code);
+}
+
+/// Auto mode: master + kWorkers workers as child processes, ephemeral
+/// port handed to the parent over a pipe.
+int run_auto(int steps) {
+  int port_pipe[2];
+  if (pipe(port_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  const pid_t master_pid = fork();
+  if (master_pid < 0) {
+    std::perror("fork master");
+    return 1;
+  }
+  if (master_pid == 0) {
+    ::close(port_pipe[0]);
+    child_exit(run_master(/*port=*/0, kWorkers, port_pipe[1]));
+  }
+  ::close(port_pipe[1]);
+
+  // Read the ephemeral port the master bound ("<port>\n").
+  char buf[16] = {};
+  std::size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    const ssize_t n = read(port_pipe[0], buf + got, sizeof(buf) - 1 - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+    if (std::strchr(buf, '\n') != nullptr) break;
+  }
+  ::close(port_pipe[0]);
+  const long port_long = std::strtol(buf, nullptr, 10);
+  if (port_long <= 0 || port_long > 65535) {
+    std::fprintf(stderr, "parent: master did not report a port (got \"%s\")\n", buf);
+    kill(master_pid, SIGKILL);
+    waitpid(master_pid, nullptr, 0);
+    return 1;
+  }
+  const auto port = static_cast<std::uint16_t>(port_long);
+  std::printf("[parent] master pid %d on port %u; forking %d workers\n",
+              static_cast<int>(master_pid), static_cast<unsigned>(port), kWorkers);
+  std::fflush(nullptr);  // children inherit the stdio buffers: don't double-print
+
+  std::vector<pid_t> pids = {master_pid};
+  for (int w = 0; w < kWorkers; ++w) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork worker");
+      return 1;
+    }
+    if (pid == 0) {
+      child_exit(run_worker("127.0.0.1", port, steps, 40 + static_cast<std::uint64_t>(w)));
+    }
+    pids.push_back(pid);
+  }
+
+  int failures = 0;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "[parent] child %d failed (status %d)\n", static_cast<int>(pid),
+                   status);
+      ++failures;
+    }
+  }
+  std::printf("[parent] %s\n", failures == 0 ? "distributed run converged, all processes clean"
+                                             : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: example_dist_training                       # self-contained local run\n"
+               "       example_dist_training --role master [--port P] [--workers N]\n"
+               "       example_dist_training --role worker [--host H] [--port P] [--seed S]\n"
+               "steps per worker come from YF_EXAMPLE_ITERS (default 60)\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string role;
+  std::string host = "127.0.0.1";
+  long port = 0;
+  int workers = kWorkers;
+  std::uint64_t seed = 40;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--role") {
+      role = next();
+    } else if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = std::strtol(next(), nullptr, 10);
+    } else if (arg == "--workers") {
+      workers = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::strtoll(next(), nullptr, 10));
+    } else {
+      usage();
+    }
+  }
+  if (port < 0 || port > 65535) usage();
+  const int steps = yfx::example_iters(60);
+
+  if (role.empty()) return run_auto(steps);
+  if (role == "master") return run_master(static_cast<std::uint16_t>(port), workers, -1);
+  if (role == "worker") {
+    if (port == 0) usage();
+    return run_worker(host, static_cast<std::uint16_t>(port), steps, seed);
+  }
+  usage();
+}

@@ -32,4 +32,10 @@ std::int64_t checked_env_int(const char* name, std::int64_t fallback) {
   return v.has_value() ? *v : fallback;
 }
 
+std::string env_str(const char* name, const char* fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return env;
+}
+
 }  // namespace yf::core

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 namespace yf::core {
 
@@ -22,5 +23,11 @@ std::optional<std::int64_t> env_int_value(const char* name);
 /// env_int_value with an inline default: unset or malformed -> `fallback`
 /// (malformed still warns).
 std::int64_t checked_env_int(const char* name, std::int64_t fallback);
+
+/// String env var with an inline default: unset or empty -> `fallback`.
+/// The string knobs (YF_ENGINE, YF_KERNEL_BACKEND, ...) validate their own
+/// vocabulary at the call site; this helper only centralizes the getenv
+/// plumbing so every knob is greppable through core::env_*.
+std::string env_str(const char* name, const char* fallback);
 
 }  // namespace yf::core

@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
+#include "core/env.hpp"
 #include "core/kernels/kernel_table.hpp"
 
 namespace yf::core {
@@ -21,12 +22,12 @@ bool cpu_has_avx2_fma() {
 
 KernelBackend resolve_initial_backend() {
   const KernelBackend best = simd_supported() ? KernelBackend::kSimd : KernelBackend::kScalar;
-  const char* env = std::getenv("YF_KERNEL_BACKEND");
-  if (env == nullptr) return best;
+  const std::string env = env_str("YF_KERNEL_BACKEND", "");
+  if (env.empty()) return best;
   KernelBackend requested;
-  if (!kernel_backend_from_string(env, requested)) {
+  if (!kernel_backend_from_string(env.c_str(), requested)) {
     std::fprintf(stderr, "yf: unknown YF_KERNEL_BACKEND \"%s\" (want scalar|simd), using %s\n",
-                 env, kernel_backend_name(best));
+                 env.c_str(), kernel_backend_name(best));
     return best;
   }
   if (requested == KernelBackend::kSimd && !simd_supported()) {

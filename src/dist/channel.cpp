@@ -1,0 +1,111 @@
+#include "dist/channel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "autograd/tape.hpp"
+#include "core/arena.hpp"
+#include "core/env.hpp"
+
+namespace yf::dist {
+
+Engine channel_engine_from_env() {
+  const std::string v = core::env_str("YF_ENGINE", "inproc");
+  if (v == "socket") return Engine::kSocket;
+  // "sync" and "server" are the bench harness's names for the two
+  // in-process engines; both live on the inproc side of the channel.
+  if (v == "inproc" || v == "sync" || v == "server") return Engine::kInproc;
+  std::fprintf(stderr, "yf: unknown YF_ENGINE \"%s\" (want inproc|socket), using inproc\n",
+               v.c_str());
+  return Engine::kInproc;
+}
+
+const char* engine_name(Engine engine) {
+  return engine == Engine::kSocket ? "socket" : "inproc";
+}
+
+async::ServerRunResult run_channel_workers(const std::vector<ChannelWorker>& workers,
+                                           const ChannelRunOptions& opts) {
+  if (workers.empty()) throw std::invalid_argument("run_channel_workers: no workers");
+  for (const ChannelWorker& w : workers) {
+    if (w.channel == nullptr) {
+      throw std::invalid_argument("run_channel_workers: worker without a channel");
+    }
+  }
+
+  struct PerWorker {
+    std::vector<async::ApplyStats> stats;
+    std::vector<double> losses;
+    std::exception_ptr error;
+  };
+  std::vector<PerWorker> collected(workers.size());
+
+  // Plain threads, not the compute pool: a socket worker parks in
+  // blocking reads for most of a round trip, and parking pool workers
+  // would starve the elementwise kernels the gradient computation needs.
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    threads.emplace_back([&workers, &collected, &opts, w] {
+      PerWorker& out = collected[w];
+      try {
+        const ChannelWorker& worker = workers[w];
+        core::ParamArena replica(worker.params);
+        if (replica.size() != worker.channel->size()) {
+          throw std::invalid_argument("run_channel_workers: replica size != master size");
+        }
+        autograd::TapeScope tape_scope(worker.tape);
+        out.stats.reserve(static_cast<std::size_t>(opts.steps_per_worker));
+        out.losses.reserve(static_cast<std::size_t>(opts.steps_per_worker));
+        async::PullTicket ticket;
+        for (std::int64_t s = 0; s < opts.steps_per_worker; ++s) {
+          worker.channel->pull(replica.values(), ticket);
+          replica.zero_grads();
+          if (worker.tape) worker.tape->begin_step();
+          const double loss = worker.grad_fn();
+          if (opts.compute_delay_us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(opts.compute_delay_us));
+          }
+          out.stats.push_back(worker.channel->push(replica.grads(), ticket));
+          out.losses.push_back(loss);
+        }
+      } catch (...) {
+        out.error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const PerWorker& per : collected) {
+    if (per.error) std::rethrow_exception(per.error);
+  }
+
+  std::vector<std::pair<async::ApplyStats, double>> merged;
+  merged.reserve(workers.size() * static_cast<std::size_t>(opts.steps_per_worker));
+  for (const PerWorker& per : collected) {
+    for (std::size_t i = 0; i < per.stats.size(); ++i) {
+      merged.emplace_back(per.stats[i], per.losses[i]);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
+    return a.first.update_index < b.first.update_index;
+  });
+
+  async::ServerRunResult result;
+  result.stats.reserve(merged.size());
+  result.losses.reserve(merged.size());
+  std::int64_t max_index = 0;
+  for (auto& [stats, loss] : merged) {
+    max_index = std::max(max_index, stats.update_index);
+    result.stats.push_back(stats);
+    result.losses.push_back(loss);
+  }
+  result.total_updates = max_index;
+  return result;
+}
+
+}  // namespace yf::dist

@@ -1,0 +1,101 @@
+#include "dist/client.hpp"
+
+#include <stdexcept>
+
+namespace yf::dist {
+
+RemoteParamClient::RemoteParamClient(const std::string& host, std::uint16_t port,
+                                     std::chrono::milliseconds retry_for,
+                                     std::size_t max_payload)
+    : stream_(TcpStream::connect(host, port, retry_for)), max_payload_(max_payload) {
+  request_.clear();
+  round_trip(Op::kHello, Op::kHelloAck);
+  PayloadReader in(reply_);
+  size_ = static_cast<std::int64_t>(in.u64());
+  shard_count_ = static_cast<std::int64_t>(in.u64());
+  in.expect_end();
+  if (size_ <= 0 || shard_count_ <= 0 || shard_count_ > size_) {
+    throw WireError("hello_ack with implausible geometry: size " + std::to_string(size_) +
+                    ", shards " + std::to_string(shard_count_));
+  }
+}
+
+RemoteParamClient::~RemoteParamClient() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructor path: the master may already be gone; closing is enough.
+  }
+}
+
+void RemoteParamClient::round_trip(Op request_op, Op reply_op) {
+  write_frame(stream_, request_op, request_, scratch_);
+  if (!read_frame(stream_, header_, reply_, max_payload_)) {
+    throw WireError(std::string("connection closed awaiting ") + op_name(reply_op));
+  }
+  if (header_.op == Op::kError) {
+    PayloadReader in(reply_);
+    throw WireError("master error: " + in.str());
+  }
+  if (header_.op != reply_op) {
+    throw WireError(std::string("expected ") + op_name(reply_op) + ", got " +
+                    op_name(header_.op));
+  }
+}
+
+void RemoteParamClient::pull(std::span<double> dst, async::PullTicket& ticket) {
+  if (stopped_) throw std::logic_error("RemoteParamClient::pull after shutdown");
+  if (static_cast<std::int64_t>(dst.size()) != size_) {
+    throw std::invalid_argument("pull buffer size != master arena size");
+  }
+  request_.clear();
+  round_trip(Op::kPull, Op::kPullReply);
+  PayloadReader in(reply_);
+  const std::uint64_t k = in.u64();
+  if (k != static_cast<std::uint64_t>(shard_count_)) {
+    throw WireError("pull_reply with " + std::to_string(k) + " shard versions, expected " +
+                    std::to_string(shard_count_));
+  }
+  ticket.versions.resize(static_cast<std::size_t>(k));
+  in.i64_span(ticket.versions);
+  in.f64_span(dst);
+  in.expect_end();
+}
+
+async::ApplyStats RemoteParamClient::push(std::span<double> grad,
+                                          const async::PullTicket& ticket) {
+  if (stopped_) throw std::logic_error("RemoteParamClient::push after shutdown");
+  if (static_cast<std::int64_t>(grad.size()) != size_) {
+    throw std::invalid_argument("push gradient size != master arena size");
+  }
+  if (ticket.versions.size() != static_cast<std::size_t>(shard_count_)) {
+    throw std::invalid_argument("push ticket does not come from a pull on this channel");
+  }
+  request_.clear();
+  PayloadWriter out(request_);
+  out.u64(static_cast<std::uint64_t>(ticket.versions.size()));
+  out.i64_span(ticket.versions);
+  out.f64_span(grad);
+  round_trip(Op::kPush, Op::kPushReply);
+  PayloadReader in(reply_);
+  async::ApplyStats stats;
+  stats.update_index = in.i64();
+  const bool has_mu = in.u8() != 0;
+  const double mu_hat = in.f64();
+  if (has_mu) stats.mu_hat_total = mu_hat;
+  stats.applied_momentum = in.f64();
+  stats.target_momentum = in.f64();
+  in.expect_end();
+  return stats;
+}
+
+void RemoteParamClient::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (!stream_.valid()) return;
+  request_.clear();
+  round_trip(Op::kShutdown, Op::kShutdownAck);
+  stream_.close();
+}
+
+}  // namespace yf::dist

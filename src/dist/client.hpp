@@ -1,0 +1,70 @@
+// RemoteParamClient: a worker's ParamChannel over one TCP connection to
+// a MasterServer (DESIGN.md §12).
+//
+// The constructor connects and runs the kHello handshake, learning the
+// master's arena size and shard count; after that, pull() and push() are
+// one request/reply frame round trip each, on the calling thread, with
+// all buffers reused so the steady state allocates nothing. An error
+// frame from the master (or malformed data) throws; the connection is
+// then dead and the client unusable.
+//
+// Single-owner like every ParamChannel: one worker thread drives one
+// client. shutdown() runs the kShutdown/kShutdownAck handshake so the
+// master can count a clean departure; the destructor calls it
+// best-effort.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/channel.hpp"
+#include "dist/socket.hpp"
+#include "dist/wire.hpp"
+
+namespace yf::dist {
+
+class RemoteParamClient final : public ParamChannel {
+ public:
+  /// Connect (retrying refused connections for `retry_for` -- the master
+  /// may still be binding) and handshake.
+  RemoteParamClient(const std::string& host, std::uint16_t port,
+                    std::chrono::milliseconds retry_for = std::chrono::milliseconds(5000),
+                    std::size_t max_payload = kDefaultMaxPayload);
+  ~RemoteParamClient() override;
+
+  RemoteParamClient(const RemoteParamClient&) = delete;
+  RemoteParamClient& operator=(const RemoteParamClient&) = delete;
+
+  std::int64_t size() const override { return size_; }
+  std::int64_t shard_count() const override { return shard_count_; }
+
+  void pull(std::span<double> dst, async::PullTicket& ticket) override;
+  async::ApplyStats push(std::span<double> grad, const async::PullTicket& ticket) override;
+
+  /// Clean-departure handshake: send kShutdown, wait for kShutdownAck,
+  /// close. Idempotent; pull/push after shutdown() throw std::logic_error
+  /// (same post-shutdown contract as the servers).
+  void shutdown();
+  bool stopped() const { return stopped_; }
+
+ private:
+  /// One round trip: write `request_op` with the bytes staged in
+  /// request_, then read a frame and require `reply_op` (a kError frame
+  /// raises its message instead).
+  void round_trip(Op request_op, Op reply_op);
+
+  TcpStream stream_;
+  std::size_t max_payload_;
+  std::int64_t size_ = 0;
+  std::int64_t shard_count_ = 0;
+  bool stopped_ = false;
+
+  std::vector<std::byte> request_;
+  std::vector<std::byte> reply_;
+  std::vector<std::byte> scratch_;
+  FrameHeader header_;
+};
+
+}  // namespace yf::dist

@@ -1,0 +1,176 @@
+#include "dist/master.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace yf::dist {
+
+MasterServer::MasterServer(async::ShardedParamServer& server, MasterOptions opts)
+    : server_(server), opts_(std::move(opts)), listener_(opts_.host, opts_.port) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+MasterServer::~MasterServer() { shutdown(); }
+
+void MasterServer::accept_loop() {
+  for (;;) {
+    std::optional<TcpStream> stream = listener_.accept();
+    if (!stream) return;  // listener closed: shutdown in progress
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;  // raced shutdown(); drop the late connection
+    stats_.connections += 1;
+    conns_.emplace_back();
+    Conn& conn = conns_.back();
+    conn.stream = std::move(*stream);
+    conn.thread = std::thread([this, &conn] { serve_connection(conn.stream); });
+  }
+}
+
+void MasterServer::serve_connection(TcpStream& stream) {
+  const std::int64_t size = server_.size();
+  const std::int64_t shard_count = server_.shard_count();
+  // Per-connection scratch: steady-state dispatch reuses these buffers,
+  // so serving a frame allocates nothing after the first round trip.
+  std::vector<std::byte> payload;
+  std::vector<std::byte> reply;
+  std::vector<std::byte> scratch;
+  std::vector<double> values(static_cast<std::size_t>(size));
+  async::PullTicket ticket;
+  FrameHeader header;
+  bool greeted = false;
+  try {
+    while (read_frame(stream, header, payload, opts_.max_payload)) {
+      PayloadReader in(payload);
+      reply.clear();
+      PayloadWriter out(reply);
+      // v1 protocol rule: kHello opens every conversation, so both sides
+      // agree on the arena geometry before any parameters move.
+      if (!greeted && header.op != Op::kHello) {
+        throw std::runtime_error(std::string(op_name(header.op)) + " before hello");
+      }
+      switch (header.op) {
+        case Op::kHello: {
+          in.expect_end();
+          greeted = true;
+          out.u64(static_cast<std::uint64_t>(size));
+          out.u64(static_cast<std::uint64_t>(shard_count));
+          write_frame(stream, Op::kHelloAck, reply, scratch);
+          break;
+        }
+        case Op::kPull: {
+          in.expect_end();
+          server_.pull(values, ticket);
+          out.u64(static_cast<std::uint64_t>(ticket.versions.size()));
+          out.i64_span(ticket.versions);
+          out.f64_span(values);
+          write_frame(stream, Op::kPullReply, reply, scratch);
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.pulls += 1;
+          break;
+        }
+        case Op::kPush: {
+          const std::uint64_t k = in.u64();
+          if (k != static_cast<std::uint64_t>(shard_count)) {
+            throw std::runtime_error("push with " + std::to_string(k) + " shard versions, master has " +
+                                     std::to_string(shard_count) + " shards");
+          }
+          ticket.versions.resize(static_cast<std::size_t>(k));
+          in.i64_span(ticket.versions);
+          in.f64_span(values);  // reuse the pull buffer as the grad buffer
+          in.expect_end();
+          const async::ApplyStats stats = server_.push(values, ticket);
+          out.i64(stats.update_index);
+          out.u8(stats.mu_hat_total.has_value() ? 1 : 0);
+          out.f64(stats.mu_hat_total.value_or(0.0));
+          out.f64(stats.applied_momentum);
+          out.f64(stats.target_momentum);
+          write_frame(stream, Op::kPushReply, reply, scratch);
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.pushes += 1;
+          break;
+        }
+        case Op::kShutdown: {
+          in.expect_end();
+          write_frame(stream, Op::kShutdownAck, reply, scratch);
+          stream.shutdown_rw();
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.clean_shutdowns += 1;
+          }
+          done_cv_.notify_all();
+          return;
+        }
+        default:
+          // Known op, wrong direction (a reply sent as a request).
+          throw std::runtime_error(std::string("unexpected ") + op_name(header.op));
+      }
+    }
+    // Clean EOF without kShutdown: the worker vanished. Nothing to reply
+    // to; the connection just winds down.
+  } catch (const std::exception& e) {
+    // One error frame, best-effort, then the connection is done. Wire
+    // and socket errors mean the stream itself is broken, so the frame
+    // may not arrive -- that is fine, the close carries the message.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.errors += 1;
+    }
+    try {
+      reply.clear();
+      PayloadWriter out(reply);
+      out.str(e.what());
+      write_frame(stream, Op::kError, reply, scratch);
+    } catch (...) {
+    }
+    stream.shutdown_rw();
+  }
+}
+
+bool MasterServer::wait_for_clients(std::int64_t n, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) throw std::logic_error("MasterServer::wait_for_clients after shutdown");
+  return done_cv_.wait_for(lock, timeout,
+                           [this, n] { return stats_.clean_shutdowns >= n; });
+}
+
+void MasterServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Another caller is (or was) draining; nothing to do beyond letting
+      // the first shutdown() finish -- the destructor path handles joins.
+      return;
+    }
+    stopping_ = true;
+  }
+  // 1. Close intake: no new connections, no new frames. A frame already
+  //    inside dispatch completes and its reply is written (drain).
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Conn& conn : conns_) conn.stream.shutdown_rw();
+  }
+  // 2. Drain + join. The conns_ list is append-only and service threads
+  //    never erase entries, so iterating outside the lock is safe once
+  //    stopping_ stops the accept loop from appending.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (Conn& conn : conns_) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+  // 3. Only now is the object quiescent.
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+}
+
+bool MasterServer::stopped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopped_;
+}
+
+MasterServer::Stats MasterServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace yf::dist

@@ -1,0 +1,100 @@
+// MasterServer: the parameter-server master process (DESIGN.md §12).
+//
+// Owns the network face of an in-process async::ShardedParamServer: a
+// TCP listener plus one blocking service thread per worker connection,
+// each running the frame dispatch loop
+//
+//   hello        -> hello_ack (arena size, shard count)
+//   pull         -> pull_reply (per-shard versions + parameter values)
+//   push         -> push_reply (ApplyStats of the application)
+//   shutdown     -> shutdown_ack, connection closes
+//
+// Pull and push frames land on the SAME begin_push/push_shard/end_push
+// and Eq. 37 measurement paths the in-process workers use -- the server
+// object neither knows nor cares that a gradient arrived over a socket,
+// so Algorithm 5's closed-loop momentum feedback runs unchanged under
+// genuine network staleness.
+//
+// Drain-on-shutdown idiom (shared with serve::LMServer, DESIGN.md §12):
+// shutdown() first closes intake (the listener stops accepting, every
+// connection's read side is shut down so no NEW frame can arrive), then
+// drains -- a frame already being dispatched completes its reply -- then
+// joins the accept and service threads, and only then flips stopped().
+// Blocking entry points called after shutdown() throw std::logic_error
+// instead of racing a dying object.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <thread>
+
+#include "async/param_server.hpp"
+#include "dist/socket.hpp"
+#include "dist/wire.hpp"
+
+namespace yf::dist {
+
+struct MasterOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0: ephemeral; read back with port()
+  std::size_t max_payload = kDefaultMaxPayload;
+};
+
+class MasterServer {
+ public:
+  /// Binds, listens, and starts accepting. `server` must outlive this
+  /// object (the master is a transport, not an owner).
+  MasterServer(async::ShardedParamServer& server, MasterOptions opts = {});
+  ~MasterServer();
+
+  MasterServer(const MasterServer&) = delete;
+  MasterServer& operator=(const MasterServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Block until `n` connections have completed the shutdown handshake
+  /// (worker sent kShutdown and was acked). Returns false on timeout.
+  /// Throws std::logic_error after shutdown().
+  bool wait_for_clients(std::int64_t n, std::chrono::milliseconds timeout);
+
+  /// Drain-on-shutdown (idiom above). Idempotent; also run by the
+  /// destructor.
+  void shutdown();
+  bool stopped() const;
+
+  struct Stats {
+    std::int64_t connections = 0;      ///< accepted
+    std::int64_t clean_shutdowns = 0;  ///< completed the handshake
+    std::int64_t pulls = 0;
+    std::int64_t pushes = 0;
+    std::int64_t errors = 0;  ///< error frames sent
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn {
+    TcpStream stream;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void serve_connection(TcpStream& stream);
+
+  async::ShardedParamServer& server_;
+  MasterOptions opts_;
+  TcpListener listener_;
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;  ///< clean_shutdowns advanced
+  std::list<Conn> conns_;            ///< list: stable addresses for the threads
+  Stats stats_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace yf::dist

@@ -1,0 +1,175 @@
+#include "dist/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace yf::dist {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("bad IPv4 address \"" + host + "\" (the transport takes numeric addresses)");
+  }
+  return addr;
+}
+
+int new_tcp_fd() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  // Pull/push are latency-bound request/reply round trips; Nagle would
+  // add a delayed-ack stall to every one.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             std::chrono::milliseconds retry_for) {
+  const sockaddr_in addr = make_addr(host, port);
+  const auto deadline = std::chrono::steady_clock::now() + retry_for;
+  for (;;) {
+    const int fd = new_tcp_fd();
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return TcpStream(fd);
+    }
+    const int err = errno;
+    ::close(fd);
+    // Refusals are the normal master/worker startup race; retry them
+    // inside the budget. Anything else (unreachable, EACCES) is final.
+    const bool retryable = err == ECONNREFUSED || err == ECONNRESET || err == ETIMEDOUT;
+    if (!retryable || std::chrono::steady_clock::now() >= deadline) {
+      errno = err;
+      raise_errno("connect to " + host + ":" + std::to_string(port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::size_t TcpStream::read_some(std::span<std::byte> dst) {
+  if (fd_ < 0) throw SocketError("read_some on a closed stream");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, dst.data(), dst.size(), 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // orderly EOF
+    if (errno == EINTR) continue;
+    // A peer that vanished (reset) or a local shutdown_rw() both mean
+    // "this conversation is over" -- surface as EOF, not an exception,
+    // so dispatch loops wind down the same way for every cause.
+    if (errno == ECONNRESET || errno == ESHUTDOWN) return 0;
+    raise_errno("recv");
+  }
+}
+
+void TcpStream::write_all(std::span<const std::byte> data) {
+  if (fd_ < 0) throw SocketError("write_all on a closed stream");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a closed peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::shutdown_rw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  fd_ = new_tcp_fd();
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    raise_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    raise_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    raise_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpStream> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpStream(fd);
+    }
+    if (errno == EINTR) continue;
+    // close() shut the listener down (EINVAL on Linux), or the fd is
+    // otherwise done accepting: the accept loop should exit cleanly.
+    return std::nullopt;
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace yf::dist

@@ -1,0 +1,101 @@
+// Minimal blocking TCP transport for the distributed engine
+// (DESIGN.md §12). POSIX sockets only -- the CI and deployment targets
+// are Linux; there is no portability shim.
+//
+// TcpStream implements the framing layer's ByteSource/ByteSink: it owns
+// the partial-I/O handling the codec relies on (read_some maps one recv,
+// which may be short; write_all loops send until every byte is out,
+// retrying EINTR and suppressing SIGPIPE). TcpListener wraps
+// bind/listen/accept with an ephemeral-port mode (port 0: the kernel
+// picks, port() reports) so tests and single-host deployments never
+// race on a fixed port.
+//
+// Unblocking semantics (the drain-on-shutdown idiom needs them): a
+// thread blocked in accept() is released by TcpListener::close(), and a
+// thread blocked in read_some() by TcpStream::shutdown_rw() -- both via
+// ::shutdown on the fd, which is async-signal-free and leaves the fd
+// valid until the owner destructs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "dist/wire.hpp"
+
+namespace yf::dist {
+
+/// OS-level socket failure (connect refused, send on closed peer, ...).
+/// Distinct from WireError: a SocketError may be retryable (connect), a
+/// WireError never is.
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class TcpStream final : public ByteSource, public ByteSink {
+ public:
+  TcpStream() = default;
+  /// Adopts an already-connected fd (the listener's accept path).
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() override;
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connect to host:port, retrying refused connections until `retry_for`
+  /// has elapsed (masters and workers race at startup; 0 = one attempt).
+  static TcpStream connect(const std::string& host, std::uint16_t port,
+                           std::chrono::milliseconds retry_for = std::chrono::milliseconds(0));
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// One recv: at least 1 byte unless EOF (returns 0). A reset peer reads
+  /// as EOF -- the dispatch loops treat "gone" uniformly.
+  std::size_t read_some(std::span<std::byte> dst) override;
+
+  /// Loop send until all of `data` is written; throws SocketError.
+  void write_all(std::span<const std::byte> data) override;
+
+  /// Shut down both directions: a peer or a local thread blocked in
+  /// read_some() returns EOF. Safe to call from another thread; the fd
+  /// stays valid until destruction.
+  void shutdown_rw();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  /// Bind + listen on host:port; port 0 asks the kernel for an ephemeral
+  /// port (read it back with port()).
+  TcpListener(const std::string& host, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Block for one connection; nullopt once close() has been called (the
+  /// release path of the accept thread).
+  std::optional<TcpStream> accept();
+
+  /// Release any thread blocked in accept(); idempotent, callable from
+  /// any thread. The fd itself is reclaimed by the destructor.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace yf::dist

@@ -1,0 +1,215 @@
+#include "dist/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace yf::dist {
+
+namespace {
+
+// "YFWP" as individual bytes; written/compared bytewise so the magic is
+// the same octet sequence on any host.
+constexpr std::uint8_t kMagic[4] = {0x59, 0x46, 0x57, 0x50};
+
+void put_le(std::vector<std::byte>& out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_le(std::span<const std::byte> in, std::size_t offset, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(in[offset + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool op_known(std::uint16_t op) {
+  return op >= static_cast<std::uint16_t>(Op::kHello) && op <= static_cast<std::uint16_t>(Op::kError);
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kHello: return "hello";
+    case Op::kHelloAck: return "hello_ack";
+    case Op::kPull: return "pull";
+    case Op::kPullReply: return "pull_reply";
+    case Op::kPush: return "push";
+    case Op::kPushReply: return "push_reply";
+    case Op::kShutdown: return "shutdown";
+    case Op::kShutdownAck: return "shutdown_ack";
+    case Op::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::byte b : data) {
+    h ^= std::to_integer<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool read_exact(ByteSource& src, std::span<std::byte> dst, const char* what) {
+  std::size_t filled = 0;
+  while (filled < dst.size()) {
+    const std::size_t n = src.read_some(dst.subspan(filled));
+    if (n == 0) {
+      if (filled == 0) return false;
+      throw WireError(std::string("torn frame: stream ended inside ") + what);
+    }
+    filled += n;
+  }
+  return true;
+}
+
+void encode_frame(std::vector<std::byte>& out, Op op, std::span<const std::byte> payload) {
+  out.reserve(out.size() + kHeaderBytes + payload.size());
+  for (const std::uint8_t m : kMagic) out.push_back(static_cast<std::byte>(m));
+  put_le(out, kWireVersion, 2);
+  put_le(out, static_cast<std::uint16_t>(op), 2);
+  put_le(out, 0, 4);  // shard (reserved in v1)
+  put_le(out, 0, 8);  // shard version (reserved in v1)
+  put_le(out, payload.size(), 8);
+  put_le(out, fnv1a64(payload), 8);
+  put_le(out, 0, 4);  // reserved
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void write_frame(ByteSink& sink, Op op, std::span<const std::byte> payload,
+                 std::vector<std::byte>& scratch) {
+  scratch.clear();
+  encode_frame(scratch, op, payload);
+  sink.write_all(scratch);
+}
+
+bool read_frame(ByteSource& src, FrameHeader& header, std::vector<std::byte>& payload,
+                std::size_t max_payload) {
+  std::byte raw[kHeaderBytes];
+  if (!read_exact(src, raw, "frame header")) return false;
+  const std::span<const std::byte> h(raw, kHeaderBytes);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (std::to_integer<std::uint8_t>(h[i]) != kMagic[i]) {
+      throw WireError("bad frame magic (desynchronized or not a YF peer)");
+    }
+  }
+  header.version = static_cast<std::uint16_t>(get_le(h, 4, 2));
+  if (header.version != kWireVersion) {
+    throw WireError("unsupported wire version " + std::to_string(header.version) + " (want " +
+                    std::to_string(kWireVersion) + ")");
+  }
+  const auto op_raw = static_cast<std::uint16_t>(get_le(h, 6, 2));
+  if (!op_known(op_raw)) {
+    throw WireError("unknown frame op " + std::to_string(op_raw));
+  }
+  header.op = static_cast<Op>(op_raw);
+  header.shard = static_cast<std::uint32_t>(get_le(h, 8, 4));
+  header.shard_version = get_le(h, 12, 8);
+  if (header.shard != 0 || header.shard_version != 0) {
+    throw WireError("nonzero shard fields in a v1 frame (reserved)");
+  }
+  header.payload_len = get_le(h, 20, 8);
+  header.checksum = get_le(h, 28, 8);
+  if (get_le(h, 36, 4) != 0) {
+    throw WireError("nonzero reserved header bytes");
+  }
+  // Bound BEFORE allocating: an oversized length is rejected from the
+  // header alone, so a corrupt peer cannot make us reserve gigabytes.
+  if (header.payload_len > max_payload) {
+    throw WireError("frame payload " + std::to_string(header.payload_len) +
+                    " exceeds the negotiated bound " + std::to_string(max_payload));
+  }
+  payload.resize(static_cast<std::size_t>(header.payload_len));
+  if (!payload.empty() && !read_exact(src, payload, "frame payload")) {
+    throw WireError("torn frame: stream ended inside frame payload");
+  }
+  const std::uint64_t sum = fnv1a64(payload);
+  if (sum != header.checksum) {
+    throw WireError("payload checksum mismatch (frame corrupted in transit)");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PayloadWriter / PayloadReader
+// ---------------------------------------------------------------------------
+
+void PayloadWriter::u8(std::uint8_t v) { put_le(*out_, v, 1); }
+void PayloadWriter::u16(std::uint16_t v) { put_le(*out_, v, 2); }
+void PayloadWriter::u32(std::uint32_t v) { put_le(*out_, v, 4); }
+void PayloadWriter::u64(std::uint64_t v) { put_le(*out_, v, 8); }
+void PayloadWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+void PayloadWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void PayloadWriter::f64_span(std::span<const double> v) {
+  out_->reserve(out_->size() + v.size() * 8);
+  for (const double d : v) f64(d);
+}
+
+void PayloadWriter::i64_span(std::span<const std::int64_t> v) {
+  out_->reserve(out_->size() + v.size() * 8);
+  for (const std::int64_t x : v) i64(x);
+}
+
+void PayloadWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) out_->push_back(static_cast<std::byte>(c));
+}
+
+std::span<const std::byte> PayloadReader::take(std::size_t n, const char* what) {
+  if (n > data_.size() - pos_) {
+    throw WireError(std::string("payload underrun reading ") + what);
+  }
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t PayloadReader::u8() { return static_cast<std::uint8_t>(get_le(take(1, "u8"), 0, 1)); }
+std::uint16_t PayloadReader::u16() {
+  return static_cast<std::uint16_t>(get_le(take(2, "u16"), 0, 2));
+}
+std::uint32_t PayloadReader::u32() {
+  return static_cast<std::uint32_t>(get_le(take(4, "u32"), 0, 4));
+}
+std::uint64_t PayloadReader::u64() { return get_le(take(8, "u64"), 0, 8); }
+std::int64_t PayloadReader::i64() { return static_cast<std::int64_t>(u64()); }
+double PayloadReader::f64() { return std::bit_cast<double>(u64()); }
+
+void PayloadReader::f64_span(std::span<double> dst) {
+  const auto bytes = take(dst.size() * 8, "f64 span");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = std::bit_cast<double>(get_le(bytes, i * 8, 8));
+  }
+}
+
+void PayloadReader::i64_span(std::span<std::int64_t> dst) {
+  const auto bytes = take(dst.size() * 8, "i64 span");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::int64_t>(get_le(bytes, i * 8, 8));
+  }
+}
+
+std::string PayloadReader::str(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) throw WireError("payload string exceeds bound");
+  const auto bytes = take(len, "string");
+  std::string s;
+  s.reserve(len);
+  for (const std::byte b : bytes) s.push_back(static_cast<char>(std::to_integer<std::uint8_t>(b)));
+  return s;
+}
+
+void PayloadReader::expect_end() const {
+  if (pos_ != data_.size()) {
+    throw WireError("trailing bytes after payload (peer speaking a newer dialect?)");
+  }
+}
+
+}  // namespace yf::dist

@@ -29,16 +29,28 @@ LMServer::LMServer(const nn::LSTMLanguageModel& model, ServeOptions opts)
   }
 }
 
-LMServer::~LMServer() {
+LMServer::~LMServer() { shutdown(); }
+
+void LMServer::shutdown() {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;  // idempotent; the first caller drains and joins
+    // 1. Close intake: infer() calls from here on are refused.
     stopping_ = true;
   }
+  // 2. Drain: workers keep serving until the ring is empty (worker_loop
+  //    exits only on `stopping_ && count_ == 0`), then join them.
   queue_cv_.notify_all();
+  space_cv_.notify_all();
   for (auto& th : threads_) th.join();
+  // 3. Only now is the object quiescent; publish() starts refusing.
+  stopped_.store(true, std::memory_order_release);
 }
 
 std::uint64_t LMServer::infer(std::span<const std::int64_t> tokens, std::span<double> logits_out) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    throw std::logic_error("LMServer::infer after shutdown");
+  }
   if (static_cast<std::int64_t>(tokens.size()) != opts_.seq_len) {
     throw std::invalid_argument("LMServer::infer: expected exactly seq_len tokens");
   }

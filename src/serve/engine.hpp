@@ -13,10 +13,15 @@
 //    plans are warmed at thread start, so steady-state serving performs
 //    zero heap allocations (pinned by tests/alloc_count_test.cpp).
 //
-// Shutdown drains the queue: requests enqueued before the destructor runs
-// are served, not dropped.
+// Shutdown follows the repo-wide drain-on-shutdown idiom (DESIGN.md §12,
+// shared with dist::MasterServer): shutdown() closes intake first (new
+// infer()/publish() calls are refused), drains -- requests enqueued
+// before shutdown are served, not dropped -- joins the workers, and only
+// then flips stopped(). Entry points called after shutdown() throw
+// std::logic_error instead of racing a dying object.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -58,7 +63,21 @@ class LMServer {
 
   /// Snapshot the current arena values as a new version (trainer-side;
   /// wait-free, never blocks on inference). Returns the new version.
-  std::uint64_t publish() { return store_.publish(arena_.values()); }
+  /// Throws std::logic_error once the server has been shut down -- a
+  /// publish racing teardown used to silently write into a store whose
+  /// readers were going away; now it is a loud contract violation.
+  std::uint64_t publish() {
+    if (stopped_.load(std::memory_order_acquire)) {
+      throw std::logic_error("LMServer::publish after shutdown");
+    }
+    return store_.publish(arena_.values());
+  }
+
+  /// Drain-on-shutdown (idiom above): refuse new work, serve what is
+  /// queued, join the workers, flip stopped(). Idempotent; also run by
+  /// the destructor.
+  void shutdown();
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
   /// Serve one request of exactly seq_len tokens: blocks until a worker
   /// has run it (possibly coalesced with concurrent requests) and filled
@@ -96,7 +115,8 @@ class LMServer {
   std::vector<Request*> ring_;        ///< fixed-capacity FIFO of waiting requests
   std::int64_t head_ = 0;
   std::int64_t count_ = 0;
-  bool stopping_ = false;
+  bool stopping_ = false;            ///< intake closed; workers drain and exit
+  std::atomic<bool> stopped_{false};  ///< drained and joined (publish guard)
   ServeStats stats_;
 
   std::vector<std::thread> threads_;

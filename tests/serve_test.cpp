@@ -275,6 +275,36 @@ TEST(Serve, CoalescedBatchesMatchOneByOneRequests) {
   EXPECT_LT(st.batches, st.requests) << "concurrent requests should coalesce";
 }
 
+// The drain-on-shutdown idiom (DESIGN.md §12, shared with the distributed
+// MasterServer): shutdown() is idempotent, already-served work stays
+// valid, and post-shutdown entry points are loud contract violations
+// instead of races against teardown.
+TEST(Serve, ShutdownIsIdempotentAndPinsPostShutdownCalls) {
+  const auto cfg = small_lm_config(false);
+  t::Rng rng(5);
+  nn::LSTMLanguageModel model(cfg, rng);
+  serve::ServeOptions opts;
+  opts.seq_len = 6;
+  opts.max_wait_us = 0;
+  serve::LMServer server(model, opts);
+
+  t::Rng data_rng(3);
+  const auto tokens = sample_tokens(opts.seq_len, cfg.vocab, data_rng);
+  std::vector<double> logits(static_cast<std::size_t>(opts.seq_len * cfg.vocab), 0.0);
+  EXPECT_EQ(server.publish(), 2u);  // live: the trainer-side path works...
+  EXPECT_EQ(server.infer(tokens, logits), 2u);
+  EXPECT_FALSE(server.stopped());
+
+  server.shutdown();
+  server.shutdown();  // idempotent
+  EXPECT_TRUE(server.stopped());
+  // ...and after shutdown both entry points refuse instead of racing a
+  // store/queue whose workers are gone.
+  EXPECT_THROW(server.publish(), std::logic_error);
+  EXPECT_THROW(server.infer(tokens, logits), std::logic_error);
+  // The destructor's shutdown() is a no-op on the already-drained server.
+}
+
 TEST(Serve, ServesWhileTrainerPublishes) {
   const auto cfg = small_lm_config(false);
   t::Rng rng(5);

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (CI `docs` job + `md_link_check` ctest).
+
+Checks every inline link in the given markdown files:
+
+  * local file links (`[x](DESIGN.md)`, `[x](bench/baselines.json)`) must
+    point at an existing file, resolved relative to the containing file;
+  * anchor links (`[x](#quickstart)`, `[x](DESIGN.md#5-asynchrony)`) must
+    match a heading in the target file under GitHub's slugification
+    (lowercase; spaces -> hyphens; everything but ASCII alphanumerics,
+    hyphens and underscores dropped; duplicate slugs suffixed -1, -2, ...);
+  * external links (http/https/mailto) are NOT fetched -- this gate is
+    about repo-internal rot, and CI must not flake on the network.
+
+Links inside fenced code blocks and inline code spans are ignored.
+Exits non-zero listing every broken link, so doc rot fails the build.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+FENCE_RE = re.compile(r"^\s*(?:```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(?P<text>.*?)\s*#*\s*$")
+# [text](target) with an optional "title"; target itself has no spaces.
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?(?P<target>[^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading, taken):
+    """GitHub anchor for a heading, disambiguated against `taken` (a dict
+    slug -> count, mutated). Backticks and emphasis markers contribute
+    their inner text; punctuation (., :, /, section signs, dashes other
+    than ASCII '-') is dropped entirely, and each space becomes a hyphen."""
+    text = heading.replace("`", "").replace("*", "")
+    out = []
+    for ch in text.strip().lower():
+        if (ch.isascii() and ch.isalnum()) or ch in "-_":
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+        # anything else (punctuation, unicode dashes, section signs) drops
+    slug = "".join(out)
+    n = taken.get(slug, 0)
+    taken[slug] = n + 1
+    return slug if n == 0 else f"{slug}-{n}"
+
+
+def collect_anchors(path, cache):
+    """All valid GitHub heading anchors in a markdown file."""
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    taken = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group("text"), taken))
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(md_path, root, anchor_cache):
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(md_path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(CODE_SPAN_RE.sub("", line)):
+            target = m.group("target")
+            if target.startswith(SKIP_SCHEMES):
+                continue
+
+            def broken(why):
+                errors.append(f"{md_path.relative_to(root)}:{lineno}: ({target}) {why}")
+
+            if target.startswith("#"):
+                if target[1:] not in collect_anchors(md_path, anchor_cache):
+                    broken("no such anchor in this file")
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = (md_path.parent / path_part).resolve()
+            if not dest.exists():
+                broken("file does not exist")
+                continue
+            if root not in dest.parents and dest != root:
+                broken("points outside the repository")
+                continue
+            if anchor:
+                if dest.suffix.lower() not in (".md", ".markdown"):
+                    broken("anchor on a non-markdown file")
+                elif anchor not in collect_anchors(dest, anchor_cache):
+                    broken(f"no such anchor in {dest.name}")
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root (default: cwd)")
+    parser.add_argument(
+        "files",
+        nargs="*",
+        default=["README.md", "DESIGN.md", "CHANGES.md"],
+        help="markdown files to check, relative to --root",
+    )
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+
+    anchor_cache = {}
+    errors = []
+    checked = 0
+    for name in args.files:
+        md_path = (root / name).resolve()
+        if not md_path.is_file():
+            errors.append(f"{name}: listed for checking but does not exist")
+            continue
+        checked += 1
+        errors.extend(check_file(md_path, root, anchor_cache))
+
+    if errors:
+        print(f"check_md_links: {len(errors)} broken link(s):", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"check_md_links: OK ({checked} file(s), no broken local links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
