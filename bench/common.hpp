@@ -112,7 +112,13 @@ class JsonReporter : public benchmark::ConsoleReporter {
       std::cerr << "JsonReporter: cannot write " << path << "\n";
       return;
     }
-    const std::string sha = env_or("YF_GIT_SHA", env_or("GITHUB_SHA", "unknown"));
+    // Env pins win (CI exports the exact commit under test); otherwise
+    // fall back to the sha CMake captured at configure time, and only
+    // then to "unknown" (non-git checkout, or a non-CMake build).
+#ifndef YF_CMAKE_GIT_SHA
+#define YF_CMAKE_GIT_SHA "unknown"
+#endif
+    const std::string sha = env_or("YF_GIT_SHA", env_or("GITHUB_SHA", YF_CMAKE_GIT_SHA));
     out << "{\n";
     out << "  \"bench\": \"" << escape(bench_) << "\",\n";
     out << "  \"git_sha\": \"" << escape(sha) << "\",\n";

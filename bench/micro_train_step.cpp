@@ -20,8 +20,15 @@
 // variant fuses the apply into backward via completion hooks
 // (optim::OverlappedApply), so its backward_ns absorbs most of apply_ns.
 //
-// Args: the LM runs {batch, seq_len_plus1[, threads]}, the quadratic
-// runs {rows, dim[, threads]}.
+// The Tape variants additionally take a trailing `fused` arg (0/1)
+// flipping the tape's elementwise-chain fusion pass (DESIGN.md §13) via
+// set_tape_fusion, and report the tape's fusion counters (fused_nodes /
+// fusion_chains / eliminated_intermediate_bytes) plus the workspace
+// high-water mark (workspace_peak_bytes) so the JSON shows both the
+// time and the memory the fused sweeps buy.
+//
+// Args: the LM runs {batch, seq_len_plus1[, threads, fused]}, the
+// quadratic runs {rows, dim[, threads, fused]}.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -85,6 +92,26 @@ void use_backward_threads(ag::GraphTape& tape, std::int64_t threads) {
   tape.set_backward_threads(static_cast<int>(threads));
 }
 
+/// The fusion toggle is a process-wide setting: force it per bench run
+/// and restore afterwards so later benches see the environment default.
+struct FusionToggle {
+  bool prev;
+  explicit FusionToggle(bool on) : prev(ag::tape_fusion_enabled()) { ag::set_tape_fusion(on); }
+  ~FusionToggle() { ag::set_tape_fusion(prev); }
+};
+
+/// Fusion + workspace counters for the tape benches: what the fused
+/// sweeps eliminated, and the peak workspace footprint of the run.
+void report_tape_counters(benchmark::State& state, const ag::GraphTape& tape) {
+  state.counters["fused_nodes"] = benchmark::Counter(static_cast<double>(tape.fused_nodes()));
+  state.counters["fusion_chains"] =
+      benchmark::Counter(static_cast<double>(tape.fusion_chains()));
+  state.counters["eliminated_intermediate_bytes"] =
+      benchmark::Counter(static_cast<double>(tape.eliminated_intermediate_bytes()));
+  state.counters["workspace_peak_bytes"] =
+      benchmark::Counter(static_cast<double>(tape.workspace().high_water_bytes()));
+}
+
 struct LmTask {
   std::vector<std::vector<std::int64_t>> batches;
   std::unique_ptr<nn::LSTMLanguageModel> model;
@@ -136,6 +163,7 @@ void BM_LmTrainStep_Heap(benchmark::State& state) {
 }
 
 void BM_LmTrainStep_Tape(benchmark::State& state) {
+  FusionToggle fusion(state.range(3) != 0);
   LmTask task(state.range(0), state.range(1));
   ag::GraphTape tape;
   use_backward_threads(tape, state.range(2));
@@ -144,9 +172,12 @@ void BM_LmTrainStep_Tape(benchmark::State& state) {
   std::size_t i = 0;
   double sink = 0.0;
   // Warm-up outside the timed loop: record the graph, size the workspace,
-  // build the backward engine's dependency plan.
-  tape.begin_step();
-  sink += task.step(i++, warmup_clock);
+  // build the backward engine's dependency plan, and (fused runs) let the
+  // fusion pass stabilize, rebuild, and land its first fused replay.
+  for (int w = 0; w < 4; ++w) {
+    tape.begin_step();
+    sink += task.step(i++, warmup_clock);
+  }
   for (auto _ : state) {
     tape.begin_step();
     sink += task.step(i++, clock);
@@ -154,14 +185,17 @@ void BM_LmTrainStep_Tape(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations());
   clock.report(state);
+  report_tape_counters(state, tape);
 }
 
 BENCHMARK(BM_LmTrainStep_Heap)->Args({4, 9})->Args({8, 17});
 BENCHMARK(BM_LmTrainStep_Tape)
-    ->Args({4, 9, 1})
-    ->Args({8, 17, 1})
-    ->Args({8, 17, 2})
-    ->Args({8, 17, 4});
+    ->Args({4, 9, 1, 0})
+    ->Args({4, 9, 1, 1})
+    ->Args({8, 17, 1, 0})
+    ->Args({8, 17, 1, 1})
+    ->Args({8, 17, 2, 1})
+    ->Args({8, 17, 4, 1});
 
 struct QuadraticTask {
   ag::Variable w, x, y;
@@ -199,13 +233,17 @@ void BM_QuadraticTrainStep_Heap(benchmark::State& state) {
 }
 
 void BM_QuadraticTrainStep_Tape(benchmark::State& state) {
+  FusionToggle fusion(state.range(3) != 0);
   QuadraticTask task(state.range(0), state.range(1));
   ag::GraphTape tape;
   use_backward_threads(tape, state.range(2));
   ag::TapeScope scope(&tape);
   PhaseClock warmup_clock, clock;
-  tape.begin_step();
-  double sink = task.step(warmup_clock);
+  double sink = 0.0;
+  for (int w = 0; w < 4; ++w) {
+    tape.begin_step();
+    sink += task.step(warmup_clock);
+  }
   for (auto _ : state) {
     tape.begin_step();
     sink += task.step(clock);
@@ -213,6 +251,7 @@ void BM_QuadraticTrainStep_Tape(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations());
   clock.report(state);
+  report_tape_counters(state, tape);
 }
 
 /// Backward/apply overlap: MomentumSGD shard updates fire from the tape's
@@ -248,10 +287,12 @@ void BM_QuadraticTrainStep_TapeOverlap(benchmark::State& state) {
 
 BENCHMARK(BM_QuadraticTrainStep_Heap)->Args({16, 16})->Args({32, 64});
 BENCHMARK(BM_QuadraticTrainStep_Tape)
-    ->Args({16, 16, 1})
-    ->Args({32, 64, 1})
-    ->Args({32, 64, 2})
-    ->Args({32, 64, 4});
+    ->Args({16, 16, 1, 0})
+    ->Args({16, 16, 1, 1})
+    ->Args({32, 64, 1, 0})
+    ->Args({32, 64, 1, 1})
+    ->Args({32, 64, 2, 1})
+    ->Args({32, 64, 4, 1});
 BENCHMARK(BM_QuadraticTrainStep_TapeOverlap)
     ->Args({32, 64, 1})
     ->Args({32, 64, 4});

@@ -207,11 +207,30 @@ TEST(AllocCount, GemmPackingIsAllocationFreeInSteadyState) {
     sink += loss.value().item();
   };
   for (int i = 0; i < 3; ++i) step();
+  // Under the parallel backward engine the matmul pullbacks can land on
+  // pool helper threads whose per-thread GEMM packing workspaces
+  // (core/gemm.cpp) are still cold, and which helper executes a node is
+  // scheduling-dependent -- so that one-time warm-up (a handful of
+  // allocations per pack shape, per thread) may fall inside the measured
+  // region. The contract under threads is therefore step-count
+  // independence: allocations over 64 steps must stay within the
+  // O(threads) warm-up budget. Serial keeps the strict zero.
+  const int participants = tape.backward_threads();
   const auto steps_allocs = allocations_during([&] {
-    for (int i = 0; i < 16; ++i) step();
+    for (int i = 0; i < 64; ++i) step();
   });
-  EXPECT_EQ(steps_allocs, 0u)
-      << "packed-GEMM training steps must not touch the heap after warm-up";
+  if (participants <= 1) {
+    EXPECT_EQ(steps_allocs, 0u)
+        << "packed-GEMM training steps must not touch the heap after warm-up";
+  } else {
+    // Two pack shapes (the NT/TN pullbacks) x at most 16 allocations of
+    // workspace growth per cold helper thread; any per-step allocation
+    // would overshoot this budget by the loop length.
+    const auto warmup_budget = static_cast<std::uint64_t>(participants - 1) * 16u;
+    EXPECT_LE(steps_allocs, warmup_budget)
+        << "packed-GEMM training allocations must be one-time per-thread "
+           "warm-up, not per-step";
+  }
   EXPECT_TRUE(std::isfinite(sink));
 }
 
@@ -484,8 +503,58 @@ TEST(AllocCount, ServerWorkersWithModelReplicasAndTapes) {
   (void)run(12);  // warm-up: tape recording on each worker thread
   const auto short_run = run(12);
   const auto long_run = run(48);
-  // Same slack rationale as above: 2 workers x 36 extra model steps
-  // would show up as hundreds of counts if any per-step path allocated.
-  EXPECT_LE(long_run, short_run + 4)
+  // Same slack rationale as above, plus headroom for one-time per-thread
+  // warm-up: run_workers places worker bodies on arbitrary pool threads,
+  // and the first body a given thread ever runs pays for its
+  // thread_local push staging (ShardedParamServer::begin_push) -- an
+  // O(pool threads) cost that lands nondeterministically in either run.
+  // A real per-step leak would add at least 72 counts (2 workers x 36
+  // extra steps), far above this slack.
+  EXPECT_LE(long_run, short_run + 24)
       << "model forward/backward on worker replicas must replay allocation-free";
+}
+
+TEST(AllocCount, FusedTapeReplayIsAllocationFreeAndFusesOnlyAtWarmup) {
+  force_inline_parallelism();
+  // Tape fusion (DESIGN.md §13) forced on: the scan, the chain programs,
+  // and the workspace rebuild are warm-up work; fused steady-state replay
+  // (single-sweep forward + backward through the chain) must stay on the
+  // zero-allocation contract, and the pass must not re-fire per step.
+  const bool prev_fusion = ag::tape_fusion_enabled();
+  ag::set_tape_fusion(true);
+  t::Rng rng(37);
+  ag::Variable w(rng.normal_tensor({64}), /*requires_grad=*/true);
+  ag::Variable x(rng.normal_tensor({64}));
+  yf::optim::MomentumSGD opt({w}, 0.01, 0.9);
+
+  ag::GraphTape tape;
+  ag::TapeScope scope(&tape);
+  double sink = 0.0;
+  auto step = [&] {
+    tape.begin_step();
+    opt.zero_grad();
+    // A deep elementwise chain: mul -> tanh -> mul_scalar -> sigmoid ->
+    // square fuses into one sweep with its interiors dropped.
+    auto loss = ag::sum(ag::square(ag::sigmoid(ag::mul_scalar(ag::tanh(ag::mul(x, w)), 0.5))));
+    loss.backward();
+    opt.step();
+    sink += loss.value().item();
+  };
+  // Warm-up: record (1), full replay -> stable (2), fusion rebuild (3),
+  // first fused replay + cached traversal (4).
+  for (int i = 0; i < 4; ++i) step();
+  ASSERT_GT(tape.fused_nodes(), 0) << "fusion must engage for this test to mean anything";
+  const auto rebuilds = tape.fusion_rebuilds();
+
+  const auto short_run = allocations_during([&] {
+    for (int i = 0; i < 8; ++i) step();
+  });
+  const auto long_run = allocations_during([&] {
+    for (int i = 0; i < 32; ++i) step();
+  });
+  EXPECT_EQ(short_run, 0u) << "steady-state fused replay must not touch the heap";
+  EXPECT_EQ(long_run, 0u) << "fused-replay allocations must be step-count independent";
+  EXPECT_EQ(tape.fusion_rebuilds(), rebuilds) << "the fusion pass must not re-fire per step";
+  EXPECT_TRUE(std::isfinite(sink));
+  ag::set_tape_fusion(prev_fusion);
 }
