@@ -9,6 +9,13 @@
 // distributed engine pays per update. Bytes/s counts the payload doubles
 // moved both directions, which is the number to watch when sizing a
 // deployment's network budget.
+//
+// The socket bench sweeps a second `faultplan` axis (DESIGN.md §14):
+// 0 runs the bare transport, 1 arms a seeded zero-probability
+// FaultInjector on both endpoints. No fault ever fires, so the delta
+// between the two prices the injection machinery itself -- the per-frame
+// decision draw plus the FaultyStream indirection -- which is what chaos
+// CI pays on every frame.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -18,6 +25,7 @@
 #include "common.hpp"
 #include "dist/channel.hpp"
 #include "dist/client.hpp"
+#include "dist/fault.hpp"
 #include "dist/master.hpp"
 #include "optim/momentum_sgd.hpp"
 #include "tensor/random.hpp"
@@ -72,16 +80,31 @@ void BM_DistRoundTripInproc(benchmark::State& state) {
 
 void BM_DistRoundTripSocket(benchmark::State& state) {
   const std::int64_t dim = state.range(0);
+  const bool armed = state.range(1) != 0;
   Fixture fx(dim);
-  dist::MasterServer net(*fx.server);
-  dist::RemoteParamClient client("127.0.0.1", net.port(), std::chrono::seconds(5));
+  // Zero-probability plans: next() is drawn for every frame but always
+  // decides kNone, so the bench measures pure machinery overhead.
+  dist::FaultInjector master_inj{dist::FaultPlan::parse("seed=42")};
+  dist::FaultInjector client_inj{dist::FaultPlan::parse("seed=43")};
+  dist::MasterOptions mopts;
+  if (armed) mopts.injector = &master_inj;
+  dist::MasterServer net(*fx.server, mopts);
+  dist::ClientOptions copts;
+  copts.port = net.port();
+  if (armed) copts.injector = &client_inj;
+  dist::RemoteParamClient client(copts);
   run_rounds(state, fx, client, dim);
   client.shutdown();
   net.shutdown();
 }
 
 BENCHMARK(BM_DistRoundTripInproc)->Arg(1 << 10)->Arg(1 << 15)->ArgNames({"dim"})->UseRealTime();
-BENCHMARK(BM_DistRoundTripSocket)->Arg(1 << 10)->Arg(1 << 15)->ArgNames({"dim"})->UseRealTime();
+BENCHMARK(BM_DistRoundTripSocket)
+    ->Args({1 << 10, 0})
+    ->Args({1 << 10, 1})
+    ->Args({1 << 15, 0})
+    ->ArgNames({"dim", "faultplan"})
+    ->UseRealTime();
 
 }  // namespace
 

@@ -4,10 +4,14 @@
 // With no arguments it orchestrates the whole topology itself: fork a
 // master process (ShardedParamServer + MasterServer on an ephemeral
 // port), read the port over a pipe, fork two worker processes that each
-// connect a RemoteParamClient and train a noisy quadratic bowl, then
-// reap all three and fail loudly unless the master saw both clean
-// shutdowns AND the loss collapsed. The CI dist smoke job runs exactly
-// this (it is also the example_dist_training_smoke ctest).
+// connect a RemoteParamClient and train a noisy quadratic bowl -- plus a
+// third "victim" worker the parent SIGKILLs mid-run (the crash smoke,
+// DESIGN.md §14). The run must shrug the crash off: the master reaps the
+// dead connection via deadline/EOF instead of hanging, the survivors
+// complete their clean shutdowns, the loss still collapses, and the
+// master's stats must show the victim's disconnect. The CI dist smoke
+// job runs exactly this (it is also the example_dist_training_smoke
+// ctest).
 //
 // The same binary is the operator's entry point for running the roles by
 // hand across terminals or hosts:
@@ -51,8 +55,12 @@ constexpr int kWorkers = 2;
 
 /// Master role: serve the bowl parameters until `workers` clients have
 /// departed cleanly, then report. `port_pipe_fd` >= 0 (auto mode) means
-/// "bind ephemeral and send the port up the pipe".
-int run_master(std::uint16_t port, int workers, int port_pipe_fd) {
+/// "bind ephemeral and send the port up the pipe". `expect_crashes` > 0
+/// is the crash-smoke contract: that many workers will die without the
+/// shutdown handshake, so protocol errors/disconnects from them are
+/// tolerated -- but at least that many must actually show up in stats,
+/// proving the master reaped the carcasses instead of hanging.
+int run_master(std::uint16_t port, int workers, int port_pipe_fd, int expect_crashes) {
   ag::Variable x(t::Tensor::full({kDim}, 1.5), true);
   auto opt = std::make_shared<yf::optim::MomentumSGD>(std::vector<ag::Variable>{x}, 0.05,
                                                       kMuTarget);
@@ -89,19 +97,36 @@ int run_master(std::uint16_t port, int workers, int port_pipe_fd) {
   for (const double v : x.value().data()) loss += 0.5 * v * v;
   const auto stats = net.stats();
   std::printf("[master] done: %lld updates, %lld pulls, %lld pushes, %lld clean shutdowns, "
-              "final loss %.6f\n",
+              "%lld disconnects, %lld errors, final loss %.6f\n",
               static_cast<long long>(server.updates()), static_cast<long long>(stats.pulls),
               static_cast<long long>(stats.pushes),
-              static_cast<long long>(stats.clean_shutdowns), loss);
+              static_cast<long long>(stats.clean_shutdowns),
+              static_cast<long long>(stats.disconnects), static_cast<long long>(stats.errors),
+              loss);
   // From 0.5 * 64 * 1.5^2 = 72: even the smoke budget must collapse this.
   if (loss >= 1.0) {
     std::fprintf(stderr, "[master] FAIL: loss %.6f did not converge below 1.0\n", loss);
     return 1;
   }
-  if (stats.errors != 0 || stats.clean_shutdowns < workers) {
-    std::fprintf(stderr, "[master] FAIL: protocol errors %lld, clean shutdowns %lld\n",
-                 static_cast<long long>(stats.errors),
-                 static_cast<long long>(stats.clean_shutdowns));
+  if (stats.clean_shutdowns < workers) {
+    std::fprintf(stderr, "[master] FAIL: clean shutdowns %lld < %d\n",
+                 static_cast<long long>(stats.clean_shutdowns), workers);
+    return 1;
+  }
+  if (expect_crashes > 0) {
+    // A SIGKILLed worker surfaces as an EOF (disconnect) or a torn frame
+    // (error) depending on where the kill lands; either proves the reap.
+    if (stats.disconnects + stats.errors < expect_crashes) {
+      std::fprintf(stderr,
+                   "[master] FAIL: expected %d crashed workers, saw %lld disconnects + %lld "
+                   "errors\n",
+                   expect_crashes, static_cast<long long>(stats.disconnects),
+                   static_cast<long long>(stats.errors));
+      return 1;
+    }
+  } else if (stats.errors != 0) {
+    std::fprintf(stderr, "[master] FAIL: %lld protocol errors\n",
+                 static_cast<long long>(stats.errors));
     return 1;
   }
   return 0;
@@ -109,7 +134,10 @@ int run_master(std::uint16_t port, int workers, int port_pipe_fd) {
 
 /// Worker role: one RemoteParamClient training the bowl for `steps`
 /// pull/compute/push rounds, then the clean-departure handshake.
-int run_worker(const std::string& host, std::uint16_t port, int steps, std::uint64_t seed) {
+/// `compute_delay_us` pads each step (the crash-smoke victim uses it to
+/// stay mid-run until the parent's SIGKILL lands).
+int run_worker(const std::string& host, std::uint16_t port, int steps, std::uint64_t seed,
+               std::int64_t compute_delay_us = 0) {
   dist::RemoteParamClient client(host, port, std::chrono::seconds(10));
   std::printf("[worker %d] connected: %lld params, %lld shards\n", static_cast<int>(getpid()),
               static_cast<long long>(client.size()), static_cast<long long>(client.shard_count()));
@@ -131,6 +159,7 @@ int run_worker(const std::string& host, std::uint16_t port, int steps, std::uint
   };
   dist::ChannelRunOptions ropts;
   ropts.steps_per_worker = steps;
+  ropts.compute_delay_us = compute_delay_us;
   const auto run = dist::run_channel_workers({worker}, ropts);
   client.shutdown();
   std::printf("[worker %d] %zu steps, first loss %.4f, last loss %.4f\n",
@@ -147,8 +176,9 @@ int run_worker(const std::string& host, std::uint16_t port, int steps, std::uint
   _exit(code);
 }
 
-/// Auto mode: master + kWorkers workers as child processes, ephemeral
-/// port handed to the parent over a pipe.
+/// Auto mode: master + kWorkers workers as child processes, plus one
+/// victim worker the parent SIGKILLs mid-run; ephemeral port handed to
+/// the parent over a pipe.
 int run_auto(int steps) {
   int port_pipe[2];
   if (pipe(port_pipe) != 0) {
@@ -162,7 +192,7 @@ int run_auto(int steps) {
   }
   if (master_pid == 0) {
     ::close(port_pipe[0]);
-    child_exit(run_master(/*port=*/0, kWorkers, port_pipe[1]));
+    child_exit(run_master(/*port=*/0, kWorkers, port_pipe[1], /*expect_crashes=*/1));
   }
   ::close(port_pipe[1]);
 
@@ -201,17 +231,55 @@ int run_auto(int steps) {
     pids.push_back(pid);
   }
 
+  // The crash smoke: one extra worker with an effectively endless step
+  // budget and padded compute, guaranteed to still be mid-run when we
+  // SIGKILL it below. The master must reap the dead connection (the
+  // deadline/EOF path), the survivors must still shut down cleanly, and
+  // the loss must still collapse.
+  const pid_t victim_pid = fork();
+  if (victim_pid < 0) {
+    std::perror("fork victim");
+    return 1;
+  }
+  if (victim_pid == 0) {
+    child_exit(run_worker("127.0.0.1", port, steps * 1000,
+                          40 + static_cast<std::uint64_t>(kWorkers),
+                          /*compute_delay_us=*/2000));
+  }
+  pids.push_back(victim_pid);
+
+  // Let the victim connect and push a few rounds before the hit.
+  usleep(500 * 1000);
+  std::printf("[parent] SIGKILLing victim worker pid %d mid-run\n",
+              static_cast<int>(victim_pid));
+  std::fflush(nullptr);
+  kill(victim_pid, SIGKILL);
+
   int failures = 0;
   for (const pid_t pid : pids) {
     int status = 0;
-    if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    if (waitpid(pid, &status, 0) != pid) {
+      std::fprintf(stderr, "[parent] waitpid(%d) failed\n", static_cast<int>(pid));
+      ++failures;
+      continue;
+    }
+    if (pid == victim_pid) {
+      if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+        std::fprintf(stderr, "[parent] victim %d was not killed as planned (status %d)\n",
+                     static_cast<int>(pid), status);
+        ++failures;
+      }
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
       std::fprintf(stderr, "[parent] child %d failed (status %d)\n", static_cast<int>(pid),
                    status);
       ++failures;
     }
   }
-  std::printf("[parent] %s\n", failures == 0 ? "distributed run converged, all processes clean"
-                                             : "FAILED");
+  std::printf("[parent] %s\n", failures == 0
+                                   ? "distributed run converged, survived the worker crash"
+                                   : "FAILED");
   return failures == 0 ? 0 : 1;
 }
 
@@ -256,7 +324,9 @@ int main(int argc, char** argv) {
   const int steps = yfx::example_iters(60);
 
   if (role.empty()) return run_auto(steps);
-  if (role == "master") return run_master(static_cast<std::uint16_t>(port), workers, -1);
+  if (role == "master") {
+    return run_master(static_cast<std::uint16_t>(port), workers, -1, /*expect_crashes=*/0);
+  }
   if (role == "worker") {
     if (port == 0) usage();
     return run_worker(host, static_cast<std::uint16_t>(port), steps, seed);

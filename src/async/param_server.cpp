@@ -356,6 +356,79 @@ double ShardedParamServer::smoothed_total_momentum() const {
   return smoothed_;
 }
 
+void ShardedParamServer::save_state(core::StateWriter& w) const {
+  std::scoped_lock stage_lock(stage_mu_);
+  w.u64(static_cast<std::uint64_t>(size_));
+  w.u64(shards_.size());
+  const auto values = optimizer_->arena().values();
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    w.i64(shard.lo);
+    w.i64(shard.hi);
+    w.i64(shard.version);
+    w.f64_span(values.subspan(static_cast<std::size_t>(shard.lo),
+                              static_cast<std::size_t>(shard.hi - shard.lo)));
+    w.i64(shard.history_base);
+    w.u64(shard.history_count);
+    // Ring entries oldest -> newest; load_state rebuilds the ring with the
+    // head at slot 0, which lookup() cannot distinguish from the original.
+    for (std::size_t i = 0; i < shard.history_count; ++i) {
+      const std::size_t slot = (shard.history_head + i) % shard.history.size();
+      w.f64_span(shard.history[slot]);
+    }
+  }
+  w.i64(updates_.load(std::memory_order_relaxed));
+  w.f64(smoothed_);
+  w.u8(smoothed_init_ ? 1 : 0);
+  w.f64(controller_.applied_momentum());
+  optimizer_->save_state(w);
+}
+
+void ShardedParamServer::load_state(core::StateReader& r) {
+  std::scoped_lock stage_lock(stage_mu_);
+  if (r.u64() != static_cast<std::uint64_t>(size_)) {
+    throw core::StateError("ShardedParamServer: snapshot arena size differs from configuration");
+  }
+  if (r.u64() != shards_.size()) {
+    throw core::StateError("ShardedParamServer: snapshot shard count differs from configuration");
+  }
+  const auto values = optimizer_->arena().values();
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    const std::int64_t lo = r.i64();
+    const std::int64_t hi = r.i64();
+    if (lo != shard.lo || hi != shard.hi) {
+      throw core::StateError("ShardedParamServer: snapshot shard geometry mismatch");
+    }
+    shard.version = r.i64();
+    const auto width = static_cast<std::size_t>(shard.hi - shard.lo);
+    r.f64_span(values.subspan(static_cast<std::size_t>(shard.lo), width));
+    shard.history_base = r.i64();
+    const std::uint64_t count = r.u64();
+    if (count > shard.history.size()) {
+      throw core::StateError("ShardedParamServer: snapshot history exceeds the configured ring");
+    }
+    shard.history_head = 0;
+    shard.history_count = static_cast<std::size_t>(count);
+    for (std::size_t i = 0; i < shard.history_count; ++i) {
+      shard.history[i].resize(width);
+      r.f64_span(shard.history[i]);
+    }
+  }
+  const std::int64_t updates = r.i64();
+  if (updates < 0) throw core::StateError("ShardedParamServer: negative update counter");
+  updates_.store(updates, std::memory_order_relaxed);
+  smoothed_ = r.f64();
+  smoothed_init_ = r.u8() != 0;
+  const double applied = r.f64();
+  if (opts_.closed_loop) {
+    // Re-seed the feedback loop at the checkpointed applied momentum; the
+    // optimizer's own load below restores the matching override/target.
+    controller_ = tuner::ClosedLoopController(opts_.gamma, applied);
+  }
+  optimizer_->load_state(r);
+}
+
 ServerRunResult run_workers(ShardedParamServer& server,
                             const std::vector<ServerWorker>& workers,
                             const ServerRunOptions& opts) {

@@ -152,6 +152,19 @@ class ShardedParamServer {
   /// EWMA of mu_hat_T estimates (0 until the first estimate).
   double smoothed_total_momentum() const;
 
+  /// Serialize/restore the full server state bit-exactly for
+  /// checkpoint/restore (DESIGN.md §14): master values, per-shard
+  /// versions and iterate-history rings, the update counter, the Eq. 37
+  /// smoothing state, the controller's applied momentum, and the
+  /// optimizer's own save_state. Geometry and options are configuration;
+  /// load_state validates them against this instance and throws
+  /// core::StateError on mismatch. Both take the stage lock and each
+  /// shard lock for race-free byte access, but callers must quiesce
+  /// in-flight pushes for a consistent cut (the dist master serializes
+  /// checkpoints against pushes with its own lock).
+  void save_state(core::StateWriter& w) const;
+  void load_state(core::StateReader& r);
+
   const tuner::ClosedLoopController& controller() const { return controller_; }
   optim::Optimizer& optimizer() { return *optimizer_; }
   const optim::Optimizer& optimizer() const { return *optimizer_; }

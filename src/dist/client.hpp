@@ -1,34 +1,75 @@
-// RemoteParamClient: a worker's ParamChannel over one TCP connection to
-// a MasterServer (DESIGN.md §12).
+// RemoteParamClient: a worker's ParamChannel over TCP connections to a
+// MasterServer (DESIGN.md §12, fault tolerance §14).
 //
 // The constructor connects and runs the kHello handshake, learning the
-// master's arena size and shard count; after that, pull() and push() are
-// one request/reply frame round trip each, on the calling thread, with
-// all buffers reused so the steady state allocates nothing. An error
-// frame from the master (or malformed data) throws; the connection is
-// then dead and the client unusable.
+// master's arena size and shard count plus this worker's id; after that,
+// pull() and push() are one request/reply frame round trip each, on the
+// calling thread, with all buffers reused so the steady state allocates
+// nothing.
+//
+// Transport failures are RETRIED, not fatal: any WireError or
+// SocketError (torn frame, timeout, refused/looped connection, injected
+// fault) tears the connection down, backs off exponentially, reconnects,
+// re-runs kHello with the remembered worker id, and replays the staged
+// request bytes -- up to max_attempts, after which the last error
+// propagates. Pulls are idempotent; pushes are made exactly-once by a
+// per-worker sequence number the master dedups against its PushLedger,
+// so a replayed push whose first copy WAS applied returns the original
+// ApplyStats instead of double-applying. The staged request bytes are
+// identical across retries (the seq is assigned once, at push()).
+//
+// What is NOT retried: a master whose geometry changed across a
+// reconnect (plain std::runtime_error -- the trajectory is gone, retry
+// cannot help) and std::logic_error misuse.
 //
 // Single-owner like every ParamChannel: one worker thread drives one
-// client. shutdown() runs the kShutdown/kShutdownAck handshake so the
-// master can count a clean departure; the destructor calls it
-// best-effort.
+// client. shutdown() runs the kShutdown/kShutdownAck handshake (also
+// through the retry loop) so the master can count a clean departure; the
+// destructor calls it best-effort.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dist/channel.hpp"
+#include "dist/fault.hpp"
 #include "dist/socket.hpp"
 #include "dist/wire.hpp"
 
 namespace yf::dist {
 
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Refused-connection patience PER connect attempt (the master may
+  /// still be binding, or be mid-restart).
+  std::chrono::milliseconds connect_retry_for = std::chrono::milliseconds(5000);
+  std::size_t max_payload = kDefaultMaxPayload;
+
+  /// Socket read/write deadline in ms. 0 disables; -1 (default) means
+  /// default_dist_timeout_ms(), i.e. YF_DIST_TIMEOUT_MS.
+  std::int64_t timeout_ms = -1;
+
+  /// Round-trip attempts before the last transport error propagates.
+  std::int64_t max_attempts = 8;
+  std::chrono::milliseconds backoff_base = std::chrono::milliseconds(10);
+  std::chrono::milliseconds backoff_cap = std::chrono::milliseconds(500);
+
+  /// Fault injector for this client's request frames. nullptr (default):
+  /// use YF_FAULT_PLAN if it names an active plan, else no injection.
+  /// Must outlive the client when set.
+  FaultInjector* injector = nullptr;
+};
+
 class RemoteParamClient final : public ParamChannel {
  public:
-  /// Connect (retrying refused connections for `retry_for` -- the master
-  /// may still be binding) and handshake.
+  explicit RemoteParamClient(ClientOptions opts);
+
+  /// Legacy convenience signature (positional host/port).
   RemoteParamClient(const std::string& host, std::uint16_t port,
                     std::chrono::milliseconds retry_for = std::chrono::milliseconds(5000),
                     std::size_t max_payload = kDefaultMaxPayload);
@@ -40,6 +81,13 @@ class RemoteParamClient final : public ParamChannel {
   std::int64_t size() const override { return size_; }
   std::int64_t shard_count() const override { return shard_count_; }
 
+  /// Master-assigned worker id (stable across reconnects; keys the
+  /// master's exactly-once push ledger).
+  std::uint64_t worker_id() const { return worker_id_; }
+
+  /// Round trips that ended in a reconnect (telemetry for chaos tests).
+  std::int64_t reconnects() const { return reconnects_; }
+
   void pull(std::span<double> dst, async::PullTicket& ticket) override;
   async::ApplyStats push(std::span<double> grad, const async::PullTicket& ticket) override;
 
@@ -50,20 +98,44 @@ class RemoteParamClient final : public ParamChannel {
   bool stopped() const { return stopped_; }
 
  private:
-  /// One round trip: write `request_op` with the bytes staged in
-  /// request_, then read a frame and require `reply_op` (a kError frame
-  /// raises its message instead).
+  /// Connect + deadline + kHello, single attempt; throws WireError /
+  /// SocketError into the retry loop on any transport trouble.
+  void ensure_connected();
+  void disconnect();
+
+  /// One round trip of the staged request_ bytes, with the reconnect /
+  /// backoff / replay loop described above.
   void round_trip(Op request_op, Op reply_op);
 
+  /// Tear the connection down after a transport error; true when another
+  /// attempt remains (after sleeping the backoff), false at the cap.
+  bool retry_after(std::int64_t attempt);
+  std::chrono::milliseconds backoff_delay(std::int64_t attempt) const;
+
+  ByteSource& src() { return faulty_ ? static_cast<ByteSource&>(*faulty_) : stream_; }
+  ByteSink& sink() { return faulty_ ? static_cast<ByteSink&>(*faulty_) : stream_; }
+
+  ClientOptions opts_;
+  std::int64_t timeout_ms_ = 0;
+  std::optional<FaultInjector> env_injector_;  ///< owns the YF_FAULT_PLAN injector
+  FaultInjector* injector_ = nullptr;          ///< the one actually in use (may be null)
+
   TcpStream stream_;
-  std::size_t max_payload_;
+  std::optional<FaultyStream> faulty_;  ///< rebuilt per connection
+  bool connected_ = false;
+
   std::int64_t size_ = 0;
   std::int64_t shard_count_ = 0;
+  std::uint64_t worker_id_ = 0;   ///< 0 until the first hello_ack
+  std::uint64_t push_seq_ = 0;    ///< last seq handed to push()
+  std::int64_t reconnects_ = 0;
   bool stopped_ = false;
 
   std::vector<std::byte> request_;
   std::vector<std::byte> reply_;
   std::vector<std::byte> scratch_;
+  std::vector<std::byte> hello_;  ///< hello staging, separate from request_
+                                  ///< so a pending push survives reconnects
   FrameHeader header_;
 };
 

@@ -4,12 +4,15 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <thread>
 #include <utility>
+
+#include "core/env.hpp"
 
 namespace yf::dist {
 
@@ -40,6 +43,11 @@ int new_tcp_fd() {
 }
 
 }  // namespace
+
+std::int64_t default_dist_timeout_ms() {
+  const std::int64_t ms = core::checked_env_int("YF_DIST_TIMEOUT_MS", 30000);
+  return ms < 0 ? 30000 : ms;
+}
 
 TcpStream::~TcpStream() { close(); }
 
@@ -86,6 +94,9 @@ std::size_t TcpStream::read_some(std::span<std::byte> dst) {
     // "this conversation is over" -- surface as EOF, not an exception,
     // so dispatch loops wind down the same way for every cause.
     if (errno == ECONNRESET || errno == ESHUTDOWN) return 0;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw SocketTimeout("recv deadline expired (peer alive but silent?)");
+    }
     raise_errno("recv");
   }
 }
@@ -98,9 +109,24 @@ void TcpStream::write_all(std::span<const std::byte> data) {
     const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw SocketTimeout("send deadline expired (peer not draining?)");
+      }
       raise_errno("send");
     }
     sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::set_timeouts(std::int64_t ms) {
+  if (fd_ < 0) throw SocketError("set_timeouts on a closed stream");
+  if (ms < 0) throw SocketError("set_timeouts: negative deadline");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    raise_errno("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
   }
 }
 

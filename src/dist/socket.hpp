@@ -36,6 +36,21 @@ class SocketError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A read/write deadline expired (set_timeouts): the peer is alive at the
+/// TCP level but not making protocol progress. A SocketError subclass so
+/// generic retry loops treat it as "this connection is over", but typed
+/// so tests and operators can tell a hang from a reset.
+class SocketTimeout : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// Default deadline for every blocking dist socket call, from
+/// YF_DIST_TIMEOUT_MS (core::checked_env_int; 0 disables deadlines).
+/// Master connection threads and the client both consult this, so no dist
+/// test can hang on a dead peer -- the acceptance bound of DESIGN.md §14.
+std::int64_t default_dist_timeout_ms();
+
 class TcpStream final : public ByteSource, public ByteSink {
  public:
   TcpStream() = default;
@@ -56,11 +71,18 @@ class TcpStream final : public ByteSource, public ByteSink {
   bool valid() const { return fd_ >= 0; }
 
   /// One recv: at least 1 byte unless EOF (returns 0). A reset peer reads
-  /// as EOF -- the dispatch loops treat "gone" uniformly.
+  /// as EOF -- the dispatch loops treat "gone" uniformly. Throws
+  /// SocketTimeout when a deadline set via set_timeouts() expires.
   std::size_t read_some(std::span<std::byte> dst) override;
 
-  /// Loop send until all of `data` is written; throws SocketError.
+  /// Loop send until all of `data` is written; throws SocketError
+  /// (SocketTimeout when the send deadline expires).
   void write_all(std::span<const std::byte> data) override;
+
+  /// Arm SO_RCVTIMEO/SO_SNDTIMEO on the fd: any later read_some/write_all
+  /// that blocks longer than `ms` throws SocketTimeout. 0 disables (block
+  /// forever, the pre-deadline behavior).
+  void set_timeouts(std::int64_t ms);
 
   /// Shut down both directions: a peer or a local thread blocked in
   /// read_some() returns EOF. Safe to call from another thread; the fd

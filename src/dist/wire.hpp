@@ -60,11 +60,13 @@ inline constexpr std::size_t kDefaultMaxPayload = 64u << 20;
 /// Frame operations. Requests (worker -> master) are odd, their replies
 /// even; kError may replace any reply.
 enum class Op : std::uint16_t {
-  kHello = 1,        ///< worker -> master: open handshake (empty payload)
-  kHelloAck = 2,     ///< master -> worker: u64 arena size, u64 shard count
+  kHello = 1,        ///< worker -> master: u64 worker id (0 = assign me one)
+  kHelloAck = 2,     ///< master -> worker: u64 arena size, u64 shard count,
+                     ///< u64 worker id, u64 last applied push seq
   kPull = 3,         ///< worker -> master: request parameters (empty)
   kPullReply = 4,    ///< master -> worker: u64 K, K x i64 versions, N x f64 values
-  kPush = 5,         ///< worker -> master: u64 K, K x i64 versions, N x f64 grads
+  kPush = 5,         ///< worker -> master: u64 push seq (0 = unsequenced),
+                     ///< u64 K, K x i64 versions, N x f64 grads
   kPushReply = 6,    ///< master -> worker: ApplyStats (see client.cpp)
   kShutdown = 7,     ///< worker -> master: no more requests (empty)
   kShutdownAck = 8,  ///< master -> worker: drained, closing (empty)

@@ -15,4 +15,16 @@ void AdaGrad::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi)
                      arena_.grads().subspan(a, n), plan.lr, eps_);
 }
 
+void AdaGrad::save_state(core::StateWriter& w) const {
+  Optimizer::save_state(w);
+  w.f64(lr_);
+  w.f64_span(accum_.data());
+}
+
+void AdaGrad::load_state(core::StateReader& r) {
+  Optimizer::load_state(r);
+  lr_ = r.f64();
+  r.f64_span(accum_.data());
+}
+
 }  // namespace yf::optim

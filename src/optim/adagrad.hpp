@@ -15,6 +15,10 @@ class AdaGrad : public Optimizer {
   double lr() const override { return lr_; }
   void set_lr(double lr) override { lr_ = lr; }
 
+  /// lr and the accumulator buffer.
+  void save_state(core::StateWriter& w) const override;
+  void load_state(core::StateReader& r) override;
+
  private:
   double lr_, eps_;
   tensor::Tensor accum_;  ///< flat accumulator aligned with the arena

@@ -22,6 +22,10 @@ class Adam : public Optimizer {
   double beta1() const { return beta1_; }
   void set_beta1(double b1) { beta1_ = b1; }
 
+  /// lr, beta1 (both externally driven) and the moment buffers.
+  void save_state(core::StateWriter& w) const override;
+  void load_state(core::StateReader& r) override;
+
  private:
   double lr_, beta1_, beta2_, eps_;
   tensor::Tensor m_, v_;  ///< flat moment buffers aligned with the arena

@@ -26,4 +26,18 @@ void MomentumSGD::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t
                       arena_.grads().subspan(a, n), plan.lr, plan.mu, nesterov_);
 }
 
+void MomentumSGD::save_state(core::StateWriter& w) const {
+  Optimizer::save_state(w);
+  w.f64(lr_);
+  w.f64(momentum_);
+  w.f64_span(velocity_.data());
+}
+
+void MomentumSGD::load_state(core::StateReader& r) {
+  Optimizer::load_state(r);
+  lr_ = r.f64();
+  momentum_ = r.f64();
+  r.f64_span(velocity_.data());
+}
+
 }  // namespace yf::optim

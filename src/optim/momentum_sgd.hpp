@@ -26,6 +26,10 @@ class MomentumSGD : public Optimizer {
   double momentum() const { return momentum_; }
   void set_momentum(double mu) { momentum_ = mu; }
 
+  /// lr, momentum (both externally driven) and the velocity buffer.
+  void save_state(core::StateWriter& w) const override;
+  void load_state(core::StateReader& r) override;
+
   /// Velocity view for parameter slot i (tests & async introspection);
   /// aliases the flat velocity buffer, shaped like the parameter.
   const tensor::Tensor& velocity(std::size_t i) const { return velocity_views_[i]; }

@@ -34,6 +34,13 @@ void Optimizer::end_apply(const ApplyPlan& /*plan*/) { ++iteration_; }
 
 void Optimizer::zero_grad() { arena_.zero_grads(); }
 
+void Optimizer::save_state(core::StateWriter& w) const { w.i64(iteration_); }
+
+void Optimizer::load_state(core::StateReader& r) {
+  iteration_ = r.i64();
+  if (iteration_ < 0) throw core::StateError("Optimizer: negative iteration counter");
+}
+
 OverlappedApply::OverlappedApply(Optimizer& opt, autograd::GraphTape& tape,
                                  std::size_t max_shards)
     : opt_(opt), tape_(tape) {

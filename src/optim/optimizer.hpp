@@ -47,6 +47,7 @@
 #include "autograd/tape.hpp"
 #include "autograd/variable.hpp"
 #include "core/arena.hpp"
+#include "core/state.hpp"
 
 namespace yf::optim {
 
@@ -112,6 +113,17 @@ class Optimizer {
 
   /// Number of step() calls so far.
   std::int64_t iteration() const { return iteration_; }
+
+  /// Serialize/restore the optimizer's mutable state bit-exactly: the
+  /// iteration counter, externally driven hyperparameters (set_lr /
+  /// set_momentum / set_beta1 targets), and slot buffers (velocity,
+  /// moments). Parameter VALUES live in the arena and are serialized by
+  /// the arena's owner (dist/checkpoint, DESIGN.md §14). Configuration
+  /// (betas, eps, nesterov, options structs) is NOT part of the snapshot:
+  /// the restore target must be constructed identically, and loads fail
+  /// with core::StateError on layout mismatch rather than drifting.
+  virtual void save_state(core::StateWriter& w) const;
+  virtual void load_state(core::StateReader& r);
 
  protected:
   std::vector<autograd::Variable> params_;

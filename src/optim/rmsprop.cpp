@@ -15,4 +15,16 @@ void RMSProp::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi)
                      arena_.grads().subspan(a, n), plan.lr, decay_, eps_);
 }
 
+void RMSProp::save_state(core::StateWriter& w) const {
+  Optimizer::save_state(w);
+  w.f64(lr_);
+  w.f64_span(sq_.data());
+}
+
+void RMSProp::load_state(core::StateReader& r) {
+  Optimizer::load_state(r);
+  lr_ = r.f64();
+  r.f64_span(sq_.data());
+}
+
 }  // namespace yf::optim

@@ -16,6 +16,10 @@ class RMSProp : public Optimizer {
   double lr() const override { return lr_; }
   void set_lr(double lr) override { lr_ = lr; }
 
+  /// lr and the second-moment buffer.
+  void save_state(core::StateWriter& w) const override;
+  void load_state(core::StateReader& r) override;
+
  private:
   double lr_, decay_, eps_;
   tensor::Tensor sq_;  ///< flat second-moment buffer aligned with the arena

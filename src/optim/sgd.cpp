@@ -12,4 +12,14 @@ void SGD::step_span(const ApplyPlan& plan, std::int64_t lo, std::int64_t hi) {
   core::sgd_step(arena_.values().subspan(a, n), arena_.grads().subspan(a, n), plan.lr);
 }
 
+void SGD::save_state(core::StateWriter& w) const {
+  Optimizer::save_state(w);
+  w.f64(lr_);
+}
+
+void SGD::load_state(core::StateReader& r) {
+  Optimizer::load_state(r);
+  lr_ = r.f64();
+}
+
 }  // namespace yf::optim

@@ -14,6 +14,10 @@ class SGD : public Optimizer {
   double lr() const override { return lr_; }
   void set_lr(double lr) override { lr_ = lr; }
 
+  /// lr only; SGD has no slot buffers.
+  void save_state(core::StateWriter& w) const override;
+  void load_state(core::StateReader& r) override;
+
  private:
   double lr_;
 };

@@ -51,6 +51,32 @@ double CurvatureRange::h_max() const {
   return opts_.log_smoothing ? std::exp(max_avg_.value()) : max_avg_.value();
 }
 
+void CurvatureRange::save_state(core::StateWriter& w) const {
+  w.u64(window_.size());
+  w.u64(window_count_);
+  w.u64(window_next_);
+  w.f64_span(window_);
+  max_avg_.save_state(w);
+  min_avg_.save_state(w);
+  w.i64(count_);
+}
+
+void CurvatureRange::load_state(core::StateReader& r) {
+  if (r.u64() != window_.size()) {
+    throw core::StateError("CurvatureRange: snapshot window width differs from configuration");
+  }
+  window_count_ = static_cast<std::size_t>(r.u64());
+  window_next_ = static_cast<std::size_t>(r.u64());
+  if (window_count_ > window_.size() || window_next_ >= window_.size()) {
+    throw core::StateError("CurvatureRange: ring indices out of range");
+  }
+  r.f64_span(window_);
+  max_avg_.load_state(r);
+  min_avg_.load_state(r);
+  count_ = r.i64();
+  if (count_ < 0) throw core::StateError("CurvatureRange: negative observation count");
+}
+
 double CurvatureRange::h_min() const {
   if (count_ == 0) throw std::logic_error("CurvatureRange::h_min: no observations");
   return opts_.log_smoothing ? std::exp(min_avg_.value()) : min_avg_.value();

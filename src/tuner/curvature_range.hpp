@@ -41,6 +41,12 @@ class CurvatureRange {
   std::int64_t count() const { return count_; }
   const CurvatureRangeOptions& options() const { return opts_; }
 
+  /// Serialize/restore the sliding window and smoothed extremes bit-exactly.
+  /// The window width is configuration; load_state rejects a snapshot
+  /// written with a different width instead of silently resampling.
+  void save_state(core::StateWriter& w) const;
+  void load_state(core::StateReader& r);
+
  private:
   CurvatureRangeOptions opts_;
   /// Sliding window as a fixed ring (allocated once in the constructor):

@@ -15,4 +15,16 @@ void DistanceToOpt::update(double grad_norm) {
   dist_avg_.update(grad_norm_avg_.value() / (curvature_avg_.value() + kEps));
 }
 
+void DistanceToOpt::save_state(core::StateWriter& w) const {
+  grad_norm_avg_.save_state(w);
+  curvature_avg_.save_state(w);
+  dist_avg_.save_state(w);
+}
+
+void DistanceToOpt::load_state(core::StateReader& r) {
+  grad_norm_avg_.load_state(r);
+  curvature_avg_.load_state(r);
+  dist_avg_.load_state(r);
+}
+
 }  // namespace yf::tuner

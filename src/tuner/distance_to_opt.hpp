@@ -20,6 +20,10 @@ class DistanceToOpt {
   /// Current distance estimate D.
   double distance() const { return dist_avg_.value(); }
 
+  /// Serialize/restore all three running averages bit-exactly.
+  void save_state(core::StateWriter& w) const;
+  void load_state(core::StateReader& r);
+
  private:
   Ewma grad_norm_avg_;  ///< running ||g||
   Ewma curvature_avg_;  ///< running h = ||g||^2

@@ -24,6 +24,17 @@ void Ewma::reset() {
   count_ = 0;
 }
 
+void Ewma::save_state(core::StateWriter& w) const {
+  w.f64(raw_);
+  w.i64(count_);
+}
+
+void Ewma::load_state(core::StateReader& r) {
+  raw_ = r.f64();
+  count_ = r.i64();
+  if (count_ < 0) throw core::StateError("Ewma: negative observation count");
+}
+
 void TensorEwma::update(const tensor::Tensor& x) {
   if (count_ == 0) {
     raw_ = tensor::Tensor::zeros(x.shape());

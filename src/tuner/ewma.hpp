@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "core/state.hpp"
 #include "tensor/tensor.hpp"
 
 namespace yf::tuner {
@@ -28,6 +29,11 @@ class Ewma {
   double beta() const { return beta_; }
 
   void reset();
+
+  /// Serialize/restore the mutable accumulator bit-exactly (beta is
+  /// configuration and comes from the constructor, DESIGN.md §14).
+  void save_state(core::StateWriter& w) const;
+  void load_state(core::StateReader& r);
 
  private:
   double beta_;

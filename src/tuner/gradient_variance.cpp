@@ -20,6 +20,28 @@ void GradientVariance::update(std::span<const double> grad) {
   ++count_;
 }
 
+void GradientVariance::save_state(core::StateWriter& w) const {
+  w.i64(count_);
+  w.u64(count_ > 0 ? m1_raw_.data().size() : 0);
+  if (count_ > 0) {
+    w.f64_span(m1_raw_.data());
+    w.f64_span(m2_raw_.data());
+  }
+}
+
+void GradientVariance::load_state(core::StateReader& r) {
+  count_ = r.i64();
+  const std::uint64_t n = r.u64();
+  if (count_ < 0) throw core::StateError("GradientVariance: negative observation count");
+  if (count_ > 0) {
+    if (n == 0) throw core::StateError("GradientVariance: initialized snapshot with no moments");
+    m1_raw_ = tensor::Tensor(tensor::Shape{static_cast<std::int64_t>(n)});
+    m2_raw_ = tensor::Tensor(tensor::Shape{static_cast<std::int64_t>(n)});
+    r.f64_span(m1_raw_.data());
+    r.f64_span(m2_raw_.data());
+  }
+}
+
 double GradientVariance::variance() const {
   if (count_ == 0) return 0.0;
   const double debias = 1.0 - std::pow(beta_, static_cast<double>(count_));

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/state.hpp"
 #include "tensor/tensor.hpp"
 
 namespace yf::tuner {
@@ -36,6 +37,12 @@ class GradientVariance {
   double variance() const;
 
   bool initialized() const { return count_ > 0; }
+
+  /// Serialize/restore the moment accumulators bit-exactly. The moment
+  /// tensors are lazily sized from the first gradient, so the snapshot
+  /// carries their length and load_state re-allocates to match.
+  void save_state(core::StateWriter& w) const;
+  void load_state(core::StateReader& r);
 
  private:
   double beta_;

@@ -81,6 +81,43 @@ optim::ApplyPlan YellowFin::begin_apply(std::span<double> grad) {
   return {iteration_, lr, mu};
 }
 
+void YellowFin::save_state(core::StateWriter& w) const {
+  Optimizer::save_state(w);
+  w.f64(mu_);
+  w.f64(alpha_);
+  w.f64(target_mu_);
+  w.f64(target_alpha_);
+  w.f64(last_clip_threshold_);
+  w.u8(last_step_clipped_ ? 1 : 0);
+  w.u8(applied_mu_override_ ? 1 : 0);
+  w.f64(applied_mu_override_.value_or(0.0));
+  mu_avg_.save_state(w);
+  alpha_avg_.save_state(w);
+  curvature_.save_state(w);
+  variance_.save_state(w);
+  distance_.save_state(w);
+  w.f64_span(velocity_.data());
+}
+
+void YellowFin::load_state(core::StateReader& r) {
+  Optimizer::load_state(r);
+  mu_ = r.f64();
+  alpha_ = r.f64();
+  target_mu_ = r.f64();
+  target_alpha_ = r.f64();
+  last_clip_threshold_ = r.f64();
+  last_step_clipped_ = r.u8() != 0;
+  const bool has_override = r.u8() != 0;
+  const double override_mu = r.f64();
+  applied_mu_override_ = has_override ? std::optional<double>(override_mu) : std::nullopt;
+  mu_avg_.load_state(r);
+  alpha_avg_.load_state(r);
+  curvature_.load_state(r);
+  variance_.load_state(r);
+  distance_.load_state(r);
+  r.f64_span(velocity_.data());
+}
+
 void YellowFin::step_span(const optim::ApplyPlan& plan, std::int64_t lo, std::int64_t hi) {
   // -- Momentum SGD update: one fused sweep over the span. -------------------
   const auto a = static_cast<std::size_t>(lo), n = static_cast<std::size_t>(hi - lo);

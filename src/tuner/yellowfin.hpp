@@ -86,6 +86,15 @@ class YellowFin : public optim::Optimizer {
 
   const YellowFinOptions& options() const { return opts_; }
 
+  /// Full tuner snapshot: iteration, (mu, alpha) smoothing state, the
+  /// SingleStep targets, clipping flags, the closed-loop override, all
+  /// measurement components (Algorithms 2-4) and the velocity buffer --
+  /// everything a restored master needs to continue the trajectory
+  /// bit-identically (DESIGN.md §14). Options are configuration and are
+  /// NOT saved; restore into an identically configured instance.
+  void save_state(core::StateWriter& w) const override;
+  void load_state(core::StateReader& r) override;
+
  private:
   void measure(std::span<const double> flat_grad);
 

@@ -1,0 +1,571 @@
+// Fault-injection suite (dist/fault.*, DESIGN.md §14): the plan grammar,
+// the deterministic injector, FaultyStream's four fault kinds over
+// in-memory streams, socket deadlines, and the headline robustness pins
+// -- a one-worker closed-loop YellowFin run over a faulty socket (drops,
+// truncations, corruption, delays, plus a master kill + checkpoint
+// restore mid-run) is EXPECT_EQ-bit-identical to the fault-free
+// in-process trajectory, because retries are transparent and the push
+// ledger collapses every replay.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "async/param_server.hpp"
+#include "dist/channel.hpp"
+#include "dist/client.hpp"
+#include "dist/fault.hpp"
+#include "dist/master.hpp"
+#include "dist/socket.hpp"
+#include "dist/wire.hpp"
+#include "tensor/random.hpp"
+#include "tuner/yellowfin.hpp"
+
+namespace ag = yf::autograd;
+namespace async = yf::async;
+namespace dist = yf::dist;
+namespace t = yf::tensor;
+
+namespace {
+
+constexpr const char* kHost = "127.0.0.1";
+
+// ---------------------------------------------------------------------------
+// Plan grammar.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesFullGrammar) {
+  const auto plan =
+      dist::FaultPlan::parse("seed=42, drop=0.1, trunc=0.05, corrupt=0.02, delay=0.2:7, "
+                             "drop@3, delay@9:11, trunc@12, corrupt@15");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_EQ(plan.drop, 0.1);
+  EXPECT_EQ(plan.truncate, 0.05);
+  EXPECT_EQ(plan.corrupt, 0.02);
+  EXPECT_EQ(plan.delay, 0.2);
+  EXPECT_EQ(plan.delay_ms, 7);
+  ASSERT_EQ(plan.directives.size(), 4u);
+  EXPECT_EQ(plan.directives[0].frame, 3u);
+  EXPECT_EQ(plan.directives[0].kind, dist::FaultKind::kDrop);
+  EXPECT_EQ(plan.directives[1].frame, 9u);
+  EXPECT_EQ(plan.directives[1].kind, dist::FaultKind::kDelay);
+  EXPECT_EQ(plan.directives[1].delay_ms, 11);
+  EXPECT_EQ(plan.directives[2].kind, dist::FaultKind::kTruncate);
+  EXPECT_EQ(plan.directives[3].kind, dist::FaultKind::kCorrupt);
+  EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(dist::FaultPlan::parse(""), std::invalid_argument);
+  EXPECT_THROW(dist::FaultPlan::parse("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(dist::FaultPlan::parse("drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(dist::FaultPlan::parse("drop=0.6,delay=0.6"), std::invalid_argument);
+  EXPECT_THROW(dist::FaultPlan::parse("warp=0.1"), std::invalid_argument);
+  EXPECT_THROW(dist::FaultPlan::parse("explode@3"), std::invalid_argument);
+  EXPECT_THROW(dist::FaultPlan::parse("drop@x"), std::invalid_argument);
+  EXPECT_THROW(dist::FaultPlan::parse("seed"), std::invalid_argument);
+}
+
+TEST(FaultPlan, FromEnvFollowsTheKnobContract) {
+  const char* saved = ::getenv("YF_FAULT_PLAN");
+  const std::string saved_copy = saved ? saved : "";
+
+  ::unsetenv("YF_FAULT_PLAN");
+  EXPECT_FALSE(dist::FaultPlan::from_env().active());
+  ::setenv("YF_FAULT_PLAN", "seed=7,drop=0.25", 1);
+  const auto plan = dist::FaultPlan::from_env();
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(plan.seed, 7u);
+  // Malformed: one stderr warning, then inactive -- never a throw.
+  ::setenv("YF_FAULT_PLAN", "drop=banana", 1);
+  EXPECT_FALSE(dist::FaultPlan::from_env().active());
+
+  if (saved) {
+    ::setenv("YF_FAULT_PLAN", saved_copy.c_str(), 1);
+  } else {
+    ::unsetenv("YF_FAULT_PLAN");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Injector determinism.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  const auto plan = dist::FaultPlan::parse("seed=99,drop=0.3,corrupt=0.2,delay=0.1:4");
+  dist::FaultInjector a(plan);
+  dist::FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i) {
+    const auto da = a.next();
+    const auto db = b.next();
+    EXPECT_EQ(da.kind, db.kind) << "frame " << i;
+    EXPECT_EQ(da.rand, db.rand) << "frame " << i;
+  }
+  EXPECT_EQ(a.faults_fired(), b.faults_fired());
+  EXPECT_GT(a.faults_fired(), 0u);
+  EXPECT_EQ(a.frames_seen(), 200u);
+}
+
+TEST(FaultInjector, DirectivesFireExactlyAndDoNotShiftLaterDraws) {
+  const auto base = dist::FaultPlan::parse("seed=5,drop=0.5");
+  const auto with_dir = dist::FaultPlan::parse("seed=5,drop=0.5,trunc@3");
+  dist::FaultInjector a(base);
+  dist::FaultInjector b(with_dir);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto da = a.next();
+    const auto db = b.next();
+    if (i == 3) {
+      EXPECT_EQ(db.kind, dist::FaultKind::kTruncate);
+    } else {
+      // A directive consumes the same one-per-frame draw, so every other
+      // frame's decision is unchanged -- plans compose.
+      EXPECT_EQ(da.kind, db.kind) << "frame " << i;
+    }
+  }
+}
+
+TEST(FaultInjector, InactivePlanIsInert) {
+  dist::FaultInjector inert(dist::FaultPlan{});
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(inert.next().kind, dist::FaultKind::kNone);
+  EXPECT_EQ(inert.faults_fired(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStream semantics over in-memory streams.
+// ---------------------------------------------------------------------------
+
+class MemSource final : public dist::ByteSource {
+ public:
+  explicit MemSource(std::vector<std::byte> data) : data_(std::move(data)) {}
+  std::size_t read_some(std::span<std::byte> dst) override {
+    const std::size_t n = std::min(dst.size(), data_.size() - pos_);
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(pos_), n, dst.begin());
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+class MemSink final : public dist::ByteSink {
+ public:
+  void write_all(std::span<const std::byte> data) override {
+    bytes.insert(bytes.end(), data.begin(), data.end());
+  }
+  std::vector<std::byte> bytes;
+};
+
+std::vector<std::byte> some_frame() {
+  std::vector<std::byte> payload;
+  dist::PayloadWriter out(payload);
+  out.u64(0xdeadbeef);
+  out.f64(3.25);
+  std::vector<std::byte> frame;
+  dist::encode_frame(frame, dist::Op::kPush, payload);
+  return frame;
+}
+
+struct FaultyFixture {
+  explicit FaultyFixture(const std::string& plan)
+      : injector(dist::FaultPlan::parse(plan)), src(std::vector<std::byte>{}),
+        stream(src, sink, injector) {}
+  dist::FaultInjector injector;
+  MemSource src;
+  MemSink sink;
+  dist::FaultyStream stream;
+};
+
+TEST(FaultyStream, DropSwallowsTheFrame) {
+  FaultyFixture fx("drop@0");
+  fx.stream.write_all(some_frame());
+  EXPECT_TRUE(fx.sink.bytes.empty());
+  // Frame 1 has no directive: passes through untouched.
+  const auto frame = some_frame();
+  fx.stream.write_all(frame);
+  EXPECT_EQ(fx.sink.bytes, frame);
+}
+
+TEST(FaultyStream, TruncateWritesStrictPrefixAndPoisons) {
+  FaultyFixture fx("trunc@0");
+  const auto frame = some_frame();
+  EXPECT_THROW(fx.stream.write_all(frame), dist::FaultInjected);
+  ASSERT_LT(fx.sink.bytes.size(), frame.size());
+  for (std::size_t i = 0; i < fx.sink.bytes.size(); ++i) EXPECT_EQ(fx.sink.bytes[i], frame[i]);
+  // Poisoned: the stream stays dead until the connection is rebuilt.
+  EXPECT_THROW(fx.stream.write_all(frame), dist::FaultInjected);
+  // FaultInjected is a SocketError: the reconnect loop retries it.
+  EXPECT_THROW(
+      {
+        try {
+          fx.stream.write_all(frame);
+        } catch (const dist::SocketError&) {
+          throw;
+        }
+      },
+      dist::SocketError);
+}
+
+TEST(FaultyStream, CorruptFlipsExactlyOneBytePastTheMagic) {
+  FaultyFixture fx("corrupt@0");
+  const auto frame = some_frame();
+  fx.stream.write_all(frame);
+  ASSERT_EQ(fx.sink.bytes.size(), frame.size());
+  std::size_t diffs = 0;
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (fx.sink.bytes[i] != frame[i]) {
+      ++diffs;
+      at = i;
+    }
+  }
+  EXPECT_EQ(diffs, 1u);
+  EXPECT_GE(at, 4u);  // the magic survives; the damage is validated away
+  // A corrupted frame must not decode: checksum or header validation trips.
+  MemSource replay(fx.sink.bytes);
+  dist::FrameHeader header;
+  std::vector<std::byte> payload;
+  EXPECT_THROW(dist::read_frame(replay, header, payload), dist::WireError);
+}
+
+TEST(FaultyStream, DelayDeliversIntact) {
+  FaultyFixture fx("delay@0:1");
+  const auto frame = some_frame();
+  fx.stream.write_all(frame);
+  EXPECT_EQ(fx.sink.bytes, frame);
+}
+
+// ---------------------------------------------------------------------------
+// Socket deadlines (the no-dist-test-can-hang satellite).
+// ---------------------------------------------------------------------------
+
+TEST(SocketDeadline, SilentPeerReadThrowsSocketTimeout) {
+  dist::TcpListener listener(kHost, 0);
+  auto stream = dist::TcpStream::connect(kHost, listener.port(), std::chrono::seconds(5));
+  stream.set_timeouts(100);
+  std::array<std::byte, 8> buf;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(stream.read_some(buf), dist::SocketTimeout);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::seconds(5));
+}
+
+TEST(SocketDeadline, EnvKnobFeedsDefault) {
+  const char* saved = ::getenv("YF_DIST_TIMEOUT_MS");
+  const std::string saved_copy = saved ? saved : "";
+  ::setenv("YF_DIST_TIMEOUT_MS", "1234", 1);
+  EXPECT_EQ(dist::default_dist_timeout_ms(), 1234);
+  ::setenv("YF_DIST_TIMEOUT_MS", "0", 1);  // 0 disables deadlines
+  EXPECT_EQ(dist::default_dist_timeout_ms(), 0);
+  ::setenv("YF_DIST_TIMEOUT_MS", "soon", 1);  // malformed: warn + default
+  EXPECT_EQ(dist::default_dist_timeout_ms(), 30000);
+  ::unsetenv("YF_DIST_TIMEOUT_MS");
+  EXPECT_EQ(dist::default_dist_timeout_ms(), 30000);
+  if (saved) ::setenv("YF_DIST_TIMEOUT_MS", saved_copy.c_str(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop YellowFin through faults: the bit-identity pins.
+// ---------------------------------------------------------------------------
+
+const std::vector<t::Shape> kShapes = {{5, 3}, {8}, {2, 6}, {1}};  // 36 scalars
+
+std::vector<ag::Variable> make_params(std::uint64_t seed) {
+  t::Rng rng(seed);
+  std::vector<ag::Variable> params;
+  for (const auto& s : kShapes) params.emplace_back(rng.normal_tensor(s), true);
+  return params;
+}
+
+std::vector<double> flat_values(const std::vector<ag::Variable>& params) {
+  std::vector<double> out;
+  for (const auto& p : params) {
+    const auto v = p.value().data();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+dist::ChannelWorker make_quad_worker(std::uint64_t seed) {
+  dist::ChannelWorker worker;
+  worker.params = make_params(77);
+  auto params = worker.params;
+  auto rng = std::make_shared<t::Rng>(seed);
+  worker.grad_fn = [params, rng]() mutable {
+    double loss = 0.0;
+    for (auto& p : params) {
+      const auto x = p.value().data();
+      auto g = p.node()->ensure_grad().data();
+      for (std::size_t j = 0; j < g.size(); ++j) {
+        loss += 0.5 * 1.3 * x[j] * x[j];
+        g[j] = 1.3 * x[j] + 0.01 * rng->normal();
+      }
+    }
+    return loss;
+  };
+  return worker;
+}
+
+std::shared_ptr<yf::tuner::YellowFin> make_tuner(std::vector<ag::Variable>& params) {
+  yf::tuner::YellowFinOptions yopts;
+  yopts.beta = 0.99;
+  return std::make_shared<yf::tuner::YellowFin>(params, yopts);
+}
+
+async::ParamServerOptions server_options() {
+  async::ParamServerOptions sopts;
+  sopts.shards = 4;
+  sopts.closed_loop = true;
+  return sopts;
+}
+
+struct RunOutput {
+  std::vector<double> final_values;
+  async::ServerRunResult result;
+};
+
+RunOutput run_inproc(int steps) {
+  auto params = make_params(77);
+  auto opt = make_tuner(params);
+  async::ShardedParamServer server(opt, server_options());
+  std::vector<dist::ChannelWorker> workers{make_quad_worker(123)};
+  dist::InprocChannel channel(server);
+  workers[0].channel = &channel;
+  dist::ChannelRunOptions ropts;
+  ropts.steps_per_worker = steps;
+  RunOutput out;
+  out.result = dist::run_channel_workers(workers, ropts);
+  out.final_values = flat_values(params);
+  return out;
+}
+
+dist::ClientOptions fast_retry_client(std::uint16_t port, dist::FaultInjector* injector) {
+  // Always hand the client an explicit injector -- an inert one when the
+  // test wants no client-side faults -- so a chaos env plan (the *_chaos
+  // ctest variants, the CI chaos job) never stacks onto the exact
+  // reconnect/retry/dedup counts these tests pin.
+  static dist::FaultInjector inert{dist::FaultPlan{}};
+  dist::ClientOptions copts;
+  copts.host = kHost;
+  copts.port = port;
+  copts.timeout_ms = 250;
+  copts.injector = injector != nullptr ? injector : &inert;
+  copts.max_attempts = 100;
+  copts.backoff_base = std::chrono::milliseconds(1);
+  copts.backoff_cap = std::chrono::milliseconds(20);
+  return copts;
+}
+
+/// One-worker socket run with explicit client/master injectors.
+RunOutput run_faulty_socket(int steps, dist::FaultInjector* client_inj,
+                            dist::FaultInjector* master_inj,
+                            dist::MasterServer::Stats* stats_out = nullptr,
+                            std::int64_t* reconnects_out = nullptr) {
+  auto params = make_params(77);
+  auto opt = make_tuner(params);
+  async::ShardedParamServer server(opt, server_options());
+  dist::MasterOptions mopts;
+  // Longer than the client's deadline: when the client abandons a silent
+  // round trip it closes first, so the master sees a clean EOF
+  // (disconnects) rather than racing its own timeout (errors).
+  mopts.timeout_ms = 1000;
+  mopts.injector = master_inj;
+  dist::MasterServer net(server, mopts);
+  RunOutput out;
+  {
+    dist::RemoteParamClient client(fast_retry_client(net.port(), client_inj));
+    std::vector<dist::ChannelWorker> workers{make_quad_worker(123)};
+    workers[0].channel = &client;
+    dist::ChannelRunOptions ropts;
+    ropts.steps_per_worker = steps;
+    out.result = dist::run_channel_workers(workers, ropts);
+    client.shutdown();
+    if (reconnects_out != nullptr) *reconnects_out = client.reconnects();
+  }
+  net.shutdown();
+  if (stats_out != nullptr) *stats_out = net.stats();
+  out.final_values = flat_values(params);
+  return out;
+}
+
+void expect_identical(const RunOutput& a, const RunOutput& b) {
+  ASSERT_EQ(a.final_values.size(), b.final_values.size());
+  for (std::size_t i = 0; i < a.final_values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.final_values[i]),
+              std::bit_cast<std::uint64_t>(b.final_values[i]))
+        << "values diverge at flat index " << i;
+  }
+  ASSERT_EQ(a.result.stats.size(), b.result.stats.size());
+  for (std::size_t i = 0; i < a.result.stats.size(); ++i) {
+    EXPECT_EQ(a.result.stats[i].update_index, b.result.stats[i].update_index);
+    EXPECT_EQ(a.result.stats[i].applied_momentum, b.result.stats[i].applied_momentum);
+    EXPECT_EQ(a.result.stats[i].mu_hat_total.has_value(),
+              b.result.stats[i].mu_hat_total.has_value());
+    if (a.result.stats[i].mu_hat_total && b.result.stats[i].mu_hat_total) {
+      EXPECT_EQ(*a.result.stats[i].mu_hat_total, *b.result.stats[i].mu_hat_total);
+    }
+    EXPECT_EQ(a.result.losses[i], b.result.losses[i]);
+  }
+}
+
+// A dropped client request frame: the worker times out, reconnects,
+// replays. The master never saw the first copy, so nothing dedups --
+// but the trajectory must not notice.
+// Client frame indices: 0 hello, 1 pull#1, 2 push#1, ...
+TEST(FaultRecovery, DroppedPushRequestIsReplayedOnce) {
+  const int steps = 3;
+  dist::FaultInjector client_inj(dist::FaultPlan::parse("drop@2"));
+  dist::MasterServer::Stats stats;
+  std::int64_t reconnects = 0;
+  const RunOutput faulty = run_faulty_socket(steps, &client_inj, nullptr, &stats, &reconnects);
+  expect_identical(run_inproc(steps), faulty);
+  EXPECT_EQ(reconnects, 1);
+  EXPECT_EQ(stats.pushes, steps);  // applied exactly once
+  EXPECT_EQ(stats.retried_pushes, 0);
+  EXPECT_EQ(stats.disconnects, 1);  // the abandoned first connection
+}
+
+// A dropped master REPLY to an applied push: the worker cannot tell a
+// lost reply from a lost request, so it replays -- and the ledger must
+// answer from cache instead of double-applying. Master frame indices:
+// 0 hello_ack, 1 pull_reply#1, 2 push_reply#1, ...
+TEST(FaultRecovery, DroppedPushReplyIsDedupedFromTheLedger) {
+  const int steps = 3;
+  dist::FaultInjector master_inj(dist::FaultPlan::parse("drop@2"));
+  dist::MasterServer::Stats stats;
+  std::int64_t reconnects = 0;
+  const RunOutput faulty = run_faulty_socket(steps, nullptr, &master_inj, &stats, &reconnects);
+  expect_identical(run_inproc(steps), faulty);
+  EXPECT_EQ(reconnects, 1);
+  EXPECT_EQ(stats.pushes, steps);  // the replay did NOT re-apply
+  EXPECT_EQ(stats.retried_pushes, 1);
+  EXPECT_EQ(stats.deduped_pushes, 1);
+}
+
+// A torn push frame (truncation mid-write): the master reads a broken
+// frame and errors the connection; the client replays on a fresh one.
+TEST(FaultRecovery, TruncatedPushIsRetriedCleanly) {
+  const int steps = 3;
+  dist::FaultInjector client_inj(dist::FaultPlan::parse("trunc@2"));
+  dist::MasterServer::Stats stats;
+  const RunOutput faulty = run_faulty_socket(steps, &client_inj, nullptr, &stats, nullptr);
+  expect_identical(run_inproc(steps), faulty);
+  EXPECT_EQ(stats.pushes, steps);
+  EXPECT_GE(stats.errors, 1);  // the torn frame was diagnosed, not hung on
+}
+
+// The seeded-chaos pin: a mixed probabilistic plan on BOTH sides of the
+// connection, dozens of frames, still bit-identical to fault-free inproc.
+TEST(FaultRecovery, SeededChaosBothSidesStaysBitIdentical) {
+  const int steps = 20;
+  dist::FaultInjector client_inj(
+      dist::FaultPlan::parse("seed=3,drop=0.06,trunc=0.04,corrupt=0.04,delay=0.08:2"));
+  dist::FaultInjector master_inj(dist::FaultPlan::parse("seed=11,drop=0.06,corrupt=0.04"));
+  dist::MasterServer::Stats stats;
+  const RunOutput faulty = run_faulty_socket(steps, &client_inj, &master_inj, &stats, nullptr);
+  expect_identical(run_inproc(steps), faulty);
+  EXPECT_EQ(stats.pushes, steps);
+  // The seeds above DO fire (pinned so the test cannot rot into a no-op).
+  EXPECT_GT(client_inj.faults_fired() + master_inj.faults_fired(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance headline: seeded chaos AND a master kill + checkpoint
+// restore mid-run, one worker, closed-loop YellowFin -- bit-identical to
+// the fault-free in-process trajectory end to end.
+// ---------------------------------------------------------------------------
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/yf-ckpt-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void remove_tree(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+}
+
+TEST(FaultRecovery, MasterKillAndCheckpointRestoreStaysBitIdentical) {
+  const int steps = 24;
+  const RunOutput ref = run_inproc(steps);
+
+  const std::string dir = make_temp_dir();
+  ASSERT_FALSE(dir.empty());
+
+  dist::FaultInjector client_inj(
+      dist::FaultPlan::parse("seed=3,drop=0.05,corrupt=0.04,delay=0.06:2,trunc@4"));
+  dist::FaultInjector master_inj(dist::FaultPlan::parse("seed=11,drop=0.05"));
+
+  dist::MasterOptions mopts;
+  mopts.checkpoint_dir = dir;
+  mopts.checkpoint_every = 1;  // every applied push is durable before its reply
+  mopts.timeout_ms = 250;
+  mopts.injector = &master_inj;
+
+  auto params1 = make_params(77);
+  auto opt1 = make_tuner(params1);
+  async::ShardedParamServer server1(opt1, server_options());
+  auto net1 = std::make_unique<dist::MasterServer>(server1, mopts);
+  const std::uint16_t port = net1->port();
+
+  auto copts = fast_retry_client(port, &client_inj);
+  copts.connect_retry_for = std::chrono::seconds(20);  // bridge the restart gap
+  dist::RemoteParamClient client(copts);
+
+  std::vector<dist::ChannelWorker> workers{make_quad_worker(123)};
+  workers[0].channel = &client;
+  dist::ChannelRunOptions ropts;
+  ropts.steps_per_worker = steps;
+  ropts.compute_delay_us = 3000;  // slow the worker so the kill lands mid-run
+
+  async::ServerRunResult run;
+  std::thread trainer([&] { run = dist::run_channel_workers(workers, ropts); });
+
+  // Kill the master once roughly half the trajectory is applied. The
+  // shutdown drains in-flight frames, so the last applied push has been
+  // checkpointed; the reply may still be lost, which is the replay case
+  // the restored ledger must collapse.
+  while (server1.updates() < steps / 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  net1->shutdown();
+  const std::int64_t updates_before_kill = server1.updates();
+  net1.reset();
+
+  // A fresh process-worth of state: new params, new tuner, new server --
+  // everything the continued trajectory needs must come off disk.
+  auto params2 = make_params(77);
+  auto opt2 = make_tuner(params2);
+  async::ShardedParamServer server2(opt2, server_options());
+  mopts.port = port;
+  mopts.restore = true;
+  dist::MasterServer net2(server2, mopts);
+  ASSERT_TRUE(net2.restored().has_value());
+  EXPECT_EQ(*net2.restored(), updates_before_kill);
+
+  trainer.join();
+  client.shutdown();
+  net2.shutdown();
+
+  EXPECT_EQ(server2.updates(), steps);  // exactly-once across the kill
+  RunOutput chaotic;
+  chaotic.result = run;
+  chaotic.final_values = flat_values(params2);
+  expect_identical(ref, chaotic);
+
+  remove_tree(dir);
+}
+
+}  // namespace

@@ -17,6 +17,7 @@
 #include "async/param_server.hpp"
 #include "dist/channel.hpp"
 #include "dist/client.hpp"
+#include "dist/fault.hpp"
 #include "dist/master.hpp"
 #include "dist/socket.hpp"
 #include "dist/wire.hpp"
@@ -32,6 +33,11 @@ namespace t = yf::tensor;
 namespace {
 
 constexpr const char* kHost = "127.0.0.1";
+
+/// True when the chaos CI variant armed YF_FAULT_PLAN: retries then make
+/// exact connection/frame counts nondeterministic, so those assertions
+/// relax while every exactly-once and trajectory pin stays unconditional.
+bool chaos_active() { return dist::FaultPlan::from_env().active(); }
 
 std::vector<ag::Variable> make_params(const std::vector<t::Shape>& shapes, std::uint64_t seed) {
   t::Rng rng(seed);
@@ -204,15 +210,23 @@ TEST(DistEngine, TwoClientsConvergeAndShutDownCleanly) {
   ASSERT_FALSE(run.losses.empty());
   // 60 momentum updates on a unit bowl from 1.5: the loss collapses.
   EXPECT_LT(run.losses.back(), run.losses.front() / 10.0);
+  EXPECT_NE(clients[0]->worker_id(), clients[1]->worker_id());
 
   for (auto& c : clients) c->shutdown();
   EXPECT_TRUE(net.wait_for_clients(2, std::chrono::seconds(10)));
   const auto stats = net.stats();
-  EXPECT_EQ(stats.connections, 2);
-  EXPECT_EQ(stats.clean_shutdowns, 2);
-  EXPECT_EQ(stats.pulls, 2 * steps);
+  // Applied pushes never inflate, chaos or not: that IS exactly-once.
   EXPECT_EQ(stats.pushes, 2 * steps);
-  EXPECT_EQ(stats.errors, 0);
+  EXPECT_GE(stats.connections, 2);
+  if (!chaos_active()) {
+    EXPECT_EQ(stats.connections, 2);
+    EXPECT_EQ(stats.clean_shutdowns, 2);
+    EXPECT_EQ(stats.pulls, 2 * steps);
+    EXPECT_EQ(stats.errors, 0);
+    EXPECT_EQ(stats.disconnects, 0);
+    EXPECT_EQ(stats.retried_pushes, 0);
+    EXPECT_EQ(stats.deduped_pushes, 0);
+  }
   net.shutdown();
   EXPECT_TRUE(net.stopped());
 }
@@ -223,6 +237,14 @@ TEST(DistEngine, TwoClientsConvergeAndShutDownCleanly) {
 // ---------------------------------------------------------------------------
 
 namespace {
+
+/// v1 kHello payload: the worker id this endpoint claims (0: assign me).
+std::vector<std::byte> hello_payload(std::uint64_t worker_id = 0) {
+  std::vector<std::byte> p;
+  dist::PayloadWriter out(p);
+  out.u64(worker_id);
+  return p;
+}
 
 /// Raw-socket helper: send one frame, read one frame back.
 dist::FrameHeader raw_round_trip(dist::TcpStream& stream, dist::Op op,
@@ -269,9 +291,11 @@ TEST(DistEngine, PushWithWrongShardCountGetsErrorFrame) {
   ErrorFixture fx;
   auto stream = dist::TcpStream::connect(kHost, fx.net->port(), std::chrono::seconds(5));
   std::vector<std::byte> reply;
-  ASSERT_EQ(raw_round_trip(stream, dist::Op::kHello, {}, reply).op, dist::Op::kHelloAck);
+  const auto hello = hello_payload();
+  ASSERT_EQ(raw_round_trip(stream, dist::Op::kHello, hello, reply).op, dist::Op::kHelloAck);
   std::vector<std::byte> bad;
   dist::PayloadWriter out(bad);
+  out.u64(0);   // push seq 0: unsequenced
   out.u64(99);  // claims 99 shard versions; the master has 4 shards
   const auto header = raw_round_trip(stream, dist::Op::kPush, bad, reply);
   ASSERT_EQ(header.op, dist::Op::kError);
@@ -285,9 +309,11 @@ TEST(DistEngine, TruncatedPushPayloadGetsErrorFrame) {
   ErrorFixture fx;
   auto stream = dist::TcpStream::connect(kHost, fx.net->port(), std::chrono::seconds(5));
   std::vector<std::byte> reply;
-  ASSERT_EQ(raw_round_trip(stream, dist::Op::kHello, {}, reply).op, dist::Op::kHelloAck);
+  const auto hello = hello_payload();
+  ASSERT_EQ(raw_round_trip(stream, dist::Op::kHello, hello, reply).op, dist::Op::kHelloAck);
   std::vector<std::byte> bad;
   dist::PayloadWriter out(bad);
+  out.u64(0);  // push seq 0: unsequenced
   out.u64(static_cast<std::uint64_t>(fx.server->shard_count()));
   // ...but no versions and no gradient: a payload underrun on dispatch.
   EXPECT_EQ(raw_round_trip(stream, dist::Op::kPush, bad, reply).op, dist::Op::kError);
@@ -313,7 +339,14 @@ TEST(DistEngine, ClientShutdownIsIdempotentAndPinsPostShutdownCalls) {
 
 TEST(DistEngine, MasterShutdownDrainsAndPinsPostShutdownCalls) {
   ErrorFixture fx;
-  dist::RemoteParamClient client(kHost, fx.net->port());
+  // Bounded patience: once the master is gone for good, the reconnect
+  // loop must give up in well under a second, not the production default.
+  dist::ClientOptions copts;
+  copts.host = kHost;
+  copts.port = fx.net->port();
+  copts.connect_retry_for = std::chrono::milliseconds(200);
+  copts.max_attempts = 2;
+  dist::RemoteParamClient client(copts);
   // Shut the master down while a client conversation is idle-open: the
   // drain closes the connection, and the client's next round trip fails
   // loudly instead of hanging.
